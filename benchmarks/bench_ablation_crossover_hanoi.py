@@ -1,0 +1,18 @@
+"""Ablation bench: the three crossovers on Towers of Hanoi.
+
+The paper only ran random crossover on Hanoi (Table 2) and compared
+crossovers on the tile puzzle (Table 4); this fills in the missing cell.
+"""
+
+from conftest import emit
+
+from repro.analysis import crossover_on_hanoi
+
+
+def test_crossover_ablation_hanoi(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        crossover_on_hanoi, args=(scale,), kwargs={"seed": 7}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "ablation_crossover_hanoi")
+    fits = table.column("Avg Goal Fitness")
+    assert all(0.0 <= f <= 1.0 for f in fits)

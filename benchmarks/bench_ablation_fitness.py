@@ -1,0 +1,26 @@
+"""Ablation bench: accurate goal fitness vs the paper's fitness functions.
+
+Tests the paper's closing claim — "an accurate goal fitness function is
+essential to achieving good search performance" — by running the identical
+GA under the paper's (deceptive for Hanoi) fitness and under exact/sharper
+fitness functions.
+"""
+
+from conftest import emit
+
+from repro.analysis import fitness_accuracy_study
+
+
+def test_fitness_accuracy(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        fitness_accuracy_study,
+        args=(scale,),
+        kwargs={"seed": 29, "n_disks": 6},
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, results_dir, "ablation_fitness_accuracy")
+    rows = table.rows
+    # The structural Hanoi fitness must solve at least as many runs as the
+    # deceptive weighted-disk fitness.
+    assert rows[1][2] >= rows[0][2]

@@ -1,0 +1,14 @@
+"""Ablation bench: island-model GA vs one population at equal budget."""
+
+from conftest import emit
+
+from repro.analysis import island_study
+
+
+def test_island_ablation(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        island_study, args=(scale,), kwargs={"seed": 23}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "ablation_islands")
+    assert len(table.rows) == 2
+    assert all(0.0 <= f <= 1.0 for f in table.column("Avg Goal Fitness"))

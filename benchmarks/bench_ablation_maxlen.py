@@ -1,0 +1,21 @@
+"""Ablation bench: MaxLen sensitivity on Hanoi.
+
+Quantifies the paper's remark that MaxLen "should be chosen to ensure GA
+search quality while not incurring too much computation time": tight caps
+(1x optimal) cannot escape the deceptive weighted-disk plateau, generous
+caps solve reliably at higher cost.
+"""
+
+from conftest import emit
+
+from repro.analysis import maxlen_sweep
+
+
+def test_maxlen_ablation(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        maxlen_sweep, args=(scale,), kwargs={"seed": 11}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "ablation_maxlen")
+    rows = table.rows
+    # Generous caps must do at least as well as the tightest cap.
+    assert rows[-1][2] >= rows[0][2] - 0.05

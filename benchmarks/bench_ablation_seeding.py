@@ -1,0 +1,13 @@
+"""Ablation bench: GenPlan-style population seeding (related work [22])."""
+
+from conftest import emit
+
+from repro.analysis import seeding_study
+
+
+def test_seeding_ablation(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        seeding_study, args=(scale,), kwargs={"seed": 19}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "ablation_seeding")
+    assert table.column("Seed Fraction") == [0.0, 0.05, 0.25]

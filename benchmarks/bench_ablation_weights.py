@@ -1,0 +1,13 @@
+"""Ablation bench: goal/cost fitness weight sweep (paper uses 0.9/0.1)."""
+
+from conftest import emit
+
+from repro.analysis import weight_sweep
+
+
+def test_weight_ablation(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        weight_sweep, args=(scale,), kwargs={"seed": 13}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "ablation_weights")
+    assert all(0.0 <= f <= 1.0 for f in table.column("Avg Goal Fitness"))

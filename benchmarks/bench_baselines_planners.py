@@ -1,0 +1,22 @@
+"""Bench: GA planner vs classical/randomized baselines.
+
+Measures the Section 1 claim that general deterministic search "performs
+well only on small problems": BFS explodes on the tile puzzle while
+heuristic and evolutionary search stay tractable.
+"""
+
+from conftest import emit
+
+from repro.analysis import planner_comparison
+
+
+def test_planner_comparison(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        planner_comparison, args=(scale,), kwargs={"seed": 23}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "baselines_planners")
+    rows = {(r[0], r[1]): r for r in table.rows}
+    # BFS must have expanded far more nodes than A* on the tile puzzle.
+    bfs = rows[("tile-3x3", "BFS")]
+    astar_row = rows[("tile-3x3", "A*")]
+    assert bfs[4] > 10 * astar_row[4]

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figures 1 and 2 (5-disk Hanoi initial and goal states)."""
+
+from pathlib import Path
+
+from repro.analysis import figure1, figure2
+
+
+def test_figure1_initial_state(benchmark, results_dir):
+    fig = benchmark(figure1)
+    print("\nFigure 1: initial state of the 5-disk Towers of Hanoi\n" + fig)
+    (results_dir / "figure1_hanoi_initial.txt").write_text(fig + "\n")
+    # All five disks stacked on stake A, largest at the bottom.
+    lines = fig.splitlines()
+    assert "=====|=====" in lines[4]  # size-5 disk on the bottom row
+    assert fig.count("|") == 5 * 3  # one pole glyph per stake per disk row
+
+
+def test_figure2_goal_state(benchmark, results_dir):
+    fig = benchmark(figure2)
+    print("\nFigure 2: goal state of the 5-disk Towers of Hanoi\n" + fig)
+    (results_dir / "figure2_hanoi_goal.txt").write_text(fig + "\n")
+    bottom = fig.splitlines()[4]
+    width = 11
+    mid = bottom[width + 2 : 2 * width + 2]
+    assert "=====|=====" in mid  # the largest disk now sits on stake B

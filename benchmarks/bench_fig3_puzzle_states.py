@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 3 (15-puzzle initial and goal states)."""
+
+from repro.analysis import figure3
+from repro.domains import is_solvable, reversed_start
+
+
+def test_figure3_boards(benchmark, results_dir):
+    fig = benchmark(figure3)
+    print("\nFigure 3: 15-puzzle initial (a) and goal (b) states\n" + fig)
+    (results_dir / "figure3_15puzzle.txt").write_text(fig + "\n")
+    assert "(a) initial" in fig and "(b) goal" in fig
+    # The reproduced initial state must be an even permutation of the goal
+    # (Johnson & Story 1879), i.e. actually solvable.
+    assert is_solvable(reversed_start(4), 4)

@@ -1,0 +1,80 @@
+"""Microbenchmarks: the library's hot paths under pytest-benchmark's timer.
+
+Unlike the table benches (one-shot regenerations), these use real repeated
+timing: genome decoding (the GA's inner loop), the three crossovers, one
+full GA generation, and a simulator execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DecodeCache,
+    EvaluationContext,
+    FitnessFunction,
+    GAConfig,
+    GARun,
+    Individual,
+    SerialEvaluator,
+    decode,
+    make_rng,
+    mixed_crossover,
+    random_crossover,
+    state_aware_crossover,
+)
+from repro.domains import HanoiDomain, SlidingTileDomain
+from repro.grid import GridSimulator, imaging_pipeline, plan_to_activity_graph
+from repro.planning.search import goal_gap, greedy_best_first
+
+
+def test_decode_hanoi7(benchmark):
+    domain = HanoiDomain(7)
+    rng = make_rng(0)
+    genes = rng.random(635)
+    cache = DecodeCache(domain)
+    decode(genes, domain, domain.initial_state, cache=cache)  # warm the cache
+    result = benchmark(decode, genes, domain, domain.initial_state, True, cache)
+    assert len(result.operations) > 0
+
+
+def test_decode_tile4(benchmark):
+    domain = SlidingTileDomain(4)
+    rng = make_rng(1)
+    genes = rng.random(512)
+    cache = DecodeCache(domain)
+    decode(genes, domain, domain.initial_state, cache=cache)
+    result = benchmark(decode, genes, domain, domain.initial_state, True, cache)
+    assert len(result.operations) == 512
+
+
+@pytest.mark.parametrize("operator", [random_crossover, state_aware_crossover, mixed_crossover])
+def test_crossover_throughput(benchmark, operator):
+    domain = HanoiDomain(5)
+    rng = make_rng(2)
+    ctx = EvaluationContext(domain, domain.initial_state, FitnessFunction(domain))
+    p1, p2 = Individual.random(100, rng), Individual.random(100, rng)
+    SerialEvaluator().evaluate([p1, p2], ctx)
+    c1, c2 = benchmark(operator, p1, p2, rng, 155)
+    assert len(c1) >= 1
+
+
+def test_one_ga_generation(benchmark):
+    domain = HanoiDomain(5)
+    cfg = GAConfig(
+        population_size=100, generations=10_000, max_len=155, init_length=31,
+        stop_on_goal=False,
+    )
+    run = GARun(domain, cfg, make_rng(3))
+    benchmark(run.step)
+
+
+def test_simulator_execution(benchmark):
+    onto, domain = imaging_pipeline()
+    r = greedy_best_first(domain, goal_gap(domain, scale=100.0), max_expansions=100_000)
+    graph = plan_to_activity_graph(domain, r.plan)
+
+    def execute():
+        return GridSimulator(onto).execute(graph, domain.initial_state)
+
+    result = benchmark(execute)
+    assert result.success

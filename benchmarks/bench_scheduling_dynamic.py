@@ -1,0 +1,51 @@
+"""Bench: dynamic (on-line) mapping heuristics — Maheswaran et al. [12].
+
+Immediate mode (map on arrival) vs batch mode (map at intervals) over a
+Poisson arrival stream on a heterogeneous ETC matrix.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.analysis import Table
+from repro.core import make_rng
+from repro.scheduling import (
+    BATCH_HEURISTICS,
+    ETCParams,
+    IMMEDIATE_HEURISTICS,
+    batch_mode,
+    generate_etc,
+    immediate_mode,
+    poisson_arrivals,
+)
+
+
+def _run(full: bool):
+    n_tasks, n_machines = (512, 16) if full else (128, 8)
+    rng = make_rng(5001)
+    etc = generate_etc(ETCParams(n_tasks=n_tasks, n_machines=n_machines), rng)
+    # Arrival rate chosen so the system is moderately loaded.
+    mean_exec = float(etc.min(axis=1).mean())
+    rate = n_machines / mean_exec * 0.5
+    arrivals = poisson_arrivals(n_tasks, rate=rate, rng=rng)
+    table = Table(
+        "Dynamic mapping: makespan by heuristic",
+        ["Mode", "Heuristic", "Makespan"],
+    )
+    for name in IMMEDIATE_HEURISTICS:
+        r = immediate_mode(etc, arrivals, name)
+        table.add_row("immediate", name, round(r.makespan, 1))
+    interval = float(arrivals[-1].time / 20)
+    for name in BATCH_HEURISTICS:
+        r = batch_mode(etc, arrivals, interval=interval, heuristic=name)
+        table.add_row(f"batch (Δ={interval:.0f}s)", name, round(r.makespan, 1))
+    return table
+
+
+def test_dynamic_mapping(benchmark, results_dir):
+    full = os.environ.get("REPRO_FULL", "") == "1"
+    table = benchmark.pedantic(_run, args=(full,), rounds=1, iterations=1)
+    emit(table, results_dir, "scheduling_dynamic")
+    spans = dict(zip(table.column("Heuristic"), table.column("Makespan")))
+    assert spans["MCT"] <= spans["OLB"]  # informed beats blind

@@ -1,0 +1,57 @@
+"""Bench: heterogeneous-scheduling baselines on the Braun et al. ETC suite.
+
+The prior work the paper builds on ([4, 19, 20]): static mapping of
+independent tasks onto heterogeneous machines.  Regenerates the qualitative
+ordering — OLB worst, Min-min/Sufferage strong, the GA mapper at least as
+good as its Min-min seed.
+"""
+
+import os
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import Table
+from repro.core import make_rng
+from repro.scheduling import (
+    ETCParams,
+    GASchedulerConfig,
+    HEURISTICS,
+    ga_schedule,
+    generate_etc,
+    makespan,
+)
+
+
+def _run(full: bool):
+    n_tasks, n_machines = (512, 16) if full else (96, 8)
+    generations = 500 if full else 80
+    table = Table(
+        "Scheduling heuristics: makespan by ETC consistency class",
+        ["Consistency", "OLB", "MET", "MCT", "Min-min", "Max-min", "Sufferage", "GA"],
+    )
+    for consistency in ("consistent", "semi", "inconsistent"):
+        rng = make_rng(4001)
+        etc = generate_etc(
+            ETCParams(n_tasks=n_tasks, n_machines=n_machines, consistency=consistency), rng
+        )
+        spans = {name: makespan(etc, h(etc)) for name, h in HEURISTICS.items()}
+        ga = ga_schedule(etc, GASchedulerConfig(generations=generations), make_rng(4002))
+        table.add_row(
+            consistency,
+            *(round(spans[k], 1) for k in ("OLB", "MET", "MCT", "Min-min", "Max-min", "Sufferage")),
+            round(ga.makespan, 1),
+        )
+    return table
+
+
+def test_scheduling_heuristics(benchmark, results_dir):
+    full = os.environ.get("REPRO_FULL", "") == "1"
+    table = benchmark.pedantic(_run, args=(full,), rounds=1, iterations=1)
+    emit(table, results_dir, "scheduling_heuristics")
+    for row in table.rows:
+        cons, olb, met, mct, minmin, maxmin, suff, ga = row
+        assert minmin < olb          # Min-min always beats OLB
+        assert ga <= minmin + 1e-9   # GA at least matches its seed
+        if cons == "consistent":
+            assert mct < met         # MET degenerates on consistent matrices

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 1 (Towers of Hanoi GA parameter settings).
+
+Parameter tables carry no measurement; the bench times table construction
+and emits the same rows the paper prints.
+"""
+
+from conftest import emit
+
+from repro.analysis import hanoi_parameter_table
+from repro.analysis.experiments import ExperimentScale
+
+
+def test_table1_hanoi_parameters(benchmark, results_dir):
+    table = benchmark(hanoi_parameter_table, ExperimentScale.paper())
+    emit(table, results_dir, "table1_hanoi_params")
+    assert table.column("Parameter")[0] == "Population size"
+    assert table.column("Value")[0] == 200

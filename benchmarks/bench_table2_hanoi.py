@@ -1,0 +1,36 @@
+"""Bench: regenerate Table 2 (Towers of Hanoi, single- vs multi-phase GA).
+
+Paper's reported values (10 runs, pop 200, 500 gens / 5x100 gens):
+
+    GA Type       Disks  AvgGoalFit  AvgSize  AvgGens
+    single-phase  5      1.0         72.3     42.9
+    single-phase  6      0.916       421.3    201.6
+    single-phase  7      0.618       628.0    328.6
+    multi-phase   5      1.0         153.4    100
+    multi-phase   6      1.0         571.8    200
+    multi-phase   7      0.773       799.8    429
+
+The shape asserted here: multi-phase goal fitness >= single-phase per size,
+fitness falls with disk count, multi-phase solutions are longer.
+"""
+
+from conftest import emit
+
+from repro.analysis import run_hanoi_table2
+
+
+def test_table2_hanoi(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        run_hanoi_table2, args=(scale,), kwargs={"seed": 2003}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "table2_hanoi")
+
+    rows = {(r[0], r[1]): r for r in table.rows}
+    disks = sorted({r[1] for r in table.rows})
+    # Multi-phase dominates single-phase in goal fitness at every size.
+    for n in disks:
+        assert rows[("multi-phase", n)][2] >= rows[("single-phase", n)][2] - 0.05
+    # Goal fitness is non-increasing in problem size for each GA type.
+    for ga in ("single-phase", "multi-phase"):
+        fits = [rows[(ga, n)][2] for n in disks]
+        assert all(a >= b - 0.05 for a, b in zip(fits, fits[1:]))

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 3 (Sliding-tile puzzle GA parameter settings)."""
+
+from conftest import emit
+
+from repro.analysis import tile_parameter_table
+from repro.analysis.experiments import ExperimentScale
+
+
+def test_table3_tile_parameters(benchmark, results_dir):
+    table = benchmark(tile_parameter_table, ExperimentScale.paper())
+    emit(table, results_dir, "table3_tile_params")
+    values = dict(zip(table.column("Parameter"), table.column("Value")))
+    assert values["Crossover type"] == "Random / State-aware / Mixed"
+    assert values["Number of phases in multi-phase GA"] == 5

@@ -1,0 +1,37 @@
+"""Bench: regenerate Table 4 (Sliding-tile puzzle, three crossovers).
+
+Paper's reported values (50 runs/cell):
+
+    Crossover    Tiles  AvgGoalFit  AvgSize  #Valid  AvgTime(s)
+    state-aware  9      0.995       106.96   48      57.70
+    state-aware  16     0.927       865.40   0       415.27
+    random       9      0.995       182.52   48      82.35
+    random       16     0.935       831.70   1       408.86
+    mixed        9      0.995       131.32   48      60.33
+    mixed        16     0.928       922.06   1       434.13
+
+Shape asserted: the three crossovers score closely; where both board sizes
+run, 9-tile beats 16-tile on fitness and solve rate, and 16-tile solutions
+are much longer.
+"""
+
+from conftest import emit
+
+from repro.analysis import run_tile_table4
+
+
+def test_table4_sliding_tile(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        run_tile_table4, args=(scale,), kwargs={"seed": 2003}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "table4_sliding_tile")
+
+    by_cell = {(r[0], r[1]): r for r in table.rows}
+    fits_9 = [r[2] for r in table.rows if r[1] == 9]
+    # The three crossovers land close together on the same board.
+    assert max(fits_9) - min(fits_9) < 0.2
+    if any(r[1] == 16 for r in table.rows):
+        for cx in ("state-aware", "random", "mixed"):
+            assert by_cell[(cx, 9)][2] >= by_cell[(cx, 16)][2]  # fitness drops
+            assert by_cell[(cx, 9)][4] >= by_cell[(cx, 16)][4]  # solve rate drops
+            assert by_cell[(cx, 16)][3] > by_cell[(cx, 9)][3]  # size grows

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures (or an
+ablation) and both prints it and writes it under ``benchmarks/results/``.
+Default parameters are the scaled-down regime so the whole suite finishes
+in minutes on one core; set ``REPRO_FULL=1`` for paper fidelity (pop 200,
+500 generations, 10–50 runs per cell — budget an hour or more).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ExperimentScale, scale_from_env
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(table, results_dir: Path, name: str) -> None:
+    """Print a result table and persist it (text + CSV)."""
+    text = table.render()
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    table.to_csv(results_dir / f"{name}.csv")

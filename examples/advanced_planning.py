@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Advanced planning tour: PDDL text domains, plan reuse, and the Pocket Cube.
+
+1. Author a STRIPS domain as PDDL-lite text and solve it three ways.
+2. Repair an existing plan after the world changes (plan reuse).
+3. Solve a scrambled 2x2x2 Rubik's cube with the GA planner.
+
+Run:  python examples/advanced_planning.py
+"""
+
+from repro.core import GAConfig, GAPlanner, make_rng
+from repro.domains import PocketCubeDomain, scrambled_state
+from repro.planning import Plan, StripsDomainAdapter, load_problem, reuse_plan
+from repro.planning.search import breadth_first_search, graphplan
+
+LOGISTICS = """
+(define (domain mini-logistics)
+  (:predicates (at ?pkg ?loc) (truck-at ?loc) (loaded ?pkg))
+  (:action drive
+    :parameters (?from ?to)
+    :precondition (truck-at ?from)
+    :effect (and (truck-at ?to) (not (truck-at ?from))))
+  (:action load
+    :parameters (?pkg ?loc)
+    :precondition (and (truck-at ?loc) (at ?pkg ?loc))
+    :effect (and (loaded ?pkg) (not (at ?pkg ?loc))))
+  (:action unload
+    :parameters (?pkg ?loc)
+    :precondition (and (truck-at ?loc) (loaded ?pkg))
+    :effect (and (at ?pkg ?loc) (not (loaded ?pkg)))))
+"""
+
+DELIVERY = """
+(define (problem delivery)
+  (:domain mini-logistics)
+  (:objects parcel depot shop home)
+  (:init (truck-at depot) (at parcel shop))
+  (:goal (and (at parcel home) (truck-at depot))))
+"""
+
+
+def pddl_section() -> None:
+    print("=== 1. PDDL-lite: author as text, solve three ways ===")
+    problem = load_problem(LOGISTICS, DELIVERY)
+    adapter = StripsDomainAdapter(problem)
+
+    r = breadth_first_search(adapter)
+    print(f"BFS:       {r.plan_length} steps: {' ; '.join(op.name for op in r.plan)}")
+
+    r = graphplan(problem, max_levels=15)
+    print(f"Graphplan: {r.plan_length} steps (valid: {Plan(r.plan).solves(problem)})")
+
+    cfg = GAConfig(population_size=80, generations=120, max_len=30, init_length=8)
+    outcome = GAPlanner(adapter, cfg, seed=0).solve()
+    print(f"GA:        {outcome.plan_length} steps (solved: {outcome.solved})")
+
+
+def reuse_section() -> None:
+    print("\n=== 2. Plan reuse: repair after the world changes ===")
+    from repro.domains import HanoiDomain, optimal_hanoi_moves
+
+    domain = HanoiDomain(4)
+    old_plan = optimal_hanoi_moves(4)
+    # The world moved on: someone made a legal move while we were away.
+    mv = domain.valid_operations(domain.initial_state)[-1]
+    changed = domain.apply(domain.initial_state, mv)
+
+    def replanner(d, start):
+        return breadth_first_search(d, start_state=start).plan
+
+    result = reuse_plan(domain, old_plan, replanner, start_state=changed)
+    print(f"old plan: {len(old_plan)} moves; after change: reused {result.reused}, "
+          f"repaired {result.repaired}, solved: {result.solved}")
+
+
+def cube_section() -> None:
+    print("\n=== 3. Pocket Cube: GA planning on the 2x2x2 Rubik's cube ===")
+    start = scrambled_state(5, make_rng(42))
+    domain = PocketCubeDomain(start)
+    print(f"scramble depth 5, start fitness {domain.goal_fitness(start):.3f}")
+    cfg = GAConfig(population_size=200, generations=80, max_len=30, init_length=10)
+    outcome = GAPlanner(domain, cfg, multiphase=3, seed=7).solve()
+    print(f"GA: solved={outcome.solved} in {outcome.plan_length} turns "
+          f"({outcome.generations} generations)")
+    if outcome.solved:
+        print("solution:", " ".join(str(op) for op in outcome.plan))
+
+
+if __name__ == "__main__":
+    pddl_section()
+    reuse_section()
+    cube_section()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Planner shoot-out: the GA against every classical baseline.
+
+Runs BFS, A*, IDA*, greedy best-first (HSP2-style), hill climbing
+(HSP-style), the Stocplan-like random-walk planner, Graphplan (on the
+STRIPS encoding) and the multi-phase GA on the same Towers of Hanoi
+instance, then on the 8-puzzle.
+
+Run:  python examples/planner_shootout.py
+"""
+
+import time
+
+from repro.analysis.experiments import tile_init_length, tile_max_len
+from repro.core import GAConfig, GAPlanner, make_rng
+from repro.domains import HanoiDomain, SlidingTileDomain, hanoi_strips_problem
+from repro.planning import StripsDomainAdapter
+from repro.planning.search import (
+    astar,
+    breadth_first_search,
+    goal_gap,
+    graphplan,
+    greedy_best_first,
+    hill_climbing,
+    idastar,
+    random_walk_planner,
+)
+
+
+def report(name, solved, length, work, seconds):
+    print(f"  {name:24s} solved={str(solved):5s} plan={length:4d} work={work:8d} time={seconds:6.2f}s")
+
+
+def shootout_hanoi(n=4):
+    print(f"\n=== Towers of Hanoi, {n} disks (optimal {2**n - 1}) ===")
+    d = HanoiDomain(n)
+    h = goal_gap(d, scale=float(2 ** (n + 1)))
+
+    r = breadth_first_search(d)
+    report("BFS", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+    r = astar(d, heuristic=h)
+    report("A* (goal-gap h)", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+    r = idastar(d, h)
+    report("IDA*", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+    r = greedy_best_first(d, h)
+    report("Greedy BF (HSP2)", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+    r = hill_climbing(d, h, make_rng(0))
+    report("Hill climb (HSP)", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+    r = random_walk_planner(d, make_rng(1), walk_length=5 * 2**n, max_walks=300)
+    report("Random walk (Stocplan)", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+
+    strips = hanoi_strips_problem(n) if n <= 3 else None
+    if strips is not None:
+        r = graphplan(strips, max_levels=20)
+        report("Graphplan (STRIPS)", r.solved, r.plan_length, r.generated, r.elapsed_seconds)
+    else:
+        print("  Graphplan (STRIPS)       skipped (grounded encoding too large)")
+
+    cfg = GAConfig(
+        population_size=200, generations=100,
+        max_len=5 * (2**n - 1), init_length=2**n - 1,
+    )
+    t0 = time.perf_counter()
+    outcome = GAPlanner(d, cfg, multiphase=5, seed=7).solve()
+    report("GA (multi-phase)", outcome.solved, outcome.plan_length,
+           outcome.generations * cfg.population_size, time.perf_counter() - t0)
+
+
+def shootout_tile(n=3):
+    print(f"\n=== Sliding-tile puzzle, {n}x{n}, reversed start ===")
+    d = SlidingTileDomain(n)
+    h = lambda s: float(d.manhattan(s))
+
+    r = breadth_first_search(d)
+    report("BFS", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+    r = astar(d, heuristic=h)
+    report("A* (Manhattan)", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+    r = idastar(d, h)
+    report("IDA* (Korf)", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+    r = greedy_best_first(d, h)
+    report("Greedy BF (HSP2)", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+    r = hill_climbing(d, h, make_rng(2))
+    report("Hill climb (HSP)", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+    r = random_walk_planner(d, make_rng(3), walk_length=200, max_walks=100)
+    report("Random walk (Stocplan)", r.solved, r.plan_length, r.expanded, r.elapsed_seconds)
+
+    cfg = GAConfig(
+        population_size=200, generations=100,
+        max_len=tile_max_len(n), init_length=tile_init_length(n),
+    )
+    t0 = time.perf_counter()
+    outcome = GAPlanner(d, cfg, multiphase=5, seed=9).solve()
+    report("GA (multi-phase)", outcome.solved, outcome.plan_length,
+           outcome.generations * cfg.population_size, time.perf_counter() - t0)
+
+
+if __name__ == "__main__":
+    shootout_hanoi(4)
+    shootout_tile(3)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: solve the 5-disk Towers of Hanoi with the multi-phase GA.
+
+This is the paper's flagship experiment in miniature: an indirect
+floating-point encoding (every decoded plan is valid by construction),
+tournament selection, random one-point crossover, and up to five GA phases
+that restart from the best solution's final state.
+
+Run:  python examples/quickstart.py [n_disks]
+"""
+
+import sys
+
+from repro.analysis.render import render_hanoi
+from repro.core import GAConfig, GAPlanner
+from repro.domains import HanoiDomain
+
+
+def main() -> None:
+    n_disks = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    domain = HanoiDomain(n_disks)
+
+    print(f"Towers of Hanoi, {n_disks} disks (optimal: {domain.optimal_length} moves)")
+    print("\nInitial state:")
+    print(render_hanoi(domain.initial_state, n_disks))
+
+    config = GAConfig(
+        population_size=200,
+        generations=100,          # per phase
+        crossover_rate=0.9,
+        mutation_rate=0.01,
+        crossover="random",
+        max_len=5 * domain.optimal_length,
+        init_length=domain.optimal_length,
+    )
+    planner = GAPlanner(domain, config, multiphase=5, seed=2003)
+    outcome = planner.solve()
+
+    print(f"\nsolved:        {outcome.solved}")
+    print(f"goal fitness:  {outcome.goal_fitness:.3f}")
+    print(f"plan length:   {outcome.plan_length} moves")
+    print(f"generations:   {outcome.generations}")
+    print(f"wall clock:    {outcome.elapsed_seconds:.1f} s")
+
+    if outcome.solved:
+        final = domain.execute(outcome.plan)
+        print("\nFinal state (reached by replaying the evolved plan):")
+        print(render_hanoi(final, n_disks))
+        print("\nFirst ten moves:", ", ".join(str(op) for op in outcome.plan[:10]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Heterogeneous task scheduling: the Braun et al. heuristics plus the GA.
+
+This is the prior line of work the paper builds on (refs [4, 19, 20]):
+the workflow is given and only the task->machine mapping is optimised.
+Generates ETC matrices for the three consistency classes and compares
+OLB / MET / MCT / Min-min / Max-min / Sufferage with the GA mapper.
+
+Run:  python examples/scheduling_heuristics.py
+"""
+
+from repro.core import make_rng
+from repro.scheduling import (
+    ETCParams,
+    GASchedulerConfig,
+    HEURISTICS,
+    ga_schedule,
+    generate_etc,
+    makespan,
+)
+
+
+def main() -> None:
+    n_tasks, n_machines = 128, 8
+    print(f"{n_tasks} tasks on {n_machines} machines, hi task / hi machine heterogeneity\n")
+    header = f"{'consistency':14s}" + "".join(f"{name:>12s}" for name in HEURISTICS) + f"{'GA':>12s}"
+    print(header)
+    for consistency in ("consistent", "semi", "inconsistent"):
+        etc = generate_etc(
+            ETCParams(n_tasks=n_tasks, n_machines=n_machines, consistency=consistency),
+            make_rng(1),
+        )
+        spans = [makespan(etc, h(etc)) for h in HEURISTICS.values()]
+        ga = ga_schedule(etc, GASchedulerConfig(generations=150), make_rng(2))
+        row = f"{consistency:14s}" + "".join(f"{s:12.0f}" for s in spans) + f"{ga.makespan:12.0f}"
+        print(row)
+    print("\n(Expected shape: OLB worst; Min-min/Sufferage strong; MET collapses")
+    print(" on consistent matrices; the GA matches or beats its Min-min seed.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Compare the three crossover mechanisms on the 8-puzzle (paper §4.2).
+
+Runs the multi-phase GA with random, state-aware, and mixed crossover on
+the reversed 3×3 board and reports, per crossover, whether a valid solution
+was found, in which phase, and how long the solution is — a single-run
+version of the paper's Tables 4 and 5.
+
+Run:  python examples/sliding_tile_crossovers.py [seed]
+"""
+
+import sys
+
+from repro.analysis.experiments import tile_init_length, tile_max_len
+from repro.analysis.render import render_tile_board
+from repro.core import GAConfig, MultiPhaseConfig, make_rng, run_multiphase
+from repro.domains import SlidingTileDomain
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2003
+    n = 3
+    domain = SlidingTileDomain(n)
+
+    print("Initial board (paper Figure 3a, 3x3 version):")
+    print(render_tile_board(domain.initial_state, n))
+    print(f"\nManhattan distance to goal: {domain.manhattan(domain.initial_state)}")
+
+    for crossover in ("random", "state-aware", "mixed"):
+        phase = GAConfig(
+            population_size=200,
+            generations=100,
+            crossover=crossover,
+            max_len=tile_max_len(n),
+            init_length=tile_init_length(n),
+            stop_on_goal=False,
+        )
+        mp = MultiPhaseConfig(max_phases=5, phase=phase)
+        result = run_multiphase(domain, mp, make_rng(seed))
+        print(
+            f"\n{crossover:12s} solved={str(result.solved):5s} "
+            f"phase={result.solved_in_phase} "
+            f"plan_length={result.plan_length} "
+            f"goal_fitness={result.goal_fitness:.3f} "
+            f"({result.elapsed_seconds:.1f}s)"
+        )
+        if result.solved:
+            final = domain.execute(result.plan)
+            assert domain.is_goal(final)
+
+    print("\n(The paper finds state-aware and mixed crossover usually solve in")
+    print(" phase 1 while random crossover more often needs phase 2.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — GA-based planning for heterogeneous computing environments.
+
+Reproduction of Yu, Marinescu, Wu & Siegel, "A Genetic Approach to Planning
+in Heterogeneous Computing Environments" (IPPS 2003), plus the substrates
+the paper depends on: a STRIPS planning layer with classical baseline
+planners, the evaluation domains (Towers of Hanoi, Sliding-tile puzzle,
+Blocks World, navigation, briefcase), a simulated heterogeneous grid with
+workflow/coordination services, and heterogeneous-scheduling baselines.
+
+Quickstart::
+
+    from repro.core import GAConfig, GAPlanner
+    from repro.domains import HanoiDomain
+
+    domain = HanoiDomain(5)
+    config = GAConfig(max_len=2 ** 6, init_length=31)
+    outcome = GAPlanner(domain, config, multiphase=5, seed=42).solve()
+    print(outcome.solved, outcome.plan_length)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,35 @@
+"""Profiling helpers, following the measure-first workflow.
+
+"No optimization without measuring" — these wrappers make it one line to
+profile a GA run or an experiment driver and get the top-k cumulative
+offenders, without littering call sites with cProfile boilerplate.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Callable, Tuple, TypeVar
+
+__all__ = ["profile_call"]
+
+T = TypeVar("T")
+
+
+def profile_call(fn: Callable[..., T], *args, top: int = 20, **kwargs) -> Tuple[T, str]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, report)`` where *report* is the top-``top`` entries
+    by cumulative time.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return result, buf.getvalue()

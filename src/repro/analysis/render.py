@@ -1,0 +1,80 @@
+"""ASCII rendering of the paper's figures.
+
+Figures 1 and 2 are the 5-disk Towers of Hanoi initial and goal states;
+Figure 3 shows the 15-puzzle's reversed initial state and its goal.  These
+render the same states as deterministic text diagrams, which the figure
+benches regenerate and the tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.domains.hanoi import STAKES, HanoiDomain
+from repro.domains.sliding_tile import SlidingTileDomain
+
+__all__ = ["render_hanoi", "render_tile_board", "figure1", "figure2", "figure3"]
+
+
+def render_hanoi(state: Sequence[Sequence[int]], n_disks: int) -> str:
+    """Draw a Hanoi state, one column per stake, disks as ``=`` bars.
+
+    >>> print(render_hanoi(((2, 1), (), ()), 2))  # doctest: +NORMALIZE_WHITESPACE
+    """
+    width = 2 * n_disks + 1  # widest disk plus the pole
+    rows = []
+    for level in range(n_disks - 1, -1, -1):  # top row first
+        cells = []
+        for stake in state:
+            if level < len(stake):
+                disk = stake[level]
+                bar = "=" * disk + "|" + "=" * disk
+                cells.append(bar.center(width))
+            else:
+                cells.append("|".center(width))
+        rows.append("  ".join(cells))
+    base = "  ".join(("-" * width) for _ in state)
+    labels = "  ".join(STAKES[i].center(width) for i in range(len(state)))
+    return "\n".join(rows + [base, labels])
+
+
+def render_tile_board(state: Sequence[int], n: int) -> str:
+    """Draw an n×n sliding-tile board; the blank is an empty cell."""
+    if len(state) != n * n:
+        raise ValueError(f"state length {len(state)} does not match n={n}")
+    width = len(str(n * n - 1))
+    lines = []
+    sep = "+" + "+".join(["-" * (width + 2)] * n) + "+"
+    for r in range(n):
+        cells = []
+        for c in range(n):
+            tile = state[r * n + c]
+            cells.append((" " * (width + 2)) if tile == 0 else f" {tile:>{width}} ")
+        lines.append(sep)
+        lines.append("|" + "|".join(cells) + "|")
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def figure1() -> str:
+    """Paper Figure 1: initial state of the 5-disk Towers of Hanoi."""
+    domain = HanoiDomain(5)
+    return render_hanoi(domain.initial_state, 5)
+
+
+def figure2() -> str:
+    """Paper Figure 2: goal state of the 5-disk Towers of Hanoi."""
+    goal = ((), tuple(range(5, 0, -1)), ())
+    return render_hanoi(goal, 5)
+
+
+def figure3() -> str:
+    """Paper Figure 3: 15-puzzle initial (reversed) and goal states."""
+    domain = SlidingTileDomain(4)
+    a = render_tile_board(domain.initial_state, 4)
+    b = render_tile_board(domain.goal_state, 4)
+    a_lines, b_lines = a.splitlines(), b.splitlines()
+    out = ["(a) initial" + " " * (len(a_lines[0]) - 11) + "    (b) goal"]
+    for la, lb in zip(a_lines, b_lines):
+        out.append(f"{la}    {lb}")
+    return "\n".join(out)

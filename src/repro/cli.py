@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``solve``       — run the GA planner on a built-in domain
+- ``table``       — regenerate one of the paper's tables (1–5)
+- ``figure``      — print one of the paper's figures (1–3)
+- ``ablation``    — run one of the ablation studies
+- ``compare``     — the planner comparison table
+- ``schedule``    — the scheduling-heuristics table
+
+Examples
+--------
+::
+
+    python -m repro solve hanoi --size 5 --phases 5 --seed 7
+    python -m repro table 2 --scaled
+    python -m repro figure 3
+    python -m repro ablation fitness
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    ExperimentScale,
+    crossover_on_hanoi,
+    figure1,
+    figure2,
+    figure3,
+    fitness_accuracy_study,
+    hanoi_max_len,
+    hanoi_parameter_table,
+    maxlen_sweep,
+    phase_budget_sweep,
+    planner_comparison,
+    run_hanoi_table2,
+    run_tile_table4,
+    run_tile_table5,
+    seeding_study,
+    tile_init_length,
+    tile_max_len,
+    tile_parameter_table,
+    weight_sweep,
+)
+from repro.core import GAConfig, GAPlanner
+from repro.domains import HanoiDomain, SlidingTileDomain
+
+__all__ = ["main"]
+
+
+def _scale(args) -> ExperimentScale:
+    return ExperimentScale.scaled() if args.scaled else ExperimentScale.paper()
+
+
+def _cmd_solve(args) -> int:
+    if args.domain == "hanoi":
+        domain = HanoiDomain(args.size)
+        max_len = hanoi_max_len(args.size)
+        init = domain.optimal_length
+    elif args.domain == "tile":
+        domain = SlidingTileDomain(args.size)
+        max_len = tile_max_len(args.size)
+        init = tile_init_length(args.size)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.domain)
+    config = GAConfig(
+        population_size=args.population,
+        generations=args.generations,
+        crossover=args.crossover,
+        max_len=max_len,
+        init_length=init,
+    )
+    multiphase = args.phases if args.phases > 1 else None
+    outcome = GAPlanner(domain, config, multiphase=multiphase, seed=args.seed).solve()
+    print(f"domain:        {domain.name}")
+    print(f"solved:        {outcome.solved}")
+    print(f"goal fitness:  {outcome.goal_fitness:.3f}")
+    print(f"plan length:   {outcome.plan_length}")
+    print(f"generations:   {outcome.generations}")
+    print(f"wall clock:    {outcome.elapsed_seconds:.1f}s")
+    if args.show_plan and outcome.plan:
+        print("plan:")
+        for op in outcome.plan:
+            print(f"  {op}")
+    return 0 if outcome.solved else 1
+
+
+def _cmd_table(args) -> int:
+    scale = _scale(args)
+    drivers = {
+        1: lambda: hanoi_parameter_table(scale),
+        2: lambda: run_hanoi_table2(scale, seed=args.seed),
+        3: lambda: tile_parameter_table(scale),
+        4: lambda: run_tile_table4(scale, seed=args.seed),
+        5: lambda: run_tile_table5(scale, seed=args.seed),
+    }
+    print(drivers[args.number]())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    print({1: figure1, 2: figure2, 3: figure3}[args.number]())
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    scale = _scale(args)
+    drivers = {
+        "crossover": lambda: crossover_on_hanoi(scale, seed=args.seed),
+        "maxlen": lambda: maxlen_sweep(scale, seed=args.seed),
+        "weights": lambda: weight_sweep(scale, seed=args.seed),
+        "phases": lambda: phase_budget_sweep(scale, seed=args.seed),
+        "seeding": lambda: seeding_study(scale, seed=args.seed),
+        "fitness": lambda: fitness_accuracy_study(scale, seed=args.seed),
+    }
+    print(drivers[args.study]())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    print(planner_comparison(_scale(args), seed=args.seed))
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    import numpy as np
+
+    from repro.analysis import Table
+    from repro.core import make_rng
+    from repro.scheduling import (
+        ETCParams,
+        GASchedulerConfig,
+        HEURISTICS,
+        ga_schedule,
+        generate_etc,
+        makespan,
+    )
+
+    table = Table(
+        f"Scheduling heuristics ({args.tasks} tasks, {args.machines} machines)",
+        ["Consistency", *HEURISTICS.keys(), "GA"],
+    )
+    for consistency in ("consistent", "semi", "inconsistent"):
+        etc = generate_etc(
+            ETCParams(n_tasks=args.tasks, n_machines=args.machines, consistency=consistency),
+            make_rng(args.seed),
+        )
+        spans = [round(makespan(etc, h(etc)), 1) for h in HEURISTICS.values()]
+        ga = ga_schedule(etc, GASchedulerConfig(generations=args.generations), make_rng(args.seed + 1))
+        table.add_row(consistency, *spans, round(ga.makespan, 1))
+    print(table)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GA planning for heterogeneous computing (IPPS 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="run the GA planner on a built-in domain")
+    p.add_argument("domain", choices=("hanoi", "tile"))
+    p.add_argument("--size", type=int, default=5, help="disks (hanoi) or board edge (tile)")
+    p.add_argument("--population", type=int, default=200)
+    p.add_argument("--generations", type=int, default=100, help="per phase")
+    p.add_argument("--phases", type=int, default=5, help="1 = single-phase")
+    p.add_argument("--crossover", choices=("random", "state-aware", "mixed"), default="random")
+    p.add_argument("--seed", type=int, default=2003)
+    p.add_argument("--show-plan", action="store_true")
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+    p.add_argument("--scaled", action="store_true", help="fast scaled-down parameters")
+    p.add_argument("--seed", type=int, default=2003)
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("figure", help="print a paper figure")
+    p.add_argument("number", type=int, choices=(1, 2, 3))
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("ablation", help="run an ablation study")
+    p.add_argument(
+        "study",
+        choices=("crossover", "maxlen", "weights", "phases", "seeding", "fitness"),
+    )
+    p.add_argument("--scaled", action="store_true")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser("compare", help="GA vs classical planners")
+    p.add_argument("--scaled", action="store_true")
+    p.add_argument("--seed", type=int, default=23)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("schedule", help="heterogeneous scheduling heuristics")
+    p.add_argument("--tasks", type=int, default=128)
+    p.add_argument("--machines", type=int, default=8)
+    p.add_argument("--generations", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_schedule)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""GA planning core: the paper's primary contribution.
+
+Public surface:
+
+- :class:`GAConfig` / :class:`MultiPhaseConfig` — run parameters
+- :class:`GAPlanner` — one-call facade
+- :class:`GARun` / :func:`run_ga` — single-phase engine
+- :func:`run_multiphase` — the multi-phase algorithm
+- :func:`decode` / :func:`encode_operations` — the indirect encoding
+- crossover / mutation / selection operators
+"""
+
+from repro.core.config import GAConfig, MultiPhaseConfig, CROSSOVER_KINDS
+from repro.core.crossover import (
+    CROSSOVER_OPERATORS,
+    mixed_crossover,
+    random_crossover,
+    state_aware_crossover,
+)
+from repro.core.encoding import DecodeCache, DecodedPlan, decode, encode_operations, gene_to_index
+from repro.core.fitness import FitnessFunction, FitnessResult, cost_fitness
+from repro.core.ga import GAResult, GARun, initial_population, run_ga
+from repro.core.individual import Individual
+from repro.core.multiphase import MultiPhaseResult, PhaseRecord, run_multiphase
+from repro.core.mutation import deletion_mutation, insertion_mutation, uniform_reset_mutation
+from repro.core.parallel import (
+    EvaluationContext,
+    Evaluator,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+)
+from repro.core.planner import GAPlanner, PlanningOutcome
+from repro.core.rng import make_rng, spawn, spawn_many
+from repro.core.selection import (
+    SELECTION_SCHEMES,
+    rank_selection,
+    roulette_selection,
+    tournament_selection,
+)
+from repro.core.stats import GenerationStats, RunHistory
+
+__all__ = [
+    "CROSSOVER_KINDS",
+    "CROSSOVER_OPERATORS",
+    "DecodeCache",
+    "DecodedPlan",
+    "EvaluationContext",
+    "Evaluator",
+    "FitnessFunction",
+    "FitnessResult",
+    "GAConfig",
+    "GAPlanner",
+    "GAResult",
+    "GARun",
+    "GenerationStats",
+    "Individual",
+    "MultiPhaseConfig",
+    "MultiPhaseResult",
+    "PhaseRecord",
+    "PlanningOutcome",
+    "ProcessPoolEvaluator",
+    "RunHistory",
+    "SELECTION_SCHEMES",
+    "SerialEvaluator",
+    "cost_fitness",
+    "decode",
+    "deletion_mutation",
+    "encode_operations",
+    "gene_to_index",
+    "initial_population",
+    "insertion_mutation",
+    "make_rng",
+    "mixed_crossover",
+    "random_crossover",
+    "rank_selection",
+    "roulette_selection",
+    "run_ga",
+    "run_multiphase",
+    "spawn",
+    "spawn_many",
+    "state_aware_crossover",
+    "tournament_selection",
+    "uniform_reset_mutation",
+]
+
+from repro.core.termination import (  # noqa: E402
+    Deadline,
+    FitnessTarget,
+    GenerationLimit,
+    Stagnation,
+    all_of,
+    any_of,
+)
+
+__all__ += ["Deadline", "FitnessTarget", "GenerationLimit", "Stagnation", "all_of", "any_of"]
+
+from repro.core.islands import IslandConfig, IslandResult, run_islands  # noqa: E402
+
+__all__ += ["IslandConfig", "IslandResult", "run_islands"]
+
+from repro.core.runlog import GenerationLogger, read_log  # noqa: E402
+
+__all__ += ["GenerationLogger", "read_log"]

@@ -1,0 +1,88 @@
+"""Checkpointing: persist and restore GA run state.
+
+Long full-fidelity experiment sweeps (50 runs × 500 generations) benefit
+from resumability.  A checkpoint captures the population genomes, the RNG
+state, the generation counter and the best-so-far individual; the domain
+and config are reconstructed by the caller (they are code, not data).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.ga import GARun
+from repro.core.individual import Individual
+
+__all__ = ["Checkpoint", "save_checkpoint", "load_checkpoint", "restore_run"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """Serializable snapshot of a :class:`GARun`."""
+
+    version: int
+    generation: int
+    genomes: List[np.ndarray]
+    rng_state: dict
+    best_genes: Optional[np.ndarray]
+    solved_at: Optional[int]
+
+
+def capture(run: GARun) -> Checkpoint:
+    """Snapshot a run (populations are stored as raw genomes)."""
+    return Checkpoint(
+        version=_FORMAT_VERSION,
+        generation=run.generation,
+        genomes=[ind.genes.copy() for ind in run.population],
+        rng_state=run.rng.bit_generator.state,
+        best_genes=None if run.best is None else run.best.genes.copy(),
+        solved_at=run.solved_at,
+    )
+
+
+def save_checkpoint(run: GARun, path: str | Path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        pickle.dump(capture(run), fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    with open(path, "rb") as fh:
+        ckpt = pickle.load(fh)
+    if not isinstance(ckpt, Checkpoint):
+        raise ValueError(f"{path} does not contain a Checkpoint")
+    if ckpt.version != _FORMAT_VERSION:
+        raise ValueError(
+            f"checkpoint version {ckpt.version} unsupported (expected {_FORMAT_VERSION})"
+        )
+    return ckpt
+
+
+def restore_run(run: GARun, ckpt: Checkpoint) -> GARun:
+    """Load checkpoint state into a freshly constructed run.
+
+    The run must have been built with the same domain, config and start
+    state that produced the checkpoint; only the evolving state is restored.
+    """
+    if len(ckpt.genomes) != run.config.population_size:
+        raise ValueError(
+            f"checkpoint population size {len(ckpt.genomes)} does not match "
+            f"config population size {run.config.population_size}"
+        )
+    run.population = [Individual(genes=g) for g in ckpt.genomes]
+    run.generation = ckpt.generation
+    run.rng.bit_generator.state = ckpt.rng_state
+    run.solved_at = ckpt.solved_at
+    if ckpt.best_genes is not None:
+        best = Individual(genes=ckpt.best_genes)
+        run.evaluator.evaluate([best], run.context)
+        run.best = best
+    return run

@@ -1,0 +1,147 @@
+"""Configuration for the GA planner.
+
+Defaults follow the paper's Tables 1 and 3: population 200, 500 generations,
+crossover rate 0.9, per-gene mutation rate 0.01, tournament selection of
+size 2, goal-fitness weight 0.9 and cost-fitness weight 0.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+__all__ = ["GAConfig", "MultiPhaseConfig", "CROSSOVER_KINDS"]
+
+CROSSOVER_KINDS = ("random", "state-aware", "mixed")
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Parameters of a single-phase GA run.
+
+    Attributes
+    ----------
+    population_size:
+        Number of individuals per generation.
+    generations:
+        Maximum generations for the run (one phase, in multi-phase mode).
+    crossover_rate:
+        Probability that a selected pair undergoes crossover; otherwise the
+        parents are copied unchanged into the next generation.
+    mutation_rate:
+        Per-gene probability of replacing the gene with a fresh uniform
+        float (paper, Section 3.4.3).
+    crossover:
+        One of ``"random"``, ``"state-aware"``, ``"mixed"`` (Section 3.4.2).
+    tournament_size:
+        Individuals drawn per tournament; the paper uses 2.
+    goal_weight / cost_weight:
+        Weights of the goal and cost fitness components (equation 4).  Must
+        sum to 1.
+    max_len:
+        MaxLen, the hard cap on genome length.  ``None`` means the domain
+        driver must supply it.
+    init_length:
+        Initial genome length: an int, or an inclusive ``(lo, hi)`` range
+        sampled uniformly per individual.
+    truncate_at_goal:
+        Stop decoding a genome once the goal state is reached, so trailing
+        genes cannot undo a solution.  See DESIGN.md §1 for the rationale.
+    stop_on_goal:
+        End the run as soon as some evaluated individual solves the problem
+        (used for single-phase runs; phases of the multi-phase GA run their
+        full generation budget by default, matching the paper's generation
+        accounting).
+    elitism:
+        Number of best individuals copied unchanged into the next
+        generation.  The paper uses none (0); exposed for ablations.
+    """
+
+    population_size: int = 200
+    generations: int = 500
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.01
+    crossover: str = "random"
+    tournament_size: int = 2
+    goal_weight: float = 0.9
+    cost_weight: float = 0.1
+    max_len: Optional[int] = None
+    init_length: Union[int, Tuple[int, int]] = 32
+    truncate_at_goal: bool = True
+    stop_on_goal: bool = True
+    elitism: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError(f"population_size must be >= 2, got {self.population_size}")
+        if self.generations < 1:
+            raise ValueError(f"generations must be >= 1, got {self.generations}")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError(f"crossover_rate must be in [0, 1], got {self.crossover_rate}")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError(f"mutation_rate must be in [0, 1], got {self.mutation_rate}")
+        if self.crossover not in CROSSOVER_KINDS:
+            raise ValueError(
+                f"crossover must be one of {CROSSOVER_KINDS}, got {self.crossover!r}"
+            )
+        if self.tournament_size < 1:
+            raise ValueError(f"tournament_size must be >= 1, got {self.tournament_size}")
+        if abs(self.goal_weight + self.cost_weight - 1.0) > 1e-9:
+            raise ValueError(
+                f"goal_weight + cost_weight must equal 1, got "
+                f"{self.goal_weight} + {self.cost_weight}"
+            )
+        if min(self.goal_weight, self.cost_weight) < 0:
+            raise ValueError("fitness weights must be non-negative")
+        if self.max_len is not None and self.max_len < 1:
+            raise ValueError(f"max_len must be >= 1, got {self.max_len}")
+        if isinstance(self.init_length, tuple):
+            lo, hi = self.init_length
+            if not (1 <= lo <= hi):
+                raise ValueError(f"init_length range must satisfy 1 <= lo <= hi, got {self.init_length}")
+        elif self.init_length < 1:
+            raise ValueError(f"init_length must be >= 1, got {self.init_length}")
+        if self.elitism < 0 or self.elitism >= self.population_size:
+            raise ValueError(
+                f"elitism must be in [0, population_size), got {self.elitism}"
+            )
+        if self.max_len is not None:
+            init_hi = self.init_length[1] if isinstance(self.init_length, tuple) else self.init_length
+            if init_hi > self.max_len:
+                raise ValueError(
+                    f"init_length {self.init_length} exceeds max_len {self.max_len}"
+                )
+
+    def replace(self, **changes) -> "GAConfig":
+        """A copy of this config with some fields changed."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class MultiPhaseConfig:
+    """Parameters of the multi-phase GA (paper, Section 3.5).
+
+    Attributes
+    ----------
+    max_phases:
+        Upper bound on the number of phases (paper: 5).
+    phase:
+        The per-phase single-run configuration; its ``generations`` field is
+        the phase length (paper: 100).
+    early_stop_in_phase:
+        If True, a phase may end before its generation budget once a valid
+        solution is found.  The paper runs full phases; scaled-down benches
+        may enable this to save time.
+    """
+
+    max_phases: int = 5
+    phase: GAConfig = dataclasses.field(default_factory=lambda: GAConfig(generations=100, stop_on_goal=False))
+    early_stop_in_phase: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_phases < 1:
+            raise ValueError(f"max_phases must be >= 1, got {self.max_phases}")
+
+    def replace(self, **changes) -> "MultiPhaseConfig":
+        return dataclasses.replace(self, **changes)

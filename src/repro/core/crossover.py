@@ -1,0 +1,159 @@
+"""The three crossover mechanisms (paper, Section 3.4.2).
+
+*Random* crossover is one-point crossover with independently chosen cut
+points on each parent (lengths may differ, so the cuts are independent and
+children change length).  Under the indirect encoding the genes inherited to
+the right of the cut are re-interpreted against whatever state the new left
+context produces, which usually changes their meaning.
+
+*State-aware* crossover fixes that: the first parent's cut is random, and
+the second parent's cut is constrained to positions whose decode-state
+matches the first cut's decode-state — "two states match if the same genetic
+code will be mapped to the same sequence of operations from these two
+states"; identical state keys satisfy this exactly.  When no matching cut
+exists, no crossover is performed and both parents survive unchanged.
+
+*Mixed* crossover tries state-aware first and falls back to random.
+
+All operators cap children at ``max_len`` genes (MaxLen) by truncation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.individual import Individual
+
+__all__ = [
+    "random_crossover",
+    "state_aware_crossover",
+    "mixed_crossover",
+    "CROSSOVER_OPERATORS",
+]
+
+
+def _clip(genes: np.ndarray, max_len: Optional[int]) -> np.ndarray:
+    if max_len is not None and genes.size > max_len:
+        return genes[:max_len]
+    return genes
+
+
+def _one_point_children(
+    p1: Individual, p2: Individual, cut1: int, cut2: int, max_len: Optional[int]
+) -> Tuple[Individual, Individual]:
+    g1 = np.concatenate([p1.genes[:cut1], p2.genes[cut2:]])
+    g2 = np.concatenate([p2.genes[:cut2], p1.genes[cut1:]])
+    children = []
+    for g, fallback in ((g1, p1), (g2, p2)):
+        g = _clip(g, max_len)
+        # A cut at an extreme end of both parents can yield an empty child;
+        # genomes must be non-empty, so fall back to the parent copy.
+        children.append(Individual(genes=g) if g.size > 0 else fallback.copy())
+    return children[0], children[1]
+
+
+def _random_cut(length: int, rng: np.random.Generator) -> int:
+    """A cut position in ``[1, length - 1]``; 0/length would just swap parents.
+
+    Length-1 genomes only admit the degenerate cut after position 0 (treated
+    as position 1 would be a full copy), so we allow cut range [0, length]
+    clamped to produce mixing whenever possible.
+    """
+    if length >= 2:
+        return int(rng.integers(1, length))
+    return int(rng.integers(0, length + 1))
+
+
+def random_crossover(
+    p1: Individual,
+    p2: Individual,
+    rng: np.random.Generator,
+    max_len: Optional[int] = None,
+) -> Tuple[Individual, Individual]:
+    """One-point crossover with independent cut points on each parent."""
+    cut1 = _random_cut(len(p1), rng)
+    cut2 = _random_cut(len(p2), rng)
+    return _one_point_children(p1, p2, cut1, cut2, max_len)
+
+
+def _cut_state_key(ind: Individual, cut: int):
+    """Decode-behaviour key at position *cut*, or ``None`` past the decode.
+
+    ``match_keys[i]`` is the decode-equivalence key of the state before
+    gene ``i``; a cut at position ``cut`` splices in new genes starting at
+    index ``cut``, so the relevant key is ``match_keys[cut]``.  Positions
+    beyond ``used_genes`` have no defined state (the decoder stopped
+    earlier).
+    """
+    if ind.decoded is None:
+        raise ValueError("state-aware crossover requires evaluated (decoded) parents")
+    keys = ind.decoded.match_keys
+    if cut < len(keys):
+        return keys[cut]
+    return None
+
+
+def state_aware_crossover(
+    p1: Individual,
+    p2: Individual,
+    rng: np.random.Generator,
+    max_len: Optional[int] = None,
+) -> Tuple[Individual, Individual]:
+    """State-aware crossover; copies the parents when no matching cut exists."""
+    cut1 = _random_cut(len(p1), rng)
+    key = _cut_state_key(p1, cut1)
+    if key is None:
+        return p1.copy(), p2.copy()
+    if p2.decoded is None:
+        raise ValueError("state-aware crossover requires evaluated (decoded) parents")
+    # Candidate cuts on parent 2: positions with a defined decode state that
+    # matches, excluding the degenerate full-copy extremes when avoidable.
+    keys2 = p2.decoded.match_keys
+    hi = min(len(p2), len(keys2) - 1)
+    candidates = [j for j in range(0, hi + 1) if keys2[j] == key]
+    if len(p2) >= 2:
+        trimmed = [j for j in candidates if 1 <= j <= len(p2) - 1]
+        if trimmed:
+            candidates = trimmed
+    if not candidates:
+        return p1.copy(), p2.copy()
+    cut2 = int(candidates[int(rng.integers(0, len(candidates)))])
+    return _one_point_children(p1, p2, cut1, cut2, max_len)
+
+
+def mixed_crossover(
+    p1: Individual,
+    p2: Individual,
+    rng: np.random.Generator,
+    max_len: Optional[int] = None,
+) -> Tuple[Individual, Individual]:
+    """State-aware when a matching cut exists, otherwise random.
+
+    Implemented exactly as the paper describes: pick the first cut, look for
+    a state match; if found do state-aware splicing, else pick the second
+    cut at random.
+    """
+    cut1 = _random_cut(len(p1), rng)
+    key = _cut_state_key(p1, cut1)
+    if key is not None and p2.decoded is not None:
+        keys2 = p2.decoded.match_keys
+        hi = min(len(p2), len(keys2) - 1)
+        candidates = [j for j in range(0, hi + 1) if keys2[j] == key]
+        if len(p2) >= 2:
+            trimmed = [j for j in candidates if 1 <= j <= len(p2) - 1]
+            if trimmed:
+                candidates = trimmed
+        if candidates:
+            cut2 = int(candidates[int(rng.integers(0, len(candidates)))])
+            return _one_point_children(p1, p2, cut1, cut2, max_len)
+    cut2 = _random_cut(len(p2), rng)
+    return _one_point_children(p1, p2, cut1, cut2, max_len)
+
+
+CROSSOVER_OPERATORS: dict = {
+    "random": random_crossover,
+    "state-aware": state_aware_crossover,
+    "mixed": mixed_crossover,
+}

@@ -1,0 +1,193 @@
+"""Indirect encoding: floating-point genes decoded against the system state.
+
+This is the paper's key representation idea (Section 3.1).  A genome is a
+sequence of floats in ``[0, 1)``.  Decoding walks the genome left to right,
+maintaining the simulated system state; a gene ``x`` in a state with ``k``
+valid operations selects operation ``floor(x * k)`` from the domain's
+deterministic valid-operation ordering.  Every decoded plan therefore
+consists solely of valid operations — the match fitness of Section 3.3 is
+identically 1 and drops out of the fitness function (equation 4).
+
+Decoding stops early when a dead end (no valid operations) is hit, or — when
+``truncate_at_goal`` is enabled — as soon as the goal state is reached, so
+that trailing genes cannot undo a solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.protocol import PlanningDomain
+
+__all__ = ["DecodedPlan", "DecodeCache", "decode", "gene_to_index"]
+
+
+def gene_to_index(gene: float, n_valid: int) -> int:
+    """Map one gene to an operation index among ``n_valid`` choices.
+
+    [0, 1) is divided into ``n_valid`` equal bins: ``x`` selects
+    ``floor(x * n_valid)``.  Genes equal to 1.0 (possible only through
+    hand-built genomes; the RNG never produces it) clamp to the last bin.
+    """
+    if n_valid <= 0:
+        raise ValueError(f"no valid operations to select from (n_valid={n_valid})")
+    idx = int(gene * n_valid)
+    return min(idx, n_valid - 1)
+
+
+@dataclass(frozen=True)
+class DecodedPlan:
+    """The phenotype of a genome decoded from a given start state.
+
+    Attributes
+    ----------
+    operations:
+        The decoded valid operation sequence.
+    state_keys:
+        ``len(operations) + 1`` hashable state identities; ``state_keys[i]``
+        is the state *before* gene ``i`` is decoded (so ``state_keys[0]`` is
+        the start state and ``state_keys[-1]`` the final state).
+    match_keys:
+        Same positions, but holding ``domain.decode_key`` values — the
+        decode-behaviour equivalence keys that state-aware crossover
+        matches on (equal to ``state_keys`` for domains that do not
+        override ``decode_key``).
+    final_state:
+        The full final state object (not just its key).
+    used_genes:
+        Number of genes actually consumed; less than the genome length when
+        decoding stopped at a dead end or at the goal.
+    goal_reached:
+        Whether the final state satisfies the goal.
+    cost:
+        Total operation cost of the decoded plan.
+    """
+
+    operations: tuple
+    state_keys: tuple
+    match_keys: tuple
+    final_state: object
+    used_genes: int
+    goal_reached: bool
+    cost: float
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+class DecodeCache:
+    """Memoises per-state valid-operation lists.
+
+    Decoding re-visits the same states constantly (the whole population
+    starts from one state every generation), and ``valid_operations`` can be
+    expensive for grounded STRIPS problems; a plain dict keyed on
+    ``domain.state_key`` removes that cost.  Bounded to ``max_entries`` with
+    wholesale reset — an LRU would cost more bookkeeping than the recompute.
+    """
+
+    def __init__(self, domain: PlanningDomain, max_entries: int = 200_000) -> None:
+        self.domain = domain
+        self.max_entries = max_entries
+        self._valid: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def valid_operations(self, state, key: Hashable) -> Sequence:
+        ops = self._valid.get(key)
+        if ops is None:
+            self.misses += 1
+            ops = tuple(self.domain.valid_operations(state))
+            if len(self._valid) >= self.max_entries:
+                self._valid.clear()
+            self._valid[key] = ops
+        else:
+            self.hits += 1
+        return ops
+
+    def clear(self) -> None:
+        self._valid.clear()
+
+
+def decode(
+    genes: np.ndarray,
+    domain: PlanningDomain,
+    start_state: object,
+    truncate_at_goal: bool = True,
+    cache: Optional[DecodeCache] = None,
+) -> DecodedPlan:
+    """Decode *genes* into a valid operation sequence from *start_state*."""
+    if cache is None:
+        cache = DecodeCache(domain)
+    state = start_state
+    key = domain.state_key(state)
+    keys = [key]
+    match_keys = [domain.decode_key(state)]
+    ops = []
+    cost = 0.0
+    goal = domain.is_goal(state)
+    used = 0
+    if not (truncate_at_goal and goal):
+        for gene in genes:
+            valid = cache.valid_operations(state, key)
+            if not valid:
+                break  # dead end: remaining genes are inert
+            op = valid[gene_to_index(float(gene), len(valid))]
+            state = domain.apply(state, op)
+            key = domain.state_key(state)
+            ops.append(op)
+            keys.append(key)
+            match_keys.append(domain.decode_key(state))
+            cost += domain.operation_cost(op)
+            used += 1
+            goal = domain.is_goal(state)
+            if truncate_at_goal and goal:
+                break
+    return DecodedPlan(
+        operations=tuple(ops),
+        state_keys=tuple(keys),
+        match_keys=tuple(match_keys),
+        final_state=state,
+        used_genes=used,
+        goal_reached=goal,
+        cost=cost,
+    )
+
+
+def encode_operations(
+    domain: PlanningDomain,
+    start_state: object,
+    operations: Sequence,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Inverse of :func:`decode`: genes that decode to *operations*.
+
+    Each gene is placed at the centre of its operation's bin (or uniformly
+    within the bin when *rng* is given, preserving genetic diversity when
+    seeding populations from known plans — the GenPlan-style seeding
+    ablation uses this).
+
+    Raises ``ValueError`` if an operation is not valid where it appears.
+    """
+    state = start_state
+    genes = []
+    for i, op in enumerate(operations):
+        valid = list(domain.valid_operations(state))
+        try:
+            idx = valid.index(op)
+        except ValueError:
+            raise ValueError(
+                f"operation {domain.describe_operation(op)!r} at index {i} "
+                f"is not valid in its state"
+            ) from None
+        k = len(valid)
+        if rng is None:
+            gene = (idx + 0.5) / k
+        else:
+            gene = (idx + float(rng.random())) / k
+            gene = min(gene, np.nextafter((idx + 1) / k, 0.0))
+        genes.append(gene)
+        state = domain.apply(state, op)
+    return np.asarray(genes, dtype=np.float64)

@@ -1,0 +1,84 @@
+"""Fitness evaluation (paper, Section 3.3).
+
+The paper's fitness has three components: match fitness ``f_m`` (how well
+operations match their states), goal fitness ``f_g`` (how close the final
+state is to the goal), and cost fitness ``f_c`` (how cheap the plan is).
+Because the indirect encoding only ever decodes valid operations, ``f_m`` is
+identically 1 and is dropped; the evaluated fitness is equation 4:
+
+    f = w_g * f_g + w_c * f_c,      w_g + w_c = 1.
+
+Cost fitness follows the unit-cost form of equation 2, generalised to
+arbitrary non-negative costs:
+
+    f_c = 1 / (1 + cost)
+
+which is 1 for an empty plan and decays toward 0, so cheaper plans always
+score higher.  (The paper's equation 2 is typeset illegibly in the source
+scan; this is the standard normalisation consistent with "a solution with
+low cost has a high cost fitness" — recorded as an assumption in
+EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.encoding import DecodedPlan
+from repro.protocol import PlanningDomain
+
+__all__ = ["FitnessResult", "FitnessFunction", "cost_fitness"]
+
+
+def cost_fitness(cost: float) -> float:
+    """``1 / (1 + cost)`` — monotone decreasing in cost, in (0, 1]."""
+    if cost < 0:
+        raise ValueError(f"plan cost must be non-negative, got {cost}")
+    return 1.0 / (1.0 + cost)
+
+
+@dataclass(frozen=True)
+class FitnessResult:
+    """The three figures of merit plus their weighted combination.
+
+    ``match`` is retained for fidelity with the paper's formulation; it is
+    always 1.0 under the indirect encoding.
+    """
+
+    goal: float
+    cost: float
+    total: float
+    match: float = 1.0
+    goal_reached: bool = False
+
+
+class FitnessFunction:
+    """Weighted goal + cost fitness over decoded plans."""
+
+    def __init__(self, domain: PlanningDomain, goal_weight: float = 0.9, cost_weight: float = 0.1) -> None:
+        if abs(goal_weight + cost_weight - 1.0) > 1e-9:
+            raise ValueError(
+                f"weights must sum to 1, got {goal_weight} + {cost_weight}"
+            )
+        if min(goal_weight, cost_weight) < 0:
+            raise ValueError("weights must be non-negative")
+        self.domain = domain
+        self.goal_weight = goal_weight
+        self.cost_weight = cost_weight
+
+    def __call__(self, decoded: DecodedPlan) -> FitnessResult:
+        goal = float(self.domain.goal_fitness(decoded.final_state))
+        if not 0.0 <= goal <= 1.0 + 1e-12:
+            raise ValueError(
+                f"domain {self.domain.name!r} returned goal fitness {goal} outside [0, 1]"
+            )
+        goal = min(goal, 1.0)
+        fc = cost_fitness(decoded.cost)
+        total = self.goal_weight * goal + self.cost_weight * fc
+        return FitnessResult(
+            goal=goal,
+            cost=fc,
+            total=total,
+            match=1.0,
+            goal_reached=decoded.goal_reached,
+        )

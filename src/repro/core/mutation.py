@@ -1,0 +1,62 @@
+"""Mutation operators.
+
+The paper's mutation (Section 3.4.3) is uniform per-gene reset: every gene
+is independently replaced with a fresh uniform float with probability
+``mutation_rate``.  Two structural operators — gene insertion and deletion —
+are provided for the variable-length ablations; they are off by default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.individual import Individual
+
+__all__ = ["uniform_reset_mutation", "insertion_mutation", "deletion_mutation"]
+
+
+def uniform_reset_mutation(
+    ind: Individual, rate: float, rng: np.random.Generator
+) -> Individual:
+    """Replace each gene with a new uniform float with probability *rate*.
+
+    Returns the same object when nothing mutates (genomes are immutable, so
+    sharing is safe), avoiding a copy for the common case at rate 0.01.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"mutation rate must be in [0, 1], got {rate}")
+    if rate == 0.0:
+        return ind
+    mask = rng.random(len(ind)) < rate
+    if not mask.any():
+        return ind
+    genes = ind.genes.copy()
+    genes[mask] = rng.random(int(mask.sum()))
+    return Individual(genes=genes)
+
+
+def insertion_mutation(
+    ind: Individual,
+    rng: np.random.Generator,
+    max_len: Optional[int] = None,
+) -> Individual:
+    """Insert one fresh gene at a random position (length +1).
+
+    No-op when the genome is already at ``max_len``.
+    """
+    if max_len is not None and len(ind) >= max_len:
+        return ind
+    pos = int(rng.integers(0, len(ind) + 1))
+    genes = np.insert(ind.genes, pos, rng.random())
+    return Individual(genes=genes)
+
+
+def deletion_mutation(ind: Individual, rng: np.random.Generator) -> Individual:
+    """Delete one gene at a random position (length -1); no-op at length 1."""
+    if len(ind) <= 1:
+        return ind
+    pos = int(rng.integers(0, len(ind)))
+    genes = np.delete(ind.genes, pos)
+    return Individual(genes=genes)

@@ -1,0 +1,136 @@
+"""High-level facade: the GA planner.
+
+Most users want "give me a plan for this domain"; :class:`GAPlanner` wraps
+configuration, seeding, single- vs multi-phase mode, and result packaging
+behind one call.  The lower-level :class:`~repro.core.ga.GARun` and
+:func:`~repro.core.multiphase.run_multiphase` remain available for
+fine-grained control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import GAConfig, MultiPhaseConfig
+from repro.core.encoding import encode_operations
+from repro.core.ga import GAResult, run_ga
+from repro.core.individual import Individual
+from repro.core.multiphase import MultiPhaseResult, run_multiphase
+from repro.core.rng import make_rng
+from repro.protocol import PlanningDomain
+
+__all__ = ["PlanningOutcome", "GAPlanner"]
+
+
+@dataclass(frozen=True)
+class PlanningOutcome:
+    """Uniform result for single- and multi-phase planning.
+
+    Attributes
+    ----------
+    plan:
+        The best operation sequence found (possibly not a solution).
+    solved:
+        Whether the plan's final state satisfies the goal.
+    goal_fitness:
+        Goal fitness of the final state.
+    plan_length / plan_cost:
+        Size and total cost of the plan.
+    generations:
+        Total generations evolved across all phases.
+    detail:
+        The underlying :class:`GAResult` or :class:`MultiPhaseResult`.
+    """
+
+    plan: tuple
+    solved: bool
+    goal_fitness: float
+    plan_length: int
+    plan_cost: float
+    generations: int
+    elapsed_seconds: float
+    detail: object
+
+
+class GAPlanner:
+    """GA-based planner over any :class:`PlanningDomain`.
+
+    Parameters
+    ----------
+    domain:
+        The planning domain.
+    config:
+        Single-phase GA parameters (also used as the phase config in
+        multi-phase mode, with ``stop_on_goal`` handled by the driver).
+    multiphase:
+        ``None`` for a single-phase run; a :class:`MultiPhaseConfig` (or a
+        phase count, for convenience) for the multi-phase algorithm.
+    seed:
+        Root seed; every run derives independent streams from it.
+    """
+
+    def __init__(
+        self,
+        domain: PlanningDomain,
+        config: GAConfig,
+        multiphase: Optional[MultiPhaseConfig | int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.domain = domain
+        self.config = config
+        if isinstance(multiphase, int):
+            multiphase = MultiPhaseConfig(max_phases=multiphase, phase=config.replace(stop_on_goal=False))
+        self.multiphase = multiphase
+        self.rng = make_rng(seed)
+
+    def seed_individuals(
+        self, plans: Sequence[Sequence], jitter: bool = True
+    ) -> list:
+        """Encode known-good operation sequences as seed individuals."""
+        rng = self.rng if jitter else None
+        seeds = []
+        for ops in plans:
+            genes = encode_operations(self.domain, self.domain.initial_state, ops, rng=rng)
+            seeds.append(Individual(genes=genes))
+        return seeds
+
+    def solve(
+        self,
+        start_state: Optional[object] = None,
+        seeds: Optional[Sequence[Individual]] = None,
+    ) -> PlanningOutcome:
+        """Run the configured GA and package the outcome."""
+        if self.multiphase is not None:
+            if seeds:
+                raise ValueError("seeding is only supported in single-phase mode")
+            mp: MultiPhaseResult = run_multiphase(
+                self.domain, self.multiphase, self.rng, start_state=start_state
+            )
+            return PlanningOutcome(
+                plan=mp.plan,
+                solved=mp.solved,
+                goal_fitness=mp.goal_fitness,
+                plan_length=mp.plan_length,
+                plan_cost=self.domain.plan_cost(mp.plan),
+                generations=mp.total_generations,
+                elapsed_seconds=mp.elapsed_seconds,
+                detail=mp,
+            )
+        result: GAResult = run_ga(
+            self.domain, self.config, self.rng, start_state=start_state, seeds=seeds
+        )
+        decoded = result.best.decoded
+        assert decoded is not None and result.best.fitness is not None
+        return PlanningOutcome(
+            plan=decoded.operations,
+            solved=result.best.fitness.goal_reached,
+            goal_fitness=result.best.fitness.goal,
+            plan_length=len(decoded.operations),
+            plan_cost=decoded.cost,
+            generations=result.generations_run,
+            elapsed_seconds=result.elapsed_seconds,
+            detail=result,
+        )

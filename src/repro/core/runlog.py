@@ -1,0 +1,95 @@
+"""Structured run logging: JSONL traces of GA evolution.
+
+Long experiments need post-hoc inspection without re-running; a
+:class:`GenerationLogger` plugs into :meth:`GARun.run`'s ``on_generation``
+callback (or the multi-phase driver's ``on_phase``) and appends one JSON
+object per generation — cheap, append-only, and safe to ``tail -f``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from repro.core.stats import GenerationStats
+
+__all__ = ["GenerationLogger", "read_log"]
+
+
+class GenerationLogger:
+    """Append per-generation stats to a JSONL file (or any text stream).
+
+    Usable directly as the ``on_generation`` callback; always returns
+    ``None`` so it never terminates the run.  Use together with termination
+    criteria via a small lambda when both are wanted::
+
+        logger = GenerationLogger(path)
+        stop = Stagnation(50)
+        run.run(on_generation=lambda s: (logger(s), stop(s))[1])
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Path, IO[str]],
+        run_id: str = "run",
+        flush_every: int = 1,
+    ) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.run_id = run_id
+        self.flush_every = flush_every
+        self._count = 0
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh: IO[str] = open(path, "a")
+            self._owned = True
+        else:
+            self._fh = target
+            self._owned = False
+        self._t0 = time.perf_counter()
+
+    def __call__(self, stats: GenerationStats) -> None:
+        record = {
+            "run": self.run_id,
+            "generation": stats.generation,
+            "best_total": stats.best_total,
+            "mean_total": stats.mean_total,
+            "best_goal": stats.best_goal,
+            "mean_goal": stats.mean_goal,
+            "mean_length": stats.mean_length,
+            "solved": stats.solved_count,
+            "elapsed_s": round(time.perf_counter() - self._t0, 4),
+        }
+        self._fh.write(json.dumps(record) + "\n")
+        self._count += 1
+        if self._count % self.flush_every == 0:
+            self._fh.flush()
+        return None
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owned:
+            self._fh.close()
+
+    def __enter__(self) -> "GenerationLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_log(path: Union[str, Path], run_id: Optional[str] = None) -> list:
+    """Load a JSONL trace back, optionally filtered to one run id."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if run_id is None or record.get("run") == run_id:
+                records.append(record)
+    return records

@@ -1,0 +1,91 @@
+"""Selection schemes (paper, Section 3.4.1: tournament of size 2).
+
+All schemes operate on evaluated populations and return a *parent pool* of
+the requested size; individuals may (and generally do) appear more than
+once.  Returned entries are copies so that downstream mutation of offspring
+can never alias a surviving parent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.individual import Individual
+
+__all__ = ["tournament_selection", "roulette_selection", "rank_selection", "SELECTION_SCHEMES"]
+
+
+def _require_evaluated(population: Sequence[Individual]) -> None:
+    if not population:
+        raise ValueError("population is empty")
+    for ind in population:
+        # Selection ranks on fitness only; the decoded phenotype is not needed.
+        if ind.fitness is None:
+            raise ValueError("selection requires an evaluated population")
+
+
+def tournament_selection(
+    population: Sequence[Individual],
+    n: int,
+    rng: np.random.Generator,
+    tournament_size: int = 2,
+) -> list:
+    """Pick *n* parents by size-``k`` tournaments on total fitness.
+
+    Each tournament draws ``k`` individuals uniformly with replacement and
+    keeps the fittest (paper: k=2, "the individual with the higher fitness
+    value wins and remains in the population").
+    """
+    _require_evaluated(population)
+    if tournament_size < 1:
+        raise ValueError(f"tournament size must be >= 1, got {tournament_size}")
+    size = len(population)
+    draws = rng.integers(0, size, size=(n, tournament_size))
+    out = []
+    for row in draws:
+        best = population[row[0]]
+        for idx in row[1:]:
+            cand = population[idx]
+            if cand.total_fitness > best.total_fitness:
+                best = cand
+        out.append(best.copy())
+    return out
+
+
+def roulette_selection(
+    population: Sequence[Individual], n: int, rng: np.random.Generator
+) -> list:
+    """Fitness-proportionate selection (classic GA baseline, for ablations)."""
+    _require_evaluated(population)
+    fits = np.array([ind.total_fitness for ind in population], dtype=np.float64)
+    fits = fits - min(0.0, float(fits.min()))  # shift to non-negative
+    total = float(fits.sum())
+    if total <= 0.0:
+        probs = np.full(len(population), 1.0 / len(population))
+    else:
+        probs = fits / total
+    picks = rng.choice(len(population), size=n, p=probs)
+    return [population[i].copy() for i in picks]
+
+
+def rank_selection(
+    population: Sequence[Individual], n: int, rng: np.random.Generator
+) -> list:
+    """Linear rank-proportionate selection (for ablations)."""
+    _require_evaluated(population)
+    order = sorted(range(len(population)), key=lambda i: population[i].total_fitness)
+    ranks = np.empty(len(population), dtype=np.float64)
+    for rank, idx in enumerate(order, start=1):
+        ranks[idx] = rank
+    probs = ranks / ranks.sum()
+    picks = rng.choice(len(population), size=n, p=probs)
+    return [population[i].copy() for i in picks]
+
+
+SELECTION_SCHEMES: dict = {
+    "tournament": tournament_selection,
+    "roulette": roulette_selection,
+    "rank": rank_selection,
+}

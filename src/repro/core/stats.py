@@ -1,0 +1,76 @@
+"""Per-generation statistics and run histories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.individual import Individual
+
+__all__ = ["GenerationStats", "RunHistory"]
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """Summary of one evaluated generation."""
+
+    generation: int
+    best_total: float
+    mean_total: float
+    best_goal: float
+    mean_goal: float
+    mean_length: float
+    max_length: int
+    min_length: int
+    solved_count: int
+
+    @staticmethod
+    def from_population(generation: int, population: Sequence[Individual]) -> "GenerationStats":
+        totals = np.array([ind.total_fitness for ind in population])
+        goals = np.array([ind.goal_fitness for ind in population])
+        lengths = np.array([len(ind) for ind in population])
+        solved = sum(
+            1 for ind in population if ind.fitness is not None and ind.fitness.goal_reached
+        )
+        return GenerationStats(
+            generation=generation,
+            best_total=float(totals.max()),
+            mean_total=float(totals.mean()),
+            best_goal=float(goals.max()),
+            mean_goal=float(goals.mean()),
+            mean_length=float(lengths.mean()),
+            max_length=int(lengths.max()),
+            min_length=int(lengths.min()),
+            solved_count=solved,
+        )
+
+
+@dataclass
+class RunHistory:
+    """The full per-generation trace of one GA run."""
+
+    generations: List[GenerationStats] = field(default_factory=list)
+
+    def record(self, stats: GenerationStats) -> None:
+        self.generations.append(stats)
+
+    def __len__(self) -> int:
+        return len(self.generations)
+
+    @property
+    def best_goal_trace(self) -> np.ndarray:
+        return np.array([g.best_goal for g in self.generations])
+
+    @property
+    def best_total_trace(self) -> np.ndarray:
+        return np.array([g.best_total for g in self.generations])
+
+    @property
+    def first_solved_generation(self) -> Optional[int]:
+        """Generation index at which some individual first solved the problem."""
+        for g in self.generations:
+            if g.solved_count > 0:
+                return g.generation
+        return None

@@ -1,0 +1,44 @@
+"""Planning domains: the paper's evaluation puzzles and richer worlds."""
+
+from repro.protocol import PlanningDomain
+from repro.domains.blocks_world import BlocksWorldDomain, blocks_world_problem, towers_to_atoms
+from repro.domains.briefcase import BriefcaseDomain, briefcase_problem
+from repro.domains.hanoi import HanoiDomain, HanoiMove, hanoi_strips_problem, optimal_hanoi_moves
+from repro.domains.navigation import GridNavigationDomain, NavMove
+from repro.domains.sliding_tile import (
+    SlidingTileDomain,
+    TileMove,
+    is_solvable,
+    manhattan_distance,
+    random_solvable_start,
+    reversed_start,
+)
+
+__all__ = [
+    "BlocksWorldDomain", "BriefcaseDomain", "GridNavigationDomain", "HanoiDomain",
+    "HanoiMove", "NavMove", "PlanningDomain", "SlidingTileDomain", "TileMove",
+    "blocks_world_problem", "briefcase_problem", "hanoi_strips_problem", "is_solvable",
+    "manhattan_distance", "optimal_hanoi_moves", "random_solvable_start",
+    "reversed_start", "towers_to_atoms",
+]
+
+from repro.domains.hanoi_fitness import StructuralHanoiDomain, hanoi_distance  # noqa: E402
+from repro.domains.tile_heuristics import (  # noqa: E402
+    AccurateTileDomain,
+    PatternDatabase,
+    accurate_tile_fitness,
+    build_pattern_database,
+    linear_conflict,
+    make_disjoint_pdb_heuristic,
+    make_linear_conflict_heuristic,
+)
+
+__all__ += [
+    "AccurateTileDomain", "PatternDatabase", "StructuralHanoiDomain",
+    "accurate_tile_fitness", "build_pattern_database", "hanoi_distance",
+    "linear_conflict", "make_disjoint_pdb_heuristic", "make_linear_conflict_heuristic",
+]
+
+from repro.domains.pocket_cube import CubeMove, PocketCubeDomain, scrambled_state  # noqa: E402
+
+__all__ += ["CubeMove", "PocketCubeDomain", "scrambled_state"]

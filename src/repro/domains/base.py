@@ -1,0 +1,5 @@
+"""Back-compat shim: the protocol moved to :mod:`repro.protocol`."""
+
+from repro.protocol import PlanningDomain
+
+__all__ = ["PlanningDomain"]

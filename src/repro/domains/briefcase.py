@@ -1,0 +1,124 @@
+"""The Briefcase domain — Sinergy's second evaluation domain (paper §2).
+
+A briefcase and a set of objects are distributed over locations; the
+briefcase can move between any two locations, and objects can be put in or
+taken out when co-located.  The goal assigns target locations to objects
+(and optionally to the briefcase).
+
+Provided as a grounded STRIPS problem plus a GA-ready adapter whose goal
+fitness is the fraction of objects already at their target location (with a
+half-credit term for objects riding in the briefcase while it is anywhere —
+they are "in transit", which is progress the pure atom count cannot see).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.planning.adapter import StripsDomainAdapter
+from repro.planning.conditions import State, atom
+from repro.planning.grounding import OperatorSchema, ground_all
+from repro.planning.problem import PlanningProblem
+
+__all__ = ["briefcase_problem", "BriefcaseDomain"]
+
+
+def briefcase_problem(
+    locations: Sequence[str],
+    object_locations: Mapping[str, str],
+    goal_locations: Mapping[str, str],
+    briefcase_at: str,
+    goal_briefcase_at: Optional[str] = None,
+    name: str = "briefcase",
+) -> PlanningProblem:
+    """Grounded STRIPS Briefcase instance.
+
+    Atoms: ``bc-at(loc)``, ``obj-at(o, loc)``, ``in-bc(o)``.
+    """
+    locations = list(locations)
+    objects = sorted(object_locations)
+    if sorted(goal_locations) != sorted(set(goal_locations)):
+        raise ValueError("duplicate goal objects")
+    for o, loc in list(object_locations.items()) + list(goal_locations.items()):
+        if loc not in locations:
+            raise ValueError(f"object {o!r} references unknown location {loc!r}")
+        if o not in object_locations:
+            raise ValueError(f"goal references unknown object {o!r}")
+    if briefcase_at not in locations:
+        raise ValueError(f"unknown briefcase location {briefcase_at!r}")
+
+    move = OperatorSchema(
+        name="move-bc",
+        parameters=(("?from", "loc"), ("?to", "loc")),
+        preconditions=(atom("bc-at", "?from"),),
+        add=(atom("bc-at", "?to"),),
+        delete=(atom("bc-at", "?from"),),
+        constraint=lambda b: b["?from"] != b["?to"],
+    )
+    put_in = OperatorSchema(
+        name="put-in",
+        parameters=(("?o", "obj"), ("?loc", "loc")),
+        preconditions=(atom("bc-at", "?loc"), atom("obj-at", "?o", "?loc")),
+        add=(atom("in-bc", "?o"),),
+        delete=(atom("obj-at", "?o", "?loc"),),
+    )
+    take_out = OperatorSchema(
+        name="take-out",
+        parameters=(("?o", "obj"), ("?loc", "loc")),
+        preconditions=(atom("bc-at", "?loc"), atom("in-bc", "?o")),
+        add=(atom("obj-at", "?o", "?loc"),),
+        delete=(atom("in-bc", "?o"),),
+    )
+    operations = ground_all([move, put_in, take_out], {"loc": locations, "obj": objects})
+
+    initial = {atom("bc-at", briefcase_at)}
+    for o, loc in object_locations.items():
+        initial.add(atom("obj-at", o, loc))
+    goal = {atom("obj-at", o, loc) for o, loc in goal_locations.items()}
+    if goal_briefcase_at is not None:
+        goal.add(atom("bc-at", goal_briefcase_at))
+
+    conditions = set(initial) | set(goal)
+    for op in operations:
+        conditions |= op.preconditions | op.add | op.delete
+    return PlanningProblem(
+        conditions=frozenset(conditions),
+        operations=tuple(operations),
+        initial=frozenset(initial),
+        goal=frozenset(goal),
+        name=name,
+    )
+
+
+class BriefcaseDomain(StripsDomainAdapter):
+    """GA-plannable Briefcase with an in-transit-aware goal fitness."""
+
+    def __init__(
+        self,
+        locations: Sequence[str],
+        object_locations: Mapping[str, str],
+        goal_locations: Mapping[str, str],
+        briefcase_at: str,
+        goal_briefcase_at: Optional[str] = None,
+    ) -> None:
+        problem = briefcase_problem(
+            locations, object_locations, goal_locations, briefcase_at, goal_briefcase_at
+        )
+        self._goal_objs = dict(goal_locations)
+        super().__init__(problem, goal_fitness_fn=self._fitness)
+
+    def _fitness(self, problem: PlanningProblem, state: State) -> float:
+        if not problem.goal:
+            return 1.0
+        score = 0.0
+        for o, loc in self._goal_objs.items():
+            if atom("obj-at", o, loc) in state:
+                score += 1.0
+            elif atom("in-bc", o) in state:
+                score += 0.5  # picked up: halfway to anywhere
+        extra = [a for a in problem.goal if a[0] == "bc-at"]
+        total = len(self._goal_objs) + len(extra)
+        for a in extra:
+            if a in state:
+                score += 1.0
+        return score / total

@@ -1,0 +1,192 @@
+"""Towers of Hanoi planning domain (paper, Section 4.1).
+
+Three stakes A, B, C and ``n`` disks ``d1`` (smallest) .. ``dn`` (largest),
+all initially on stake A; the goal is all disks on stake B.  One disk moves
+per step and a larger disk may never rest on a smaller one.  The optimal
+solution has ``2**n - 1`` moves.
+
+Goal fitness (paper, equation 5): disk ``d_i`` has weight ``2**(i-1)``; the
+fitness of a state is the total weight of disks on stake B divided by the
+total weight ``2**n - 1``, so placing large disks correctly dominates.  The
+paper itself points out the deceptiveness this creates: a state with every
+disk *except* the largest on B scores just under 0.5 yet is farther from the
+goal than the initial state.
+
+State representation: a tuple of three tuples, one per stake, each listing
+disk sizes bottom-to-top, e.g. the 3-disk initial state is
+``((3, 2, 1), (), ())``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.protocol import PlanningDomain
+from repro.planning.conditions import atom
+from repro.planning.grounding import OperatorSchema, ground_all
+from repro.planning.problem import PlanningProblem
+
+__all__ = ["HanoiMove", "HanoiDomain", "hanoi_strips_problem", "optimal_hanoi_moves"]
+
+STAKES = ("A", "B", "C")
+#: All ordered stake pairs, fixed order — the decoder's gene→op mapping
+#: depends on this ordering being stable.
+_MOVES = tuple(
+    (src, dst) for src in range(3) for dst in range(3) if src != dst
+)
+
+
+@dataclass(frozen=True)
+class HanoiMove:
+    """Move the top disk of stake *src* onto stake *dst* (0=A, 1=B, 2=C)."""
+
+    src: int
+    dst: int
+
+    def __str__(self) -> str:
+        return f"move({STAKES[self.src]}->{STAKES[self.dst]})"
+
+
+class HanoiDomain(PlanningDomain):
+    """The n-disk Towers of Hanoi as a GA-plannable domain."""
+
+    def __init__(self, n_disks: int, goal_stake: int = 1) -> None:
+        if n_disks < 1:
+            raise ValueError(f"need at least one disk, got {n_disks}")
+        if goal_stake not in (0, 1, 2):
+            raise ValueError(f"goal stake must be 0, 1 or 2, got {goal_stake}")
+        self.n_disks = n_disks
+        self.goal_stake = goal_stake
+        self.name = f"hanoi-{n_disks}"
+        # Weight of disk of size i is 2**(i-1); total = 2**n - 1.
+        self._weights = [0] + [2 ** (i - 1) for i in range(1, n_disks + 1)]
+        self._total_weight = 2**n_disks - 1
+        self._initial = (tuple(range(n_disks, 0, -1)), (), ())
+        self._moves = tuple(HanoiMove(s, d) for s, d in _MOVES)
+
+    # -- PlanningDomain ------------------------------------------------------
+
+    @property
+    def initial_state(self):
+        return self._initial
+
+    def valid_operations(self, state) -> Sequence[HanoiMove]:
+        ops = []
+        for mv in self._moves:
+            src_stack = state[mv.src]
+            if not src_stack:
+                continue
+            dst_stack = state[mv.dst]
+            if dst_stack and dst_stack[-1] < src_stack[-1]:
+                continue  # larger disk may not rest on a smaller one
+            ops.append(mv)
+        return ops
+
+    def apply(self, state, op: HanoiMove):
+        stacks = list(state)
+        src = stacks[op.src]
+        disk = src[-1]
+        stacks[op.src] = src[:-1]
+        stacks[op.dst] = stacks[op.dst] + (disk,)
+        return tuple(stacks)
+
+    def goal_fitness(self, state) -> float:
+        """Weighted fraction of disk mass already on the goal stake (eq. 5)."""
+        weight_on_goal = sum(self._weights[d] for d in state[self.goal_stake])
+        return weight_on_goal / self._total_weight
+
+    def is_goal(self, state) -> bool:
+        return len(state[self.goal_stake]) == self.n_disks
+
+    def state_key(self, state) -> Hashable:
+        return state
+
+    # -- reference data ------------------------------------------------------
+
+    @property
+    def optimal_length(self) -> int:
+        """Minimum number of moves: ``2**n - 1``."""
+        return 2**self.n_disks - 1
+
+
+def optimal_hanoi_moves(n_disks: int, src: int = 0, dst: int = 1) -> list:
+    """The classical recursive optimal solution, as :class:`HanoiMove` list.
+
+    Used as ground truth in tests and as a seeding source in the seeding
+    ablation.
+    """
+    if n_disks < 0:
+        raise ValueError("negative disk count")
+    moves: list = []
+
+    def rec(k: int, a: int, b: int) -> None:
+        if k == 0:
+            return
+        c = 3 - a - b  # the spare stake
+        rec(k - 1, a, c)
+        moves.append(HanoiMove(a, b))
+        rec(k - 1, c, b)
+
+    rec(n_disks, src, dst)
+    return moves
+
+
+def hanoi_strips_problem(n_disks: int) -> PlanningProblem:
+    """A STRIPS encoding of the same puzzle, for the classical planners.
+
+    Atoms: ``on(x, y)`` (disk or stake y directly supports x) and
+    ``clear(x)`` (nothing rests on x).  Disks are ``1 .. n`` (ints, 1 the
+    smallest); stakes are ``"A" | "B" | "C"``.  A disk may sit on any strictly
+    larger disk or on any stake.
+    """
+    if n_disks < 1:
+        raise ValueError(f"need at least one disk, got {n_disks}")
+    disks = list(range(1, n_disks + 1))
+    objects = {"disk": disks, "support": disks + list(STAKES)}
+
+    def _smaller(binding) -> bool:
+        d, frm, to = binding["?d"], binding["?from"], binding["?to"]
+        if frm == to or d == frm or d == to:
+            return False
+        for place in (frm, to):
+            if isinstance(place, int) and place <= d:
+                return False  # can only rest on a strictly larger disk
+        return True
+
+    move = OperatorSchema(
+        name="move",
+        parameters=(("?d", "disk"), ("?from", "support"), ("?to", "support")),
+        preconditions=(
+            atom("clear", "?d"),
+            atom("on", "?d", "?from"),
+            atom("clear", "?to"),
+        ),
+        add=(atom("on", "?d", "?to"), atom("clear", "?from")),
+        delete=(atom("on", "?d", "?from"), atom("clear", "?to")),
+        constraint=_smaller,
+    )
+    operations = ground_all([move], objects)
+
+    conditions = set()
+    for op in operations:
+        conditions |= op.preconditions | op.add | op.delete
+
+    initial = {atom("clear", 1), atom("clear", "B"), atom("clear", "C")}
+    for d in disks:
+        below = d + 1 if d < n_disks else "A"
+        initial.add(atom("on", d, below))
+    conditions |= initial
+
+    goal = {atom("on", n_disks, "B")}
+    for d in disks[:-1]:
+        goal.add(atom("on", d, d + 1))
+    conditions |= goal
+
+    return PlanningProblem(
+        conditions=frozenset(conditions),
+        operations=tuple(operations),
+        initial=frozenset(initial),
+        goal=frozenset(goal),
+        name=f"hanoi-strips-{n_disks}",
+    )

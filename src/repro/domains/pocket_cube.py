@@ -1,0 +1,139 @@
+"""The 2×2×2 Rubik's cube (Pocket Cube) planning domain.
+
+Korf & Felner's disjoint-PDB paper (the paper's reference [9]) evaluates on
+the sliding-tile puzzle *and* Rubik's cube; this domain adds the cube side
+of that pair at the tractable 2×2×2 size (3,674,160 reachable states).
+
+Cubie-level model (Kociemba conventions): eight corners, each with a
+position (permutation index) and an orientation (0–2).  The DBL corner is
+held fixed — only U, R and F face turns are generated, which never move it
+— so whole-cube rotations are modded out and the solved state is unique.
+
+State: ``(cp, co)`` — two 8-tuples (corner permutation and orientation).
+Moves: U, U', U2, R, R', R2, F, F', F2 — all nine valid in every state, so
+the gene→operation mapping is state-independent (``decode_key`` is
+constant and state-aware crossover always finds matches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.protocol import PlanningDomain
+
+__all__ = ["CubeMove", "PocketCubeDomain", "scrambled_state"]
+
+# Corner position indices (Kociemba): URF UFL ULB UBR DFR DLF DBL DRB.
+_SOLVED_CP = (0, 1, 2, 3, 4, 5, 6, 7)
+_SOLVED_CO = (0, 0, 0, 0, 0, 0, 0, 0)
+
+# Quarter-turn tables: after move M, the corner now at position i came from
+# position PERM[i], and its orientation increases by TWIST[i] (mod 3).
+_BASE = {
+    "U": ((3, 0, 1, 2, 4, 5, 6, 7), (0, 0, 0, 0, 0, 0, 0, 0)),
+    "R": ((4, 1, 2, 0, 7, 5, 6, 3), (2, 0, 0, 1, 1, 0, 0, 2)),
+    "F": ((1, 5, 2, 3, 0, 4, 6, 7), (1, 2, 0, 0, 2, 1, 0, 0)),
+}
+
+
+@dataclass(frozen=True)
+class CubeMove:
+    """One face turn: face in {U, R, F}, quarter turns in {1, 2, 3}."""
+
+    face: str
+    turns: int
+
+    def __str__(self) -> str:
+        suffix = {1: "", 2: "2", 3: "'"}[self.turns]
+        return f"{self.face}{suffix}"
+
+
+#: Fixed move ordering for decode determinism.
+MOVES = tuple(
+    CubeMove(face, turns) for face in ("U", "R", "F") for turns in (1, 2, 3)
+)
+
+
+def _apply_quarter(state, face: str):
+    cp, co = state
+    perm, twist = _BASE[face]
+    new_cp = tuple(cp[perm[i]] for i in range(8))
+    new_co = tuple((co[perm[i]] + twist[i]) % 3 for i in range(8))
+    return (new_cp, new_co)
+
+
+def _apply_move(state, move: CubeMove):
+    for _ in range(move.turns):
+        state = _apply_quarter(state, move.face)
+    return state
+
+
+def scrambled_state(
+    n_moves: int, rng: np.random.Generator
+) -> Tuple[tuple, tuple]:
+    """Apply *n_moves* random face turns to the solved cube."""
+    state = (_SOLVED_CP, _SOLVED_CO)
+    for _ in range(n_moves):
+        state = _apply_move(state, MOVES[int(rng.integers(0, len(MOVES)))])
+    return state
+
+
+class PocketCubeDomain(PlanningDomain):
+    """The Pocket Cube as a GA-plannable domain.
+
+    Goal fitness: the fraction of the seven movable corners that are both
+    correctly placed and correctly oriented (the fixed DBL corner is always
+    correct and excluded), which is 1 exactly at the solved state.
+    """
+
+    def __init__(self, initial: Optional[Tuple[tuple, tuple]] = None) -> None:
+        self._initial = initial if initial is not None else (_SOLVED_CP, _SOLVED_CO)
+        cp, co = self._initial
+        if sorted(cp) != list(range(8)):
+            raise ValueError(f"corner permutation must be a permutation of 0..7, got {cp}")
+        if len(co) != 8 or any(not 0 <= x <= 2 for x in co):
+            raise ValueError(f"corner orientations must be eight values in 0..2, got {co}")
+        if sum(co) % 3 != 0:
+            raise ValueError("orientation sum must be divisible by 3 (unreachable state)")
+        if cp[6] != 6 or co[6] != 0:
+            raise ValueError(
+                "the DBL corner (index 6) must stay fixed; rotate the "
+                "whole-cube description so DBL is solved"
+            )
+        self.name = "pocket-cube"
+
+    # -- PlanningDomain ------------------------------------------------------
+
+    @property
+    def initial_state(self):
+        return self._initial
+
+    def valid_operations(self, state) -> Sequence[CubeMove]:
+        return MOVES  # every face turn is always legal
+
+    def apply(self, state, op: CubeMove):
+        return _apply_move(state, op)
+
+    def goal_fitness(self, state) -> float:
+        cp, co = state
+        correct = sum(
+            1 for i in range(8) if i != 6 and cp[i] == i and co[i] == 0
+        )
+        return correct / 7.0
+
+    def is_goal(self, state) -> bool:
+        return state == (_SOLVED_CP, _SOLVED_CO)
+
+    def state_key(self, state) -> Hashable:
+        return state
+
+    def decode_key(self, state) -> Hashable:
+        # The move set is state-independent: all states decode identically.
+        return 0
+
+    @staticmethod
+    def solved_state() -> Tuple[tuple, tuple]:
+        return (_SOLVED_CP, _SOLVED_CO)

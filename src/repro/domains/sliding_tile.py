@@ -1,0 +1,236 @@
+"""Sliding-tile puzzle planning domain (paper, Section 4.2).
+
+An ``n × n`` board holds ``n²-1`` numbered tiles and one blank; a move
+slides a tile adjacent to the blank into the blank.  The paper's goal
+fitness (equation 6) is based on the total Manhattan distance of all tiles
+from their goal positions, normalised by the upper bound ``D·T`` where
+``D = 2(n-1)`` is the longest distance a single tile may need to move and
+``T = n²-1`` is the number of tiles:
+
+    goal_fitness(s) = 1 - manhattan(s, goal) / (D · T)
+
+Solvability follows Johnson & Story (1879): a configuration is reachable
+from the goal iff it is an even permutation, adjusted for the blank's row on
+even-width boards.
+
+State representation: a flat tuple of length ``n²`` in row-major order, with
+``0`` denoting the blank; the goal is ``(1, 2, ..., n²-1, 0)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.protocol import PlanningDomain
+
+__all__ = [
+    "TileMove",
+    "SlidingTileDomain",
+    "manhattan_distance",
+    "is_solvable",
+    "reversed_start",
+    "random_solvable_start",
+]
+
+#: Slide directions: the *blank* moves this way (the tile moves opposite).
+#: Fixed order — the decoder's gene→op mapping depends on it.
+DIRECTIONS = (("up", -1, 0), ("down", 1, 0), ("left", 0, -1), ("right", 0, 1))
+
+
+@dataclass(frozen=True)
+class TileMove:
+    """Slide the tile adjacent to the blank in *direction* into the blank.
+
+    Direction names the blank's motion: ``"up"`` means the blank swaps with
+    the tile above it.
+    """
+
+    direction: str
+
+    def __str__(self) -> str:
+        return f"slide({self.direction})"
+
+
+_MOVES = {name: TileMove(name) for name, _, _ in DIRECTIONS}
+
+
+def goal_tuple(n: int) -> tuple:
+    """The canonical goal ``(1, ..., n²-1, 0)``."""
+    return tuple(range(1, n * n)) + (0,)
+
+
+def reversed_start(n: int) -> tuple:
+    """The paper's Figure 3(a) start: blank first, tiles in descending order.
+
+    With the blank top-left and tiles ``n²-1 .. 1``, the configuration is an
+    even permutation of the canonical goal for every board size (verified by
+    :func:`is_solvable` in tests) — the blank-last variant would be
+    unsolvable on even-width boards.
+    """
+    return (0,) + tuple(range(n * n - 1, 0, -1))
+
+
+def manhattan_distance(state: Sequence[int], goal: Sequence[int], n: int) -> int:
+    """Total Manhattan distance of all tiles (blank excluded)."""
+    goal_pos = {tile: divmod(i, n) for i, tile in enumerate(goal)}
+    dist = 0
+    for i, tile in enumerate(state):
+        if tile == 0:
+            continue
+        r, c = divmod(i, n)
+        gr, gc = goal_pos[tile]
+        dist += abs(r - gr) + abs(c - gc)
+    return dist
+
+
+def _inversions(perm: Sequence[int]) -> int:
+    """Inversion count of the tile sequence with the blank removed."""
+    tiles = [t for t in perm if t != 0]
+    inv = 0
+    for i in range(len(tiles)):
+        for j in range(i + 1, len(tiles)):
+            if tiles[i] > tiles[j]:
+                inv += 1
+    return inv
+
+
+def is_solvable(state: Sequence[int], n: int, goal: Optional[Sequence[int]] = None) -> bool:
+    """Johnson–Story solvability test relative to *goal* (default canonical).
+
+    Odd board width: reachable iff the inversion parities match.  Even board
+    width: the invariant is ``inversions + row_of_blank`` parity.
+    """
+    if sorted(state) != list(range(n * n)):
+        raise ValueError(f"state is not a permutation of 0..{n * n - 1}: {state}")
+    if goal is None:
+        goal = goal_tuple(n)
+
+    def invariant(perm: Sequence[int]) -> int:
+        inv = _inversions(perm)
+        if n % 2 == 0:
+            blank_row = list(perm).index(0) // n
+            inv += blank_row
+        return inv % 2
+
+    return invariant(state) == invariant(goal)
+
+
+class SlidingTileDomain(PlanningDomain):
+    """The n×n sliding-tile puzzle as a GA-plannable domain."""
+
+    def __init__(
+        self,
+        n: int,
+        initial: Optional[Sequence[int]] = None,
+        goal: Optional[Sequence[int]] = None,
+        check_solvable: bool = True,
+    ) -> None:
+        if n < 2:
+            raise ValueError(f"board must be at least 2×2, got n={n}")
+        self.n = n
+        self._goal = tuple(goal) if goal is not None else goal_tuple(n)
+        self._initial = tuple(initial) if initial is not None else reversed_start(n)
+        for label, s in (("initial", self._initial), ("goal", self._goal)):
+            if sorted(s) != list(range(n * n)):
+                raise ValueError(f"{label} state is not a permutation of 0..{n * n - 1}")
+        if check_solvable and not is_solvable(self._initial, n, self._goal):
+            raise ValueError(
+                "initial state is not reachable from the goal "
+                "(odd permutation; see Johnson & Story 1879)"
+            )
+        self.name = f"tile-{n}x{n}"
+        self._goal_pos = {tile: divmod(i, n) for i, tile in enumerate(self._goal)}
+        # Upper bound on the distance between any two states: D·T with
+        # D = 2(n-1) the longest single-tile distance, T = n²-1 tiles.
+        self.distance_bound = 2 * (n - 1) * (n * n - 1)
+
+    # -- PlanningDomain ------------------------------------------------------
+
+    @property
+    def initial_state(self) -> tuple:
+        return self._initial
+
+    @property
+    def goal_state(self) -> tuple:
+        return self._goal
+
+    @property
+    def tile_count(self) -> int:
+        return self.n * self.n - 1
+
+    def valid_operations(self, state) -> Sequence[TileMove]:
+        n = self.n
+        blank = state.index(0)
+        r, c = divmod(blank, n)
+        ops = []
+        for name, dr, dc in DIRECTIONS:
+            if 0 <= r + dr < n and 0 <= c + dc < n:
+                ops.append(_MOVES[name])
+        return ops
+
+    def apply(self, state, op: TileMove) -> tuple:
+        n = self.n
+        blank = state.index(0)
+        r, c = divmod(blank, n)
+        for name, dr, dc in DIRECTIONS:
+            if name == op.direction:
+                nr, nc = r + dr, c + dc
+                break
+        else:  # pragma: no cover - op constructed outside DIRECTIONS
+            raise ValueError(f"unknown direction {op.direction!r}")
+        if not (0 <= nr < n and 0 <= nc < n):
+            raise ValueError(f"move {op} is invalid: blank at ({r}, {c})")
+        other = nr * n + nc
+        board = list(state)
+        board[blank], board[other] = board[other], board[blank]
+        return tuple(board)
+
+    def manhattan(self, state) -> int:
+        dist = 0
+        n = self.n
+        for i, tile in enumerate(state):
+            if tile == 0:
+                continue
+            r, c = divmod(i, n)
+            gr, gc = self._goal_pos[tile]
+            dist += abs(r - gr) + abs(c - gc)
+        return dist
+
+    def goal_fitness(self, state) -> float:
+        """Paper's equation 6: 1 - manhattan / (D·T)."""
+        return 1.0 - self.manhattan(state) / self.distance_bound
+
+    def is_goal(self, state) -> bool:
+        return state == self._goal
+
+    def state_key(self, state) -> Hashable:
+        return state
+
+    def decode_key(self, state) -> Hashable:
+        """Gene→operation mapping depends only on the blank position.
+
+        From equal blank positions, identical gene suffixes decode to
+        identical move sequences (the blank trajectories stay in lockstep),
+        which is exactly the paper's state-match condition — so matching on
+        the blank position alone is sound and makes matches abundant.
+        """
+        return state.index(0)
+
+
+def random_solvable_start(
+    n: int, rng: np.random.Generator, goal: Optional[Sequence[int]] = None
+) -> tuple:
+    """A uniformly random permutation, re-drawn until solvable.
+
+    Exactly half of all permutations are solvable, so this terminates after
+    two draws in expectation.
+    """
+    if goal is None:
+        goal = goal_tuple(n)
+    while True:
+        perm = tuple(int(x) for x in rng.permutation(n * n))
+        if is_solvable(perm, n, goal):
+            return perm

@@ -1,0 +1,30 @@
+"""Simulated heterogeneous grid: ontologies, workflows, societal services."""
+
+from repro.grid.activity_graph import Activity, ActivityGraph, plan_to_activity_graph, to_dot
+from repro.grid.broker import Offer, ResourceBroker
+from repro.grid.catalog import ReplicaCatalog, StorageFullError
+from repro.grid.coordination import (
+    Attempt,
+    CoordinationReport,
+    CoordinationService,
+    greedy_grid_planner,
+)
+from repro.grid.data import DataProduct, DataType, ProvenanceStep
+from repro.grid.generators import random_grid, random_pipeline
+from repro.grid.ontology import Ontology
+from repro.grid.programs import InputSpec, OutputSpec, ProgramSpec
+from repro.grid.resources import GridTopology, Link, Machine, Site
+from repro.grid.scenarios import imaging_pipeline, small_heterogeneous_grid
+from repro.grid.simulator import ExecutionResult, GridEvent, GridSimulator, TaskRecord
+from repro.grid.workflow_domain import GridWorkflowDomain, RunProgram, Transfer
+
+__all__ = [
+    "Activity", "ActivityGraph", "Attempt", "CoordinationReport", "CoordinationService",
+    "DataProduct", "DataType", "ExecutionResult", "GridEvent", "GridSimulator",
+    "GridTopology", "GridWorkflowDomain", "InputSpec", "Link", "Machine", "Offer",
+    "Ontology", "OutputSpec", "ProgramSpec", "ProvenanceStep", "ReplicaCatalog",
+    "ResourceBroker", "StorageFullError",
+    "RunProgram", "Site", "TaskRecord", "Transfer", "greedy_grid_planner",
+    "imaging_pipeline", "plan_to_activity_graph", "random_grid", "random_pipeline",
+    "small_heterogeneous_grid", "to_dot",
+]

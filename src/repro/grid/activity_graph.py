@@ -1,0 +1,197 @@
+"""Activity graphs: the workflow DAG a plan compiles into.
+
+"The objective of planning in the context of the execution of complex tasks
+on a grid is to construct an activity graph describing a transformation of
+input data into a different set of data" — this module is that construction.
+A linear plan over :class:`~repro.grid.workflow_domain.GridWorkflowDomain`
+operations becomes a DAG whose nodes are activities (program runs and
+transfers) and whose edges are data dependencies; independent activities are
+then free to execute concurrently under the coordination service.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.grid.data import DataProduct
+from repro.grid.workflow_domain import GridWorkflowDomain, RunProgram, Transfer
+
+__all__ = ["Activity", "ActivityGraph", "activity_graph_to_dag_problem", "plan_to_activity_graph", "to_dot"]
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One node of the activity graph.
+
+    ``kind`` is ``"run"`` or ``"transfer"``; ``op`` is the underlying
+    planning operation; ``produces`` lists ``(product, machine)`` placements
+    the activity creates and ``consumes`` the ones it needs.
+    """
+
+    id: int
+    kind: str
+    op: object
+    consumes: tuple
+    produces: tuple
+
+    @property
+    def label(self) -> str:
+        return f"a{self.id}:{self.op}"
+
+
+class ActivityGraph:
+    """A validated DAG of activities over a grid domain."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self._by_id: Dict[int, Activity] = {}
+
+    def add(self, activity: Activity, depends_on: Sequence[int] = ()) -> None:
+        if activity.id in self._by_id:
+            raise ValueError(f"duplicate activity id {activity.id}")
+        self._by_id[activity.id] = activity
+        self.graph.add_node(activity.id)
+        for dep in depends_on:
+            if dep not in self._by_id:
+                raise ValueError(f"activity {activity.id} depends on unknown activity {dep}")
+            self.graph.add_edge(dep, activity.id)
+        if not nx.is_directed_acyclic_graph(self.graph):  # pragma: no cover - defensive
+            raise ValueError("activity graph acquired a cycle")
+
+    def activity(self, activity_id: int) -> Activity:
+        return self._by_id[activity_id]
+
+    def activities(self) -> List[Activity]:
+        return [self._by_id[i] for i in sorted(self._by_id)]
+
+    def topological_order(self) -> List[Activity]:
+        return [self._by_id[i] for i in nx.topological_sort(self.graph)]
+
+    def predecessors(self, activity_id: int) -> List[int]:
+        return sorted(self.graph.predecessors(activity_id))
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def critical_path_length(self, duration_of) -> float:
+        """Longest path through the DAG under *duration_of(activity)*."""
+        longest: Dict[int, float] = {}
+        for act in self.topological_order():
+            base = max(
+                (longest[p] for p in self.graph.predecessors(act.id)), default=0.0
+            )
+            longest[act.id] = base + duration_of(act)
+        return max(longest.values(), default=0.0)
+
+
+def plan_to_activity_graph(
+    domain: GridWorkflowDomain, plan: Sequence[object]
+) -> ActivityGraph:
+    """Compile a linear plan into an activity DAG with data-dependency edges.
+
+    An activity depends on the most recent earlier activity that produced
+    each placement it consumes; placements present in the initial state have
+    no producer.  Plan steps with no data flow between them end up
+    unordered — that is the concurrency the coordination service exploits.
+    """
+    ag = ActivityGraph()
+    producer: Dict[Tuple[DataProduct, str], int] = {}
+    ids = itertools.count()
+    for op in plan:
+        aid = next(ids)
+        if isinstance(op, RunProgram):
+            consumes = tuple((p, op.machine) for p in op.inputs)
+            produces = tuple((o, op.machine) for o in op.outputs)
+            kind = "run"
+        elif isinstance(op, Transfer):
+            consumes = ((op.product, op.src),)
+            produces = ((op.product, op.dst),)
+            kind = "transfer"
+        else:
+            raise TypeError(f"cannot compile operation of type {type(op).__name__}")
+        deps = sorted({producer[c] for c in consumes if c in producer})
+        missing = [c for c in consumes if c not in producer and c not in domain.initial_state]
+        if missing:
+            raise ValueError(
+                f"plan step {op} consumes placements never produced: {missing}"
+            )
+        ag.add(
+            Activity(id=aid, kind=kind, op=op, consumes=consumes, produces=produces),
+            depends_on=deps,
+        )
+        for placement in produces:
+            producer[placement] = aid
+    return ag
+
+
+def to_dot(graph: ActivityGraph) -> str:
+    """Graphviz DOT rendering of an activity graph.
+
+    Run nodes are boxes, transfers are ellipses; edges are data
+    dependencies.  Paste into any DOT viewer — handy when debugging why a
+    workflow serialised the way it did.
+    """
+    lines = ["digraph activity {", "  rankdir=LR;"]
+    for act in graph.activities():
+        shape = "box" if act.kind == "run" else "ellipse"
+        label = str(act.op).replace('"', "'")
+        lines.append(f'  a{act.id} [shape={shape}, label="{label}"];')
+    for src, dst in graph.graph.edges:
+        lines.append(f"  a{src} -> a{dst};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def activity_graph_to_dag_problem(graph: ActivityGraph, ontology) -> "object":
+    """Bridge a grid activity graph to a :class:`DagProblem` for HEFT.
+
+    Run activities may be re-placed on any machine that satisfies the
+    program's hardware preconditions (cost = runtime there); transfer
+    activities stay pinned to their planned endpoints (their duration is a
+    property of the route, not of a host).  Edge communication volumes come
+    from the produced placements' data types.
+    """
+    import numpy as np
+
+    from repro.scheduling.dag import DagProblem
+
+    machines = tuple(ontology.topology.machine_names())
+    compute: dict = {}
+    for act in graph.activities():
+        row: dict = {}
+        if act.kind == "run":
+            program = ontology.programs[act.op.program]
+            for m in machines:
+                machine = ontology.topology.machines[m]
+                row[m] = (
+                    program.runtime_on(machine)
+                    if program.machine_ok(machine)
+                    else float("inf")
+                )
+        else:
+            duration = ontology.topology.transfer_time(
+                act.op.src, act.op.dst, ontology.volume_of(act.op.product.dtype)
+            )
+            for m in machines:
+                # Pinned: only the source machine "hosts" the transfer.
+                row[m] = duration if m == act.op.src else float("inf")
+        compute[act.id] = row
+
+    comm: dict = {}
+    for src, dst in graph.graph.edges:
+        produced = graph.activity(src).produces
+        volume = sum(ontology.volume_of(p.dtype) for p, _m in produced)
+        # Worst-case inter-site estimate: slowest pairwise route.
+        times = [
+            ontology.topology.transfer_time(a, b, volume)
+            for a in machines
+            for b in machines
+            if a != b
+        ]
+        finite = [t for t in times if t is not None]
+        comm[(src, dst)] = max(finite) if finite else 0.0
+    return DagProblem(graph=graph.graph.copy(), compute=compute, comm=comm, machines=machines)

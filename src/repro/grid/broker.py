@@ -1,0 +1,94 @@
+"""Brokerage: resource discovery and ranking — a societal service.
+
+Given a program, the broker discovers the machines whose hardware satisfies
+its preconditions and ranks them by estimated completion cost (runtime plus
+the time to stage missing inputs), from both "the grid's and the user's
+perspective" — the ranking weight lets callers trade raw speed against
+load-balancing pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.grid.data import DataProduct
+from repro.grid.ontology import Ontology
+from repro.grid.resources import Machine
+
+__all__ = ["Offer", "ResourceBroker"]
+
+
+@dataclass(frozen=True)
+class Offer:
+    """One candidate placement for a program."""
+
+    machine: str
+    runtime_s: float
+    staging_s: float
+    load: float
+
+    @property
+    def total_s(self) -> float:
+        return self.runtime_s + self.staging_s
+
+
+class ResourceBroker:
+    """Discovery + ranking over the ontology's topology."""
+
+    def __init__(self, ontology: Ontology, load_penalty: float = 0.0) -> None:
+        if load_penalty < 0:
+            raise ValueError("load_penalty must be non-negative")
+        self.ontology = ontology
+        self.load_penalty = load_penalty
+
+    def discover(self, program_name: str) -> List[Machine]:
+        """Machines satisfying the program's hardware preconditions."""
+        return self.ontology.hosts_for(program_name)
+
+    def _staging_time(
+        self, machine: str, inputs: Sequence[Tuple[DataProduct, str]]
+    ) -> Optional[float]:
+        """Time to move each input product from its location to *machine*."""
+        total = 0.0
+        for product, location in inputs:
+            if location == machine:
+                continue
+            t = self.ontology.topology.transfer_time(
+                location, machine, self.ontology.volume_of(product.dtype)
+            )
+            if t is None:
+                return None
+            total += t
+        return total
+
+    def offers(
+        self,
+        program_name: str,
+        input_locations: Sequence[Tuple[DataProduct, str]] = (),
+    ) -> List[Offer]:
+        """Ranked placements (cheapest first, load-penalised)."""
+        program = self.ontology.programs[program_name]
+        out: List[Offer] = []
+        for machine in self.discover(program_name):
+            staging = self._staging_time(machine.name, input_locations)
+            if staging is None:
+                continue  # unreachable inputs
+            out.append(
+                Offer(
+                    machine=machine.name,
+                    runtime_s=program.runtime_on(machine),
+                    staging_s=staging,
+                    load=machine.load,
+                )
+            )
+        out.sort(key=lambda o: (o.total_s + self.load_penalty * o.load, o.machine))
+        return out
+
+    def best_offer(
+        self,
+        program_name: str,
+        input_locations: Sequence[Tuple[DataProduct, str]] = (),
+    ) -> Optional[Offer]:
+        ranked = self.offers(program_name, input_locations)
+        return ranked[0] if ranked else None

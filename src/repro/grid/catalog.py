@@ -1,0 +1,115 @@
+"""Replica catalog: the persistent-storage societal service.
+
+Tracks which data products are stored where, enforces per-machine storage
+capacity, and answers "nearest replica" queries — the storage counterpart
+to the broker's compute discovery.  The coordination service records every
+placement an execution realises; staging logic can then pull inputs from
+the *cheapest* replica instead of the original location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.grid.data import DataProduct
+from repro.grid.ontology import Ontology
+
+__all__ = ["ReplicaCatalog", "StorageFullError"]
+
+
+class StorageFullError(RuntimeError):
+    """Raised when a machine's disk cannot hold another replica."""
+
+
+@dataclass(frozen=True)
+class _Replica:
+    product: DataProduct
+    machine: str
+
+
+class ReplicaCatalog:
+    """Placement registry with capacity accounting and replica selection."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+        self._replicas: Set[_Replica] = set()
+        self._used_mb: Dict[str, float] = {m: 0.0 for m in ontology.topology.machines}
+
+    # -- registration -----------------------------------------------------------
+
+    def capacity_mb(self, machine: str) -> float:
+        return self.ontology.topology.machines[machine].disk_tb * 1e6
+
+    def used_mb(self, machine: str) -> float:
+        return self._used_mb[machine]
+
+    def register(self, product: DataProduct, machine: str) -> None:
+        """Record a replica; idempotent for existing entries."""
+        if machine not in self._used_mb:
+            raise ValueError(f"unknown machine {machine!r}")
+        replica = _Replica(product, machine)
+        if replica in self._replicas:
+            return
+        volume = self.ontology.volume_of(product.dtype)
+        if self._used_mb[machine] + volume > self.capacity_mb(machine):
+            raise StorageFullError(
+                f"machine {machine!r} cannot store {product.dtype!r} "
+                f"({volume} MB needed, "
+                f"{self.capacity_mb(machine) - self._used_mb[machine]:.0f} MB free)"
+            )
+        self._replicas.add(replica)
+        self._used_mb[machine] += volume
+
+    def register_placements(self, placements: Iterable[Tuple[DataProduct, str]]) -> None:
+        for product, machine in placements:
+            self.register(product, machine)
+
+    def evict(self, product: DataProduct, machine: str) -> bool:
+        """Drop one replica; returns whether it existed.
+
+        Refuses (returns False) to drop the *last* replica of a product —
+        persistent storage must not silently lose data.
+        """
+        replica = _Replica(product, machine)
+        if replica not in self._replicas:
+            return False
+        if len(self.locations(product)) <= 1:
+            return False
+        self._replicas.discard(replica)
+        self._used_mb[machine] -= self.ontology.volume_of(product.dtype)
+        return True
+
+    # -- queries ------------------------------------------------------------------
+
+    def locations(self, product: DataProduct) -> List[str]:
+        return sorted(r.machine for r in self._replicas if r.product == product)
+
+    def holdings(self, machine: str) -> List[DataProduct]:
+        return sorted(
+            (r.product for r in self._replicas if r.machine == machine), key=repr
+        )
+
+    def nearest_replica(
+        self, product: DataProduct, to_machine: str
+    ) -> Optional[Tuple[str, float]]:
+        """``(source machine, transfer seconds)`` of the cheapest replica.
+
+        ``None`` when no replica exists or none is reachable.  A replica on
+        the target machine itself costs 0.
+        """
+        volume = self.ontology.volume_of(product.dtype)
+        best: Optional[Tuple[str, float]] = None
+        for src in self.locations(product):
+            if not self.ontology.topology.machines[src].up:
+                continue
+            t = self.ontology.topology.transfer_time(src, to_machine, volume)
+            if t is None:
+                continue
+            if best is None or t < best[1]:
+                best = (src, t)
+        return best
+
+    def placements(self) -> frozenset:
+        """The full placement set, in the planning domain's format."""
+        return frozenset((r.product, r.machine) for r in self._replicas)

@@ -1,0 +1,215 @@
+"""Hardware-resource ontology: machines, sites, links, topology.
+
+The paper assumes "ontologies describing data, programs, and hardware
+resources"; this module is the hardware third.  A machine advertises its
+capabilities (speed, memory, disk) — the attributes program preconditions
+are checked against — plus dynamic load, which brokerage and dynamic
+replanning react to ("assume that site S is overloaded and there are
+alternative sites capable of executing program P at lower costs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+
+__all__ = ["Machine", "Site", "Link", "GridTopology"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One compute resource.
+
+    Attributes
+    ----------
+    name:
+        Unique id.
+    site:
+        The site (administrative domain) the machine belongs to.
+    speed:
+        Relative compute speed in Mflop/s; execution time of a program is
+        ``program.flops / (speed / (1 + load))``.
+    memory_gb / disk_tb:
+        Capacity limits checked against program requirements.
+    load:
+        Background load factor ≥ 0; 0 means dedicated.  An overloaded
+        machine still works, just slower — exactly the scenario that makes
+        static scripts inferior to replanning.
+    up:
+        Whether the machine is alive; failed machines accept no work.
+    """
+
+    name: str
+    site: str
+    speed: float
+    memory_gb: float = 4.0
+    disk_tb: float = 1.0
+    load: float = 0.0
+    up: bool = True
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"machine {self.name!r}: speed must be positive")
+        if self.memory_gb <= 0 or self.disk_tb <= 0:
+            raise ValueError(f"machine {self.name!r}: capacities must be positive")
+        if self.load < 0:
+            raise ValueError(f"machine {self.name!r}: load must be non-negative")
+
+    @property
+    def effective_speed(self) -> float:
+        """Speed after background load: ``speed / (1 + load)``."""
+        return self.speed / (1.0 + self.load)
+
+    def with_load(self, load: float) -> "Machine":
+        return replace(self, load=load)
+
+    def failed(self) -> "Machine":
+        return replace(self, up=False)
+
+    def restored(self) -> "Machine":
+        return replace(self, up=True)
+
+
+@dataclass(frozen=True)
+class Site:
+    """An administrative domain hosting machines."""
+
+    name: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Link:
+    """A network link between two sites.
+
+    ``bandwidth_mbps`` is the sustained transfer rate; ``latency_s`` is a
+    fixed per-transfer startup cost.
+    """
+
+    a: str
+    b: str
+    bandwidth_mbps: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"link {self.a}-{self.b}: bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError(f"link {self.a}-{self.b}: latency must be non-negative")
+
+
+class GridTopology:
+    """The grid: sites, machines, and inter-site links.
+
+    Intra-site transfers use a configurable (fast) local bandwidth.
+    Machine lookups are by name; iteration order is sorted by name so that
+    planning operations ground deterministically.
+    """
+
+    def __init__(self, local_bandwidth_mbps: float = 10_000.0) -> None:
+        self.sites: Dict[str, Site] = {}
+        self.machines: Dict[str, Machine] = {}
+        self._graph = nx.Graph()
+        self.local_bandwidth_mbps = local_bandwidth_mbps
+
+    # -- construction --------------------------------------------------------
+
+    def add_site(self, site: Site) -> "GridTopology":
+        if site.name in self.sites:
+            raise ValueError(f"duplicate site {site.name!r}")
+        self.sites[site.name] = site
+        self._graph.add_node(site.name)
+        return self
+
+    def add_machine(self, machine: Machine) -> "GridTopology":
+        if machine.name in self.machines:
+            raise ValueError(f"duplicate machine {machine.name!r}")
+        if machine.site not in self.sites:
+            raise ValueError(f"machine {machine.name!r} references unknown site {machine.site!r}")
+        self.machines[machine.name] = machine
+        return self
+
+    def add_link(self, link: Link) -> "GridTopology":
+        for s in (link.a, link.b):
+            if s not in self.sites:
+                raise ValueError(f"link references unknown site {s!r}")
+        self._graph.add_edge(link.a, link.b, link=link)
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    def machine_names(self) -> list:
+        return sorted(self.machines)
+
+    def up_machines(self) -> list:
+        return [self.machines[n] for n in self.machine_names() if self.machines[n].up]
+
+    def bandwidth(self, src_machine: str, dst_machine: str) -> Optional[float]:
+        """Path bandwidth (bottleneck) between two machines, Mbit/s.
+
+        ``None`` when no path exists.  Same-machine transfers are free and
+        report local bandwidth.
+        """
+        src = self.machines[src_machine]
+        dst = self.machines[dst_machine]
+        if src.site == dst.site:
+            return self.local_bandwidth_mbps
+        try:
+            path = nx.shortest_path(self._graph, src.site, dst.site)
+        except nx.NetworkXNoPath:
+            return None
+        bw = self.local_bandwidth_mbps
+        for a, b in zip(path, path[1:]):
+            bw = min(bw, self._graph.edges[a, b]["link"].bandwidth_mbps)
+        return bw
+
+    def latency(self, src_machine: str, dst_machine: str) -> Optional[float]:
+        """Total path latency in seconds (0 for same-site)."""
+        src = self.machines[src_machine]
+        dst = self.machines[dst_machine]
+        if src.site == dst.site:
+            return 0.0
+        try:
+            path = nx.shortest_path(self._graph, src.site, dst.site)
+        except nx.NetworkXNoPath:
+            return None
+        return sum(
+            self._graph.edges[a, b]["link"].latency_s for a, b in zip(path, path[1:])
+        )
+
+    def transfer_time(self, src_machine: str, dst_machine: str, volume_mb: float) -> Optional[float]:
+        """Seconds to move *volume_mb* megabytes between two machines."""
+        if volume_mb < 0:
+            raise ValueError(f"volume must be non-negative, got {volume_mb}")
+        if src_machine == dst_machine:
+            return 0.0
+        bw = self.bandwidth(src_machine, dst_machine)
+        lat = self.latency(src_machine, dst_machine)
+        if bw is None or lat is None:
+            return None
+        return lat + (volume_mb * 8.0) / bw
+
+    # -- mutation (dynamic events) -------------------------------------------
+
+    def set_machine(self, machine: Machine) -> None:
+        """Replace a machine record (load change, failure, recovery)."""
+        if machine.name not in self.machines:
+            raise ValueError(f"unknown machine {machine.name!r}")
+        self.machines[machine.name] = machine
+
+    def _get(self, name: str) -> Machine:
+        try:
+            return self.machines[name]
+        except KeyError:
+            raise ValueError(f"unknown machine {name!r}") from None
+
+    def fail_machine(self, name: str) -> None:
+        self.set_machine(self._get(name).failed())
+
+    def restore_machine(self, name: str) -> None:
+        self.set_machine(self._get(name).restored())
+
+    def set_load(self, name: str, load: float) -> None:
+        self.set_machine(self._get(name).with_load(load))

@@ -1,0 +1,116 @@
+"""Ready-made grid scenarios for examples, tests and benchmarks.
+
+The flagship scenario is the paper's own footnote: a 2D imaging pipeline
+(camera data → histogram equalisation → filtering → Fourier transform →
+analysis) whose stage preconditions inspect data attributes and genealogy,
+deployed over a small heterogeneous grid of three sites.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.grid.data import DataProduct, DataType
+from repro.grid.ontology import Ontology
+from repro.grid.programs import InputSpec, OutputSpec, ProgramSpec
+from repro.grid.resources import GridTopology, Link, Machine, Site
+from repro.grid.workflow_domain import GridWorkflowDomain
+
+__all__ = ["imaging_pipeline", "small_heterogeneous_grid"]
+
+
+def small_heterogeneous_grid() -> GridTopology:
+    """Three sites, five machines, heterogeneous speeds and links."""
+    topo = GridTopology()
+    topo.add_site(Site("lab", "the user's laboratory"))
+    topo.add_site(Site("campus", "campus cluster"))
+    topo.add_site(Site("hpc", "remote HPC centre"))
+    topo.add_machine(Machine("lab-ws", site="lab", speed=500, memory_gb=8, disk_tb=1))
+    topo.add_machine(Machine("campus-a", site="campus", speed=2000, memory_gb=16, disk_tb=4))
+    topo.add_machine(Machine("campus-b", site="campus", speed=2000, memory_gb=16, disk_tb=4))
+    topo.add_machine(Machine("hpc-1", site="hpc", speed=8000, memory_gb=64, disk_tb=32))
+    topo.add_machine(Machine("hpc-2", site="hpc", speed=8000, memory_gb=64, disk_tb=32))
+    topo.add_link(Link("lab", "campus", bandwidth_mbps=1000, latency_s=0.01))
+    topo.add_link(Link("campus", "hpc", bandwidth_mbps=10000, latency_s=0.02))
+    topo.add_link(Link("lab", "hpc", bandwidth_mbps=100, latency_s=0.05))
+    return topo
+
+
+def imaging_pipeline() -> Tuple[Ontology, GridWorkflowDomain]:
+    """The footnote pipeline as an ontology + planning domain.
+
+    Raw camera frames live on the lab workstation; the desired analysis
+    report must end up back at the lab.  The analysis stage requires
+    Fourier-transformed data that was histogram-equalised and *never*
+    low-pass filtered — exercising genealogy preconditions.
+    """
+    topo = small_heterogeneous_grid()
+    onto = Ontology(topo)
+    onto.register_data_type(DataType("raw-frames", format="tiff", volume_mb=2000))
+    onto.register_data_type(DataType("equalized", format="tiff", volume_mb=2000))
+    onto.register_data_type(DataType("filtered", format="tiff", volume_mb=1500))
+    onto.register_data_type(DataType("spectrum", format="hdf5", volume_mb=800))
+    onto.register_data_type(DataType("report", format="pdf", volume_mb=5))
+
+    onto.register_program(
+        ProgramSpec(
+            name="histeq",
+            inputs=(InputSpec(dtype="raw-frames", min_attrs=(("resolution", 512),)),),
+            outputs=(OutputSpec(dtype="equalized"),),
+            flops=4_000,
+            min_memory_gb=4,
+        )
+    )
+    # Two versions of filtering exist (service grids offer "multiple
+    # versions of services"); the low-pass one poisons the genealogy.
+    onto.register_program(
+        ProgramSpec(
+            name="highpass",
+            inputs=(InputSpec(dtype="equalized"),),
+            outputs=(OutputSpec(dtype="filtered"),),
+            flops=6_000,
+            min_memory_gb=8,
+        )
+    )
+    onto.register_program(
+        ProgramSpec(
+            name="lowpass",
+            inputs=(InputSpec(dtype="equalized"),),
+            outputs=(OutputSpec(dtype="filtered"),),
+            flops=3_000,
+            min_memory_gb=8,
+        )
+    )
+    onto.register_program(
+        ProgramSpec(
+            name="fft",
+            inputs=(InputSpec(dtype="filtered", requires_history=("histeq",)),),
+            outputs=(OutputSpec(dtype="spectrum"),),
+            flops=20_000,
+            min_memory_gb=16,
+        )
+    )
+    onto.register_program(
+        ProgramSpec(
+            name="analyze",
+            inputs=(
+                InputSpec(
+                    dtype="spectrum",
+                    requires_history=("histeq", "fft"),
+                    forbids_history=("lowpass",),
+                ),
+            ),
+            outputs=(OutputSpec(dtype="report"),),
+            flops=10_000,
+            min_memory_gb=16,
+        )
+    )
+
+    raw = DataProduct.make("raw-frames", attrs={"resolution": 1024})
+    domain = GridWorkflowDomain(
+        ontology=onto,
+        initial_placements=[(raw, "lab-ws")],
+        goal=[("report", "lab-ws")],
+        max_transfers_per_product=3,
+    )
+    return onto, domain

@@ -1,0 +1,18 @@
+"""STRIPS-like planning substrate: conditions, operations, problems, plans."""
+
+from repro.planning.adapter import StripsDomainAdapter
+from repro.planning.conditions import Atom, State, atom, format_atom, format_state, make_state, satisfies
+from repro.planning.grounding import OperatorSchema, ground_all, ground_schema, is_variable
+from repro.planning.operation import Operation
+from repro.planning.pddl import PddlDomain, PddlError, load_problem, parse_domain, parse_problem
+from repro.planning.reuse import ReuseResult, reuse_plan, valid_prefix
+from repro.planning.plan import Plan, SimulationResult, simulate
+from repro.planning.problem import PlanningProblem
+
+__all__ = [
+    "Atom", "State", "atom", "format_atom", "format_state", "make_state", "satisfies",
+    "Operation", "OperatorSchema", "ground_all", "ground_schema", "is_variable",
+    "PddlDomain", "PddlError", "Plan", "PlanningProblem", "ReuseResult",
+    "SimulationResult", "StripsDomainAdapter", "load_problem", "parse_domain",
+    "parse_problem", "reuse_plan", "simulate", "valid_prefix",
+]

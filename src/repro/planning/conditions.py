@@ -1,0 +1,58 @@
+"""Ground atomic conditions and system states for STRIPS-like planning.
+
+The paper defines a planning problem over "a finite set of ground atomic
+conditions (elementary conditions instantiated by constants) used to define
+the system state".  We represent an atom as a tuple whose first element is
+the predicate name and whose remaining elements are constant arguments, e.g.
+``("on", "d1", "d2")``.  A system state is the frozenset of atoms that hold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["Atom", "State", "atom", "make_state", "satisfies", "format_atom", "format_state"]
+
+# An atom is a tuple: (predicate, arg1, arg2, ...).  Tuples are hashable,
+# comparable, and cheap, which matters because states are built and hashed in
+# the decoder's inner loop.
+Atom = tuple
+State = frozenset
+
+
+def atom(predicate: str, *args: object) -> Atom:
+    """Build a ground atom ``(predicate, *args)``.
+
+    >>> atom("on", "d1", "d2")
+    ('on', 'd1', 'd2')
+    """
+    if not isinstance(predicate, str) or not predicate:
+        raise ValueError(f"predicate must be a non-empty string, got {predicate!r}")
+    return (predicate, *args)
+
+
+def make_state(atoms: Iterable[Atom]) -> State:
+    """Build a state from an iterable of atoms."""
+    s = frozenset(atoms)
+    for a in s:
+        if not isinstance(a, tuple) or not a:
+            raise ValueError(f"state atoms must be non-empty tuples, got {a!r}")
+    return s
+
+
+def satisfies(state: State, conditions: Iterable[Atom]) -> bool:
+    """True iff every atom in *conditions* holds in *state*."""
+    return set(conditions) <= state
+
+
+def format_atom(a: Atom) -> str:
+    """Human-readable rendering, e.g. ``on(d1, d2)``."""
+    head, *args = a
+    if not args:
+        return str(head)
+    return f"{head}({', '.join(str(x) for x in args)})"
+
+
+def format_state(state: State) -> str:
+    """Deterministic (sorted) rendering of a state, for logs and tests."""
+    return "{" + ", ".join(sorted(format_atom(a) for a in state)) + "}"

@@ -1,0 +1,133 @@
+"""Plan reuse: adapt an existing plan to a changed problem (paper §2).
+
+Nebel & Koehler (1995) showed plan reuse is not cheaper than planning from
+scratch in the worst case, but pays off "when the new planning problem is
+sufficiently close to the old one".  This module implements the two-step
+scheme their analysis assumes:
+
+1. **Plan matching** — find the longest prefix of the old plan that is
+   still valid in the new problem, then the suffix position whose simulated
+   state is closest (by goal fitness) to the new goal.
+2. **Plan modification** — keep the valid prefix, discard the rest, and
+   replan from the prefix's end state with any planner (the GA, a
+   classical baseline, ...), concatenating the repair onto the prefix.
+
+Works over the :class:`PlanningDomain` protocol, so the same machinery
+repairs puzzle plans and grid workflows — the latter is what dynamic
+replanning on resource change amounts to.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.protocol import PlanningDomain
+
+__all__ = ["ReuseResult", "reuse_plan", "valid_prefix"]
+
+#: A planner over the domain protocol: (domain, start_state) -> plan or None.
+Replanner = Callable[[PlanningDomain, object], Optional[Sequence]]
+
+
+@dataclass(frozen=True)
+class ReuseResult:
+    """Outcome of a plan-reuse attempt.
+
+    ``reused`` counts the operations kept from the old plan; ``repaired``
+    counts the newly planned suffix; ``plan`` is their concatenation (or
+    ``None`` when repair failed).
+    """
+
+    plan: Optional[tuple]
+    reused: int
+    repaired: int
+    solved: bool
+    elapsed_seconds: float
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.reused + self.repaired
+        return self.reused / total if total else 0.0
+
+
+def valid_prefix(domain: PlanningDomain, plan: Sequence, start_state: object) -> int:
+    """Length of the longest prefix of *plan* that is valid from *start_state*.
+
+    Validity is checked against the (possibly changed) domain: an operation
+    must literally be offered by ``valid_operations`` at its position.
+    """
+    state = start_state
+    for i, op in enumerate(plan):
+        if op not in list(domain.valid_operations(state)):
+            return i
+        state = domain.apply(state, op)
+    return len(plan)
+
+
+def _best_cut(
+    domain: PlanningDomain, plan: Sequence, start_state: object, prefix_len: int
+) -> int:
+    """Pick the prefix cut whose end state scores highest on goal fitness.
+
+    Keeping the *entire* valid prefix can be wrong — the old plan may have
+    been heading somewhere that no longer helps — so every cut in
+    ``[0, prefix_len]`` competes on the new problem's goal fitness, earlier
+    cuts winning ties (they leave more freedom to the repair planner).
+    """
+    state = start_state
+    best_cut, best_fit = 0, float(domain.goal_fitness(state))
+    for i in range(prefix_len):
+        state = domain.apply(state, plan[i])
+        fit = float(domain.goal_fitness(state))
+        if fit > best_fit:
+            best_cut, best_fit = i + 1, fit
+    return best_cut
+
+
+def reuse_plan(
+    domain: PlanningDomain,
+    old_plan: Sequence,
+    replanner: Replanner,
+    start_state: Optional[object] = None,
+) -> ReuseResult:
+    """Adapt *old_plan* to *domain* (the new problem) by prefix reuse + repair."""
+    t0 = time.perf_counter()
+    start = start_state if start_state is not None else domain.initial_state
+    prefix_len = valid_prefix(domain, old_plan, start)
+    cut = _best_cut(domain, old_plan, start, prefix_len)
+
+    state = start
+    for op in old_plan[:cut]:
+        state = domain.apply(state, op)
+
+    if domain.is_goal(state):
+        return ReuseResult(
+            plan=tuple(old_plan[:cut]),
+            reused=cut,
+            repaired=0,
+            solved=True,
+            elapsed_seconds=time.perf_counter() - t0,
+        )
+
+    repair = replanner(domain, state)
+    if repair is None:
+        return ReuseResult(
+            plan=None,
+            reused=cut,
+            repaired=0,
+            solved=False,
+            elapsed_seconds=time.perf_counter() - t0,
+        )
+    full = tuple(old_plan[:cut]) + tuple(repair)
+    final = state
+    for op in repair:
+        final = domain.apply(final, op)
+    return ReuseResult(
+        plan=full,
+        reused=cut,
+        repaired=len(tuple(repair)),
+        solved=domain.is_goal(final),
+        elapsed_seconds=time.perf_counter() - t0,
+    )

@@ -1,0 +1,26 @@
+"""Baseline planners: classical, local/randomized, and Graphplan."""
+
+from repro.planning.search.classical import (
+    SearchResult,
+    astar,
+    breadth_first_search,
+    idastar,
+    uniform_cost_search,
+    weighted_astar,
+)
+from repro.planning.search.graphplan import PlanningGraph, graphplan
+from repro.planning.search.heuristics import (
+    goal_count,
+    goal_gap,
+    make_h_add,
+    make_h_max,
+    zero_heuristic,
+)
+from repro.planning.search.local import greedy_best_first, hill_climbing, random_walk_planner
+
+__all__ = [
+    "PlanningGraph", "SearchResult", "astar", "breadth_first_search", "goal_count",
+    "goal_gap", "graphplan", "greedy_best_first", "hill_climbing", "idastar",
+    "make_h_add", "make_h_max", "random_walk_planner", "uniform_cost_search",
+    "weighted_astar", "zero_heuristic",
+]

@@ -1,0 +1,228 @@
+"""Classical deterministic planners: BFS, uniform-cost, A*, weighted A*, IDA*.
+
+These are the "general search strategies" and "forward-chaining" baselines
+the paper contrasts with (Section 1: they "perform well only on small
+problems with a very limited search space").  All operate on the
+:class:`PlanningDomain` protocol, so the exact same domain instance the GA
+plans over can be searched exhaustively — that is how tests cross-validate
+GA plans against known optima.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.protocol import PlanningDomain
+
+__all__ = ["SearchResult", "breadth_first_search", "uniform_cost_search", "astar", "weighted_astar", "idastar"]
+
+Heuristic = Callable[[object], float]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a search run.
+
+    ``plan`` is ``None`` when the search failed (exhausted, or hit its
+    expansion budget — distinguished by ``exhausted``).
+    """
+
+    plan: Optional[tuple]
+    cost: float
+    expanded: int
+    generated: int
+    exhausted: bool
+    elapsed_seconds: float
+
+    @property
+    def solved(self) -> bool:
+        return self.plan is not None
+
+    @property
+    def plan_length(self) -> int:
+        return 0 if self.plan is None else len(self.plan)
+
+
+def _reconstruct(parents: dict, key) -> tuple:
+    ops = []
+    while True:
+        entry = parents[key]
+        if entry is None:
+            break
+        key, op = entry
+        ops.append(op)
+    ops.reverse()
+    return tuple(ops)
+
+
+def breadth_first_search(
+    domain: PlanningDomain,
+    start_state: Optional[object] = None,
+    max_expansions: int = 1_000_000,
+) -> SearchResult:
+    """Plain BFS; optimal for unit-cost domains."""
+    t0 = time.perf_counter()
+    state = start_state if start_state is not None else domain.initial_state
+    key = domain.state_key(state)
+    if domain.is_goal(state):
+        return SearchResult((), 0.0, 0, 1, False, time.perf_counter() - t0)
+    frontier = deque([(state, key)])
+    parents = {key: None}
+    expanded = generated = 0
+    while frontier:
+        if expanded >= max_expansions:
+            return SearchResult(None, math.inf, expanded, generated, False, time.perf_counter() - t0)
+        state, key = frontier.popleft()
+        expanded += 1
+        for op in domain.valid_operations(state):
+            nxt = domain.apply(state, op)
+            nkey = domain.state_key(nxt)
+            if nkey in parents:
+                continue
+            parents[nkey] = (key, op)
+            generated += 1
+            if domain.is_goal(nxt):
+                plan = _reconstruct(parents, nkey)
+                return SearchResult(
+                    plan, domain.plan_cost(plan), expanded, generated, False, time.perf_counter() - t0
+                )
+            frontier.append((nxt, nkey))
+    return SearchResult(None, math.inf, expanded, generated, True, time.perf_counter() - t0)
+
+
+def astar(
+    domain: PlanningDomain,
+    heuristic: Optional[Heuristic] = None,
+    start_state: Optional[object] = None,
+    max_expansions: int = 1_000_000,
+    weight: float = 1.0,
+) -> SearchResult:
+    """A* (or weighted A* for ``weight > 1``) over the domain protocol.
+
+    Optimal when the heuristic is admissible and ``weight == 1``.
+    """
+    if weight < 1.0:
+        raise ValueError(f"weight must be >= 1, got {weight}")
+    t0 = time.perf_counter()
+    h = heuristic or (lambda s: 0.0)
+    state = start_state if start_state is not None else domain.initial_state
+    key = domain.state_key(state)
+    counter = itertools.count()  # FIFO tie-break keeps the queue stable
+    open_heap = [(weight * h(state), next(counter), state, key)]
+    g_cost = {key: 0.0}
+    parents = {key: None}
+    closed = set()
+    expanded = generated = 0
+    while open_heap:
+        if expanded >= max_expansions:
+            return SearchResult(None, math.inf, expanded, generated, False, time.perf_counter() - t0)
+        _f, _, state, key = heapq.heappop(open_heap)
+        if key in closed:
+            continue
+        if domain.is_goal(state):
+            plan = _reconstruct(parents, key)
+            return SearchResult(
+                plan, g_cost[key], expanded, generated, False, time.perf_counter() - t0
+            )
+        closed.add(key)
+        expanded += 1
+        g = g_cost[key]
+        for op in domain.valid_operations(state):
+            nxt = domain.apply(state, op)
+            nkey = domain.state_key(nxt)
+            ng = g + domain.operation_cost(op)
+            if nkey in closed or ng >= g_cost.get(nkey, math.inf):
+                continue
+            g_cost[nkey] = ng
+            parents[nkey] = (key, op)
+            generated += 1
+            hv = h(nxt)
+            if hv == math.inf:
+                continue
+            heapq.heappush(open_heap, (ng + weight * hv, next(counter), nxt, nkey))
+    return SearchResult(None, math.inf, expanded, generated, True, time.perf_counter() - t0)
+
+
+def uniform_cost_search(
+    domain: PlanningDomain,
+    start_state: Optional[object] = None,
+    max_expansions: int = 1_000_000,
+) -> SearchResult:
+    """Dijkstra over the state space (A* with h ≡ 0)."""
+    return astar(domain, heuristic=None, start_state=start_state, max_expansions=max_expansions)
+
+
+def weighted_astar(
+    domain: PlanningDomain,
+    heuristic: Heuristic,
+    weight: float = 2.0,
+    start_state: Optional[object] = None,
+    max_expansions: int = 1_000_000,
+) -> SearchResult:
+    """Weighted A*: ``f = g + w·h`` — bounded-suboptimal, far fewer expansions."""
+    return astar(
+        domain,
+        heuristic=heuristic,
+        start_state=start_state,
+        max_expansions=max_expansions,
+        weight=weight,
+    )
+
+
+def idastar(
+    domain: PlanningDomain,
+    heuristic: Heuristic,
+    start_state: Optional[object] = None,
+    max_expansions: int = 5_000_000,
+) -> SearchResult:
+    """Iterative-deepening A* (Korf) — linear memory, for puzzle domains."""
+    t0 = time.perf_counter()
+    root = start_state if start_state is not None else domain.initial_state
+    bound = heuristic(root)
+    expanded = 0
+    generated = 0
+    path_keys = {domain.state_key(root)}
+
+    def dfs(state, g: float, bound: float, ops: list):
+        nonlocal expanded, generated
+        f = g + heuristic(state)
+        if f > bound + 1e-12:
+            return f, None
+        if domain.is_goal(state):
+            return f, tuple(ops)
+        if expanded >= max_expansions:
+            return math.inf, None
+        expanded += 1
+        minimum = math.inf
+        for op in domain.valid_operations(state):
+            nxt = domain.apply(state, op)
+            nkey = domain.state_key(nxt)
+            if nkey in path_keys:
+                continue  # avoid cycles along the current path
+            generated += 1
+            path_keys.add(nkey)
+            ops.append(op)
+            t, plan = dfs(nxt, g + domain.operation_cost(op), bound, ops)
+            ops.pop()
+            path_keys.discard(nkey)
+            if plan is not None:
+                return t, plan
+            minimum = min(minimum, t)
+        return minimum, None
+
+    while True:
+        t, plan = dfs(root, 0.0, bound, [])
+        if plan is not None:
+            return SearchResult(
+                plan, domain.plan_cost(plan), expanded, generated, False, time.perf_counter() - t0
+            )
+        if t == math.inf:
+            exhausted = expanded < max_expansions
+            return SearchResult(None, math.inf, expanded, generated, exhausted, time.perf_counter() - t0)
+        bound = t

@@ -1,0 +1,163 @@
+"""Local-search and randomized planners: HSP-style hill climbing, greedy
+best-first (HSP2-style), and a Stocplan-like randomized planner.
+
+Bonet & Geffner's HSP is a forward hill-climbing planner and HSP2 a
+best-first planner, both driving on heuristic estimates; Jonsson et al.'s
+Stocplan shows randomized plan construction is competitive under restricted
+conditions.  These are the paper's non-GA stochastic/heuristic comparison
+points.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.protocol import PlanningDomain
+from repro.planning.search.classical import SearchResult, astar
+
+__all__ = ["hill_climbing", "greedy_best_first", "random_walk_planner"]
+
+Heuristic = Callable[[object], float]
+
+
+def hill_climbing(
+    domain: PlanningDomain,
+    heuristic: Heuristic,
+    rng: np.random.Generator,
+    start_state: Optional[object] = None,
+    max_steps: int = 10_000,
+    max_restarts: int = 20,
+    plateau_patience: int = 100,
+) -> SearchResult:
+    """HSP-style forward hill climbing with random restarts.
+
+    From the current state, move to the best-scoring successor (ties broken
+    randomly); sideways moves are allowed for up to *plateau_patience*
+    consecutive steps, after which the search restarts from the initial
+    state.  Inadmissible heuristics are fine — completeness comes from the
+    restarts, not the heuristic.
+    """
+    t0 = time.perf_counter()
+    root = start_state if start_state is not None else domain.initial_state
+    expanded = generated = 0
+    best_plan: Optional[tuple] = None
+
+    for _restart in range(max_restarts):
+        state = root
+        plan: list = []
+        h_here = heuristic(state)
+        plateau = 0
+        visited = {domain.state_key(state)}
+        while len(plan) < max_steps:
+            if domain.is_goal(state):
+                best_plan = tuple(plan)
+                return SearchResult(
+                    best_plan,
+                    domain.plan_cost(best_plan),
+                    expanded,
+                    generated,
+                    False,
+                    time.perf_counter() - t0,
+                )
+            expanded += 1
+            candidates = []
+            for op in domain.valid_operations(state):
+                nxt = domain.apply(state, op)
+                nkey = domain.state_key(nxt)
+                generated += 1
+                if nkey in visited:
+                    continue
+                candidates.append((heuristic(nxt), op, nxt, nkey))
+            if not candidates:
+                break  # dead end: restart
+            best_h = min(c[0] for c in candidates)
+            pool = [c for c in candidates if c[0] <= best_h + 1e-12]
+            _h, op, state, nkey = pool[int(rng.integers(0, len(pool)))]
+            visited.add(nkey)
+            plan.append(op)
+            if best_h >= h_here - 1e-12:
+                plateau += 1
+                if plateau > plateau_patience:
+                    break  # stuck on a plateau: restart
+            else:
+                plateau = 0
+            h_here = best_h
+    return SearchResult(None, math.inf, expanded, generated, False, time.perf_counter() - t0)
+
+
+def greedy_best_first(
+    domain: PlanningDomain,
+    heuristic: Heuristic,
+    start_state: Optional[object] = None,
+    max_expansions: int = 1_000_000,
+) -> SearchResult:
+    """HSP2-style best-first search: expand by ``h`` alone (f = h).
+
+    Implemented as weighted A* in the limit — we pass a large weight so the
+    g-term only breaks ties toward shorter plans.
+    """
+    return astar(
+        domain,
+        heuristic=heuristic,
+        start_state=start_state,
+        max_expansions=max_expansions,
+        weight=1e6,
+    )
+
+
+def random_walk_planner(
+    domain: PlanningDomain,
+    rng: np.random.Generator,
+    start_state: Optional[object] = None,
+    walk_length: int = 1_000,
+    max_walks: int = 100,
+    greedy_bias: float = 0.0,
+    heuristic: Optional[Heuristic] = None,
+) -> SearchResult:
+    """Stocplan-flavoured randomized planning: repeated bounded random walks.
+
+    Each walk takes up to *walk_length* uniformly random valid operations;
+    with probability *greedy_bias* a step instead follows the best
+    *heuristic* successor (pure Stocplan uses bias 0).  Polynomial time and
+    space per walk; success is probabilistic, exactly the trade the paper's
+    related-work section describes.
+    """
+    if not 0.0 <= greedy_bias <= 1.0:
+        raise ValueError(f"greedy_bias must be in [0, 1], got {greedy_bias}")
+    if greedy_bias > 0.0 and heuristic is None:
+        raise ValueError("greedy_bias > 0 requires a heuristic")
+    t0 = time.perf_counter()
+    root = start_state if start_state is not None else domain.initial_state
+    expanded = generated = 0
+    for _walk in range(max_walks):
+        state = root
+        plan: list = []
+        for _ in range(walk_length):
+            if domain.is_goal(state):
+                p = tuple(plan)
+                return SearchResult(
+                    p, domain.plan_cost(p), expanded, generated, False, time.perf_counter() - t0
+                )
+            ops = list(domain.valid_operations(state))
+            if not ops:
+                break
+            expanded += 1
+            generated += len(ops)
+            if greedy_bias > 0.0 and rng.random() < greedy_bias:
+                scored = [(heuristic(domain.apply(state, op)), i) for i, op in enumerate(ops)]
+                best = min(scored)[1]
+                op = ops[best]
+            else:
+                op = ops[int(rng.integers(0, len(ops)))]
+            plan.append(op)
+            state = domain.apply(state, op)
+        if domain.is_goal(state):
+            p = tuple(plan)
+            return SearchResult(
+                p, domain.plan_cost(p), expanded, generated, False, time.perf_counter() - t0
+            )
+    return SearchResult(None, math.inf, expanded, generated, False, time.perf_counter() - t0)

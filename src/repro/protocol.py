@@ -1,0 +1,115 @@
+"""The planning-domain protocol the GA planner couples to.
+
+Lives at the package root (not inside ``repro.domains``) so low-level
+modules — the STRIPS adapter, the search algorithms, the GA decoder — can
+import it without triggering the domain package's __init__, which would
+create an import cycle.
+
+The GA's indirect encoding only needs four things from a domain: the start
+state, the ordered list of valid operations in a state, the transition
+function, and a goal fitness in ``[0, 1]``.  Everything else in the library
+(STRIPS problems, the grid-workflow world, the toy puzzles) adapts to this
+protocol.
+
+Determinism contract
+--------------------
+``valid_operations(state)`` must return the same sequence, in the same
+order, every time it is called with the same state.  The gene→operation
+mapping (Section 3.1 of the paper) divides [0, 1) into ``k`` equal bins
+indexed into this sequence, so a nondeterministic order would silently change
+the meaning of a genome between evaluations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generic, Hashable, Sequence, TypeVar
+
+__all__ = ["PlanningDomain"]
+
+S = TypeVar("S")  # state type
+O = TypeVar("O")  # operation type
+
+
+class PlanningDomain(abc.ABC, Generic[S, O]):
+    """Abstract base for GA-plannable domains."""
+
+    #: Human-readable domain name (used in reports).
+    name: str = "domain"
+
+    @property
+    @abc.abstractmethod
+    def initial_state(self) -> S:
+        """The state the search starts from."""
+
+    @abc.abstractmethod
+    def valid_operations(self, state: S) -> Sequence[O]:
+        """Operations valid in *state*, in a deterministic order.
+
+        May be empty (dead end); the decoder stops decoding there.
+        """
+
+    @abc.abstractmethod
+    def apply(self, state: S, op: O) -> S:
+        """Successor state after executing *op* (assumed valid) in *state*."""
+
+    @abc.abstractmethod
+    def goal_fitness(self, state: S) -> float:
+        """Quality of the match between *state* and the goal, in [0, 1].
+
+        Must equal 1.0 exactly when *state* satisfies the goal.  This is the
+        problem-specific component of the paper's fitness function.
+        """
+
+    def is_goal(self, state: S) -> bool:
+        """Whether *state* satisfies all goal conditions.
+
+        Default: goal fitness of 1.  Domains with float-precision concerns
+        should override with an exact test.
+        """
+        return self.goal_fitness(state) >= 1.0
+
+    def operation_cost(self, op: O) -> float:
+        """Cost of an operation; unit by default (paper's experiments)."""
+        return 1.0
+
+    def state_key(self, state: S) -> Hashable:
+        """Hashable identity of a state (used by caches and visited sets)."""
+        return state
+
+    def decode_key(self, state: S) -> Hashable:
+        """Equivalence key for state-aware crossover's state-match test.
+
+        The paper: "two states match if the same genetic code will be
+        mapped to the same sequence of operations from these two states".
+        Two states with equal decode keys MUST map every gene suffix to the
+        same operation sequence.  Identical states trivially qualify, so
+        the default is :meth:`state_key`; domains where the gene→operation
+        mapping depends on less than the full state should override with
+        the coarsest *provably sufficient* key — e.g. the sliding-tile
+        puzzle's mapping depends only on the blank position, which makes
+        matches abundant and state-aware crossover effective.
+        """
+        return self.state_key(state)
+
+    def describe_operation(self, op: O) -> str:
+        """Human-readable rendering of an operation."""
+        return str(op)
+
+    # -- convenience -------------------------------------------------------
+
+    def execute(self, ops: Sequence[O]) -> S:
+        """Apply a valid operation sequence from the initial state."""
+        state = self.initial_state
+        for i, op in enumerate(ops):
+            valid = self.valid_operations(state)
+            if op not in list(valid):
+                raise ValueError(
+                    f"operation {self.describe_operation(op)!r} at index {i} "
+                    f"is not valid in the current state"
+                )
+            state = self.apply(state, op)
+        return state
+
+    def plan_cost(self, ops: Sequence[O]) -> float:
+        return float(sum(self.operation_cost(op) for op in ops))

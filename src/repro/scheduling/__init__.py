@@ -1,0 +1,31 @@
+"""Heterogeneous-computing scheduling substrate (Braun et al. benchmark)."""
+
+from repro.scheduling.etc import CONSISTENCY_KINDS, ETCParams, HETEROGENEITY_RANGES, generate_etc
+from repro.scheduling.ga_scheduler import GASchedulerConfig, GASchedulerResult, ga_schedule
+from repro.scheduling.heuristics import HEURISTICS, max_min, mct, met, min_min, olb, sufferage
+from repro.scheduling.metrics import flowtime, machine_loads, makespan
+
+__all__ = [
+    "CONSISTENCY_KINDS", "ETCParams", "GASchedulerConfig", "GASchedulerResult",
+    "HETEROGENEITY_RANGES", "HEURISTICS", "flowtime", "ga_schedule", "generate_etc",
+    "machine_loads", "makespan", "max_min", "mct", "met", "min_min", "olb", "sufferage",
+]
+
+from repro.scheduling.dynamic import (  # noqa: E402
+    BATCH_HEURISTICS,
+    IMMEDIATE_HEURISTICS,
+    DynamicScheduleResult,
+    TaskArrival,
+    batch_mode,
+    immediate_mode,
+    poisson_arrivals,
+)
+
+__all__ += [
+    "BATCH_HEURISTICS", "DynamicScheduleResult", "IMMEDIATE_HEURISTICS",
+    "TaskArrival", "batch_mode", "immediate_mode", "poisson_arrivals",
+]
+
+from repro.scheduling.dag import DagProblem, DagSchedule, heft, random_layered_dag  # noqa: E402
+
+__all__ += ["DagProblem", "DagSchedule", "heft", "random_layered_dag"]

@@ -1,0 +1,132 @@
+"""Static mapping heuristics for independent tasks (Braun et al. 2001).
+
+Each heuristic returns a mapping vector ``assign[task] = machine`` for an
+ETC matrix.  Implemented: OLB, MET, MCT, Min-min, Max-min, and Sufferage —
+the non-evolutionary core of the eleven-heuristic comparison the paper
+cites as prior GA work in heterogeneous computing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["olb", "met", "mct", "min_min", "max_min", "sufferage", "HEURISTICS"]
+
+
+def _check(etc: np.ndarray) -> None:
+    if etc.ndim != 2 or etc.size == 0:
+        raise ValueError(f"ETC must be a non-empty 2-D matrix, got shape {etc.shape}")
+    if (etc <= 0).any():
+        raise ValueError("ETC entries must be positive")
+
+
+def olb(etc: np.ndarray) -> np.ndarray:
+    """Opportunistic Load Balancing: next task to the earliest-free machine,
+    ignoring execution times entirely."""
+    _check(etc)
+    n_tasks, n_machines = etc.shape
+    ready = np.zeros(n_machines)
+    assign = np.empty(n_tasks, dtype=np.int64)
+    for t in range(n_tasks):
+        m = int(np.argmin(ready))
+        assign[t] = m
+        ready[m] += etc[t, m]
+    return assign
+
+
+def met(etc: np.ndarray) -> np.ndarray:
+    """Minimum Execution Time: each task to its fastest machine, ignoring
+    load — degenerates badly on consistent matrices (everything piles onto
+    the globally fastest machine)."""
+    _check(etc)
+    return etc.argmin(axis=1).astype(np.int64)
+
+
+def mct(etc: np.ndarray) -> np.ndarray:
+    """Minimum Completion Time: each task (arrival order) to the machine
+    that completes it earliest given current load."""
+    _check(etc)
+    n_tasks, n_machines = etc.shape
+    ready = np.zeros(n_machines)
+    assign = np.empty(n_tasks, dtype=np.int64)
+    for t in range(n_tasks):
+        completion = ready + etc[t]
+        m = int(np.argmin(completion))
+        assign[t] = m
+        ready[m] = completion[m]
+    return assign
+
+
+def _list_schedule(etc: np.ndarray, pick: Callable[[np.ndarray, np.ndarray], int]) -> np.ndarray:
+    """Shared Min-min / Max-min / Sufferage skeleton.
+
+    Repeatedly computes, for every unmapped task, its best completion time
+    over machines; *pick* chooses which task to commit next.
+    """
+    n_tasks, n_machines = etc.shape
+    ready = np.zeros(n_machines)
+    unmapped = np.ones(n_tasks, dtype=bool)
+    assign = np.empty(n_tasks, dtype=np.int64)
+    for _ in range(n_tasks):
+        completion = ready[None, :] + etc  # (tasks, machines)
+        best_machine = completion.argmin(axis=1)
+        best_time = completion[np.arange(n_tasks), best_machine]
+        t = pick(np.where(unmapped)[0], completion)
+        m = int(best_machine[t])
+        assign[t] = m
+        ready[m] += etc[t, m]
+        unmapped[t] = False
+    return assign
+
+
+def min_min(etc: np.ndarray) -> np.ndarray:
+    """Min-min: commit the unmapped task with the smallest best completion
+    time first — keeps machines short, the strongest simple heuristic."""
+    _check(etc)
+
+    def pick(unmapped_idx: np.ndarray, completion: np.ndarray) -> int:
+        best = completion[unmapped_idx].min(axis=1)
+        return int(unmapped_idx[int(np.argmin(best))])
+
+    return _list_schedule(etc, pick)
+
+
+def max_min(etc: np.ndarray) -> np.ndarray:
+    """Max-min: commit the unmapped task with the *largest* best completion
+    time first — protects long tasks from being stranded."""
+    _check(etc)
+
+    def pick(unmapped_idx: np.ndarray, completion: np.ndarray) -> int:
+        best = completion[unmapped_idx].min(axis=1)
+        return int(unmapped_idx[int(np.argmax(best))])
+
+    return _list_schedule(etc, pick)
+
+
+def sufferage(etc: np.ndarray) -> np.ndarray:
+    """Sufferage: commit the task that would suffer most if denied its best
+    machine (largest second-best minus best completion gap)."""
+    _check(etc)
+    n_machines = etc.shape[1]
+
+    def pick(unmapped_idx: np.ndarray, completion: np.ndarray) -> int:
+        sub = completion[unmapped_idx]
+        if n_machines == 1:
+            return int(unmapped_idx[int(np.argmin(sub[:, 0]))])
+        part = np.partition(sub, 1, axis=1)
+        suffer = part[:, 1] - part[:, 0]
+        return int(unmapped_idx[int(np.argmax(suffer))])
+
+    return _list_schedule(etc, pick)
+
+
+HEURISTICS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "OLB": olb,
+    "MET": met,
+    "MCT": mct,
+    "Min-min": min_min,
+    "Max-min": max_min,
+    "Sufferage": sufferage,
+}

@@ -1,0 +1,44 @@
+"""Schedule quality metrics: makespan and flowtime."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["makespan", "flowtime", "machine_loads"]
+
+
+def _validate(etc: np.ndarray, assign: np.ndarray) -> None:
+    if assign.shape != (etc.shape[0],):
+        raise ValueError(
+            f"assignment length {assign.shape} does not match {etc.shape[0]} tasks"
+        )
+    if assign.min(initial=0) < 0 or assign.max(initial=0) >= etc.shape[1]:
+        raise ValueError("assignment references machines outside the ETC matrix")
+
+
+def machine_loads(etc: np.ndarray, assign: np.ndarray) -> np.ndarray:
+    """Total execution time placed on each machine."""
+    _validate(etc, assign)
+    loads = np.zeros(etc.shape[1])
+    np.add.at(loads, assign, etc[np.arange(etc.shape[0]), assign])
+    return loads
+
+
+def makespan(etc: np.ndarray, assign: np.ndarray) -> float:
+    """Completion time of the last machine to finish."""
+    return float(machine_loads(etc, assign).max())
+
+
+def flowtime(etc: np.ndarray, assign: np.ndarray) -> float:
+    """Sum of task completion times under per-machine FIFO order.
+
+    Tasks on a machine run in index order; each task's completion time is
+    the cumulative load up to and including it.
+    """
+    _validate(etc, assign)
+    n_machines = etc.shape[1]
+    total = 0.0
+    for m in range(n_machines):
+        tasks = np.where(assign == m)[0]
+        total += float(np.cumsum(etc[tasks, m]).sum())
+    return total

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve", "hanoi"])
+        assert args.size == 5 and args.phases == 5 and args.crossover == "random"
+
+    def test_bad_domain_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "rubik"])
+
+    def test_table_number_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+
+class TestCommands:
+    def test_solve_hanoi(self, capsys):
+        rc = main([
+            "solve", "hanoi", "--size", "3", "--population", "40",
+            "--generations", "40", "--phases", "3", "--seed", "0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "solved:        True" in out
+
+    def test_solve_single_phase_with_plan(self, capsys):
+        rc = main([
+            "solve", "hanoi", "--size", "3", "--population", "80",
+            "--generations", "150", "--phases", "1", "--seed", "0", "--show-plan",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "move(" in out
+
+    def test_figures(self, capsys):
+        for n, marker in ((1, "====="), (2, "====="), (3, "(b) goal")):
+            assert main(["figure", str(n)]) == 0
+            assert marker in capsys.readouterr().out
+
+    def test_parameter_tables(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "Population size" in capsys.readouterr().out
+        assert main(["table", "3"]) == 0
+        assert "Crossover type" in capsys.readouterr().out
+
+    def test_schedule_command(self, capsys):
+        rc = main(["schedule", "--tasks", "24", "--machines", "4", "--generations", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "consistent" in out and "Min-min" in out

@@ -1,0 +1,88 @@
+"""Validation tests for GAConfig / MultiPhaseConfig."""
+
+import pytest
+
+from repro.core import GAConfig, MultiPhaseConfig
+
+
+class TestGAConfigDefaults:
+    def test_paper_defaults(self):
+        cfg = GAConfig(max_len=100)
+        assert cfg.population_size == 200
+        assert cfg.generations == 500
+        assert cfg.crossover_rate == 0.9
+        assert cfg.mutation_rate == 0.01
+        assert cfg.tournament_size == 2
+        assert cfg.goal_weight == 0.9
+        assert cfg.cost_weight == 0.1
+        assert cfg.crossover == "random"
+
+    def test_replace_returns_new(self):
+        cfg = GAConfig(max_len=100)
+        other = cfg.replace(population_size=10)
+        assert other.population_size == 10
+        assert cfg.population_size == 200
+
+
+class TestGAConfigValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("population_size", 1),
+        ("population_size", 0),
+        ("generations", 0),
+        ("crossover_rate", -0.1),
+        ("crossover_rate", 1.1),
+        ("mutation_rate", 2.0),
+        ("tournament_size", 0),
+        ("max_len", 0),
+        ("init_length", 0),
+        ("elitism", -1),
+    ])
+    def test_bad_values_raise(self, field, value):
+        with pytest.raises(ValueError):
+            GAConfig(**{"max_len": 100, field: value})
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            GAConfig(max_len=100, goal_weight=0.9, cost_weight=0.2)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            GAConfig(max_len=100, goal_weight=1.5, cost_weight=-0.5)
+
+    def test_unknown_crossover_rejected(self):
+        with pytest.raises(ValueError):
+            GAConfig(max_len=100, crossover="two-point")
+
+    def test_init_length_range_validated(self):
+        with pytest.raises(ValueError):
+            GAConfig(max_len=100, init_length=(10, 5))
+
+    def test_init_length_above_max_len_rejected(self):
+        with pytest.raises(ValueError):
+            GAConfig(max_len=10, init_length=20)
+        with pytest.raises(ValueError):
+            GAConfig(max_len=10, init_length=(5, 20))
+
+    def test_init_length_range_accepted(self):
+        cfg = GAConfig(max_len=100, init_length=(5, 20))
+        assert cfg.init_length == (5, 20)
+
+    def test_elitism_below_population(self):
+        with pytest.raises(ValueError):
+            GAConfig(max_len=100, population_size=10, elitism=10)
+
+
+class TestMultiPhaseConfig:
+    def test_defaults(self):
+        mp = MultiPhaseConfig()
+        assert mp.max_phases == 5
+        assert mp.phase.generations == 100
+        assert not mp.phase.stop_on_goal
+
+    def test_bad_phase_count(self):
+        with pytest.raises(ValueError):
+            MultiPhaseConfig(max_phases=0)
+
+    def test_replace(self):
+        mp = MultiPhaseConfig().replace(max_phases=3)
+        assert mp.max_phases == 3

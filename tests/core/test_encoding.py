@@ -1,0 +1,152 @@
+"""Tests for the indirect encoding (decode / encode round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import DecodeCache, decode, encode_operations, gene_to_index
+from repro.domains import HanoiDomain, SlidingTileDomain, optimal_hanoi_moves
+
+
+class TestGeneToIndex:
+    def test_four_way_split_matches_paper_example(self):
+        # Paper: four valid operations; [0, .25) -> 0, [.25, .5) -> 1, ...
+        assert gene_to_index(0.0, 4) == 0
+        assert gene_to_index(0.2499, 4) == 0
+        assert gene_to_index(0.25, 4) == 1
+        assert gene_to_index(0.5, 4) == 2
+        assert gene_to_index(0.75, 4) == 3
+        assert gene_to_index(0.999, 4) == 3
+
+    def test_gene_of_exactly_one_clamps(self):
+        assert gene_to_index(1.0, 4) == 3
+
+    def test_single_operation(self):
+        assert gene_to_index(0.0, 1) == 0
+        assert gene_to_index(0.99, 1) == 0
+
+    def test_no_valid_ops_raises(self):
+        with pytest.raises(ValueError):
+            gene_to_index(0.5, 0)
+
+
+class TestDecode:
+    def test_every_decoded_op_is_valid(self, hanoi3, rng):
+        genes = rng.random(20)
+        d = decode(genes, hanoi3, hanoi3.initial_state, truncate_at_goal=False)
+        state = hanoi3.initial_state
+        for op in d.operations:
+            assert op in list(hanoi3.valid_operations(state))
+            state = hanoi3.apply(state, op)
+        assert state == d.final_state
+
+    def test_state_keys_align_with_operations(self, hanoi3, rng):
+        genes = rng.random(10)
+        d = decode(genes, hanoi3, hanoi3.initial_state, truncate_at_goal=False)
+        assert len(d.state_keys) == len(d.operations) + 1
+        assert d.state_keys[0] == hanoi3.state_key(hanoi3.initial_state)
+        assert d.state_keys[-1] == hanoi3.state_key(d.final_state)
+
+    def test_full_genome_used_without_truncation(self, hanoi3, rng):
+        genes = rng.random(10)
+        d = decode(genes, hanoi3, hanoi3.initial_state, truncate_at_goal=False)
+        assert d.used_genes == 10  # Hanoi has no dead ends
+
+    def test_truncates_at_goal(self, hanoi3):
+        optimal = optimal_hanoi_moves(3)
+        genes = encode_operations(hanoi3, hanoi3.initial_state, optimal)
+        padded = np.concatenate([genes, np.full(10, 0.5)])
+        d = decode(padded, hanoi3, hanoi3.initial_state, truncate_at_goal=True)
+        assert d.goal_reached
+        assert d.used_genes == 7
+        assert len(d.operations) == 7
+
+    def test_no_truncation_may_pass_through_goal(self, hanoi3):
+        optimal = optimal_hanoi_moves(3)
+        genes = encode_operations(hanoi3, hanoi3.initial_state, optimal)
+        padded = np.concatenate([genes, np.full(10, 0.5)])
+        d = decode(padded, hanoi3, hanoi3.initial_state, truncate_at_goal=False)
+        assert d.used_genes == 17
+
+    def test_start_at_goal_decodes_empty(self, hanoi3):
+        goal = ((), (3, 2, 1), ())
+        d = decode(np.array([0.1, 0.2]), hanoi3, goal, truncate_at_goal=True)
+        assert d.goal_reached
+        assert len(d.operations) == 0
+        assert d.cost == 0.0
+
+    def test_cost_accumulates_unit_costs(self, hanoi3, rng):
+        d = decode(rng.random(12), hanoi3, hanoi3.initial_state, truncate_at_goal=False)
+        assert d.cost == pytest.approx(len(d.operations))
+
+    def test_decode_is_deterministic(self, tile3, rng):
+        genes = rng.random(30)
+        a = decode(genes, tile3, tile3.initial_state)
+        b = decode(genes, tile3, tile3.initial_state)
+        assert a.operations == b.operations
+        assert a.final_state == b.final_state
+
+    def test_decode_with_shared_cache_matches_uncached(self, tile3, rng):
+        cache = DecodeCache(tile3)
+        genes = rng.random(25)
+        a = decode(genes, tile3, tile3.initial_state, cache=cache)
+        b = decode(genes, tile3, tile3.initial_state)
+        assert a.operations == b.operations
+        assert cache.hits + cache.misses > 0
+
+
+class TestDecodeCache:
+    def test_hit_after_miss(self, hanoi3):
+        cache = DecodeCache(hanoi3)
+        s = hanoi3.initial_state
+        k = hanoi3.state_key(s)
+        first = cache.valid_operations(s, k)
+        second = cache.valid_operations(s, k)
+        assert first == second
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_bounded_reset(self, hanoi3):
+        cache = DecodeCache(hanoi3, max_entries=1)
+        s = hanoi3.initial_state
+        cache.valid_operations(s, "k1")
+        cache.valid_operations(s, "k2")  # triggers wholesale reset
+        assert cache.misses == 2
+
+    def test_clear(self, hanoi3):
+        cache = DecodeCache(hanoi3)
+        s = hanoi3.initial_state
+        cache.valid_operations(s, hanoi3.state_key(s))
+        cache.clear()
+        cache.valid_operations(s, hanoi3.state_key(s))
+        assert cache.misses == 2
+
+
+class TestEncodeOperations:
+    def test_round_trip_optimal_hanoi(self, hanoi5):
+        optimal = optimal_hanoi_moves(5)
+        genes = encode_operations(hanoi5, hanoi5.initial_state, optimal)
+        d = decode(genes, hanoi5, hanoi5.initial_state, truncate_at_goal=False)
+        assert list(d.operations) == optimal
+        assert d.goal_reached
+
+    def test_round_trip_with_jitter(self, hanoi5, rng):
+        optimal = optimal_hanoi_moves(5)
+        genes = encode_operations(hanoi5, hanoi5.initial_state, optimal, rng=rng)
+        d = decode(genes, hanoi5, hanoi5.initial_state, truncate_at_goal=False)
+        assert list(d.operations) == optimal
+
+    def test_jittered_encodings_differ(self, hanoi5, rng):
+        optimal = optimal_hanoi_moves(5)
+        a = encode_operations(hanoi5, hanoi5.initial_state, optimal, rng=rng)
+        b = encode_operations(hanoi5, hanoi5.initial_state, optimal, rng=rng)
+        assert a.tolist() != b.tolist()
+
+    def test_invalid_sequence_rejected(self, hanoi3):
+        from repro.domains import HanoiMove
+
+        bad = [HanoiMove(1, 0)]  # stake B is empty in the initial state
+        with pytest.raises(ValueError, match="not valid"):
+            encode_operations(hanoi3, hanoi3.initial_state, bad)
+
+    def test_empty_sequence(self, hanoi3):
+        genes = encode_operations(hanoi3, hanoi3.initial_state, [])
+        assert genes.shape == (0,)

@@ -1,0 +1,77 @@
+"""Tests for evaluator-factory wiring in the multi-phase and island drivers."""
+
+import pytest
+
+from repro.core import (
+    GAConfig,
+    IslandConfig,
+    MultiPhaseConfig,
+    SerialEvaluator,
+    make_rng,
+    run_islands,
+    run_multiphase,
+)
+from repro.domains import HanoiDomain
+
+
+class CountingEvaluator(SerialEvaluator):
+    """Serial evaluator that records construction and closure."""
+
+    instances = 0
+    closed = 0
+
+    def __init__(self):
+        super().__init__()
+        CountingEvaluator.instances += 1
+
+    def close(self):
+        CountingEvaluator.closed += 1
+
+
+@pytest.fixture(autouse=True)
+def _reset_counters():
+    CountingEvaluator.instances = 0
+    CountingEvaluator.closed = 0
+
+
+class TestMultiphaseEvaluatorFactory:
+    def test_one_evaluator_per_phase_and_all_closed(self, hanoi3):
+        phase = GAConfig(
+            population_size=10, generations=3, max_len=35, init_length=7,
+            stop_on_goal=False,
+        )
+        mp = MultiPhaseConfig(max_phases=3, phase=phase)
+        result = run_multiphase(
+            hanoi3, mp, make_rng(0), evaluator_factory=CountingEvaluator
+        )
+        assert CountingEvaluator.instances == result.n_phases
+        assert CountingEvaluator.closed == result.n_phases
+
+    def test_evaluators_closed_even_on_error(self, hanoi3):
+        class Exploding(CountingEvaluator):
+            def evaluate(self, population, context):
+                raise RuntimeError("boom")
+
+        phase = GAConfig(
+            population_size=10, generations=2, max_len=35, init_length=7,
+            stop_on_goal=False,
+        )
+        mp = MultiPhaseConfig(max_phases=2, phase=phase)
+        with pytest.raises(RuntimeError, match="boom"):
+            run_multiphase(hanoi3, mp, make_rng(1), evaluator_factory=Exploding)
+        assert CountingEvaluator.closed == CountingEvaluator.instances
+
+
+class TestIslandEvaluatorFactory:
+    def test_one_evaluator_per_island(self, hanoi3):
+        cfg = IslandConfig(
+            n_islands=3,
+            migration_interval=2,
+            migration_size=1,
+            island=GAConfig(
+                population_size=8, generations=4, max_len=35, init_length=7,
+                stop_on_goal=False,
+            ),
+        )
+        run_islands(hanoi3, cfg, make_rng(2), evaluator_factory=CountingEvaluator)
+        assert CountingEvaluator.instances == 3

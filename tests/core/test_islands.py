@@ -1,0 +1,76 @@
+"""Tests for the island-model GA."""
+
+import numpy as np
+import pytest
+
+from repro.core import GAConfig, IslandConfig, make_rng, run_islands
+from repro.domains import HanoiDomain
+
+
+def _cfg(**kw):
+    island = dict(
+        population_size=20, generations=30, max_len=35, init_length=7,
+        stop_on_goal=True,
+    )
+    island.update(kw.pop("island_kw", {}))
+    base = dict(n_islands=3, migration_interval=5, migration_size=2, island=GAConfig(**island))
+    base.update(kw)
+    return IslandConfig(**base)
+
+
+class TestConfigValidation:
+    def test_requires_island_config(self):
+        with pytest.raises(ValueError, match="island config"):
+            IslandConfig(n_islands=2, island=None)
+
+    def test_minimum_islands(self):
+        with pytest.raises(ValueError):
+            _cfg(n_islands=1)
+
+    def test_migration_bounds(self):
+        with pytest.raises(ValueError):
+            _cfg(migration_interval=0)
+        with pytest.raises(ValueError):
+            _cfg(migration_size=0)
+        with pytest.raises(ValueError):
+            _cfg(migration_size=20)  # == island population
+
+
+class TestRunIslands:
+    def test_solves_hanoi3(self, hanoi3):
+        result = run_islands(hanoi3, _cfg(), make_rng(0))
+        assert result.solved
+        final = hanoi3.execute(result.best.decoded.operations)
+        assert hanoi3.is_goal(final)
+
+    def test_population_sizes_preserved_across_migration(self, hanoi3):
+        cfg = _cfg(island_kw={"stop_on_goal": False, "generations": 12})
+        # Patch through a run and verify sizes via histories: every island
+        # records its full generation count with a constant population.
+        result = run_islands(hanoi3, cfg, make_rng(1))
+        for history in result.histories:
+            assert len(history) == 12
+
+    def test_early_stop_on_goal(self, hanoi3):
+        result = run_islands(hanoi3, _cfg(), make_rng(2))
+        if result.solved:
+            assert result.generations_run <= 30
+
+    def test_migration_counter(self, hanoi3):
+        cfg = _cfg(island_kw={"stop_on_goal": False, "generations": 11}, migration_interval=5)
+        result = run_islands(hanoi3, cfg, make_rng(3))
+        assert result.migrations == 2  # after generations 5 and 10
+
+    def test_reproducible(self, hanoi3):
+        a = run_islands(hanoi3, _cfg(), make_rng(42))
+        b = run_islands(hanoi3, _cfg(), make_rng(42))
+        assert np.array_equal(a.best.genes, b.best.genes)
+        assert a.best_island == b.best_island
+
+    def test_best_island_index_valid(self, hanoi3):
+        result = run_islands(hanoi3, _cfg(), make_rng(4))
+        assert 0 <= result.best_island < 3
+
+    def test_histories_one_per_island(self, hanoi3):
+        result = run_islands(hanoi3, _cfg(), make_rng(5))
+        assert len(result.histories) == 3

@@ -1,0 +1,56 @@
+"""Tests for the GAPlanner facade."""
+
+import pytest
+
+from repro.core import GAConfig, GAPlanner, MultiPhaseConfig
+from repro.domains import HanoiDomain, optimal_hanoi_moves
+
+
+class TestGAPlanner:
+    def test_single_phase_outcome(self, hanoi3):
+        cfg = GAConfig(population_size=50, generations=80, max_len=35, init_length=7)
+        outcome = GAPlanner(hanoi3, cfg, seed=0).solve()
+        assert outcome.solved
+        assert outcome.plan_length == len(outcome.plan)
+        assert outcome.plan_cost == pytest.approx(outcome.plan_length)  # unit costs
+        assert outcome.goal_fitness == pytest.approx(1.0)
+        final = hanoi3.execute(outcome.plan)
+        assert hanoi3.is_goal(final)
+
+    def test_multiphase_by_int(self, hanoi3):
+        cfg = GAConfig(population_size=40, generations=30, max_len=35, init_length=7)
+        outcome = GAPlanner(hanoi3, cfg, multiphase=5, seed=1).solve()
+        assert outcome.solved
+        assert outcome.generations % 30 == 0  # full phases
+
+    def test_multiphase_by_config(self, hanoi3):
+        mp = MultiPhaseConfig(
+            max_phases=2,
+            phase=GAConfig(
+                population_size=20, generations=5, max_len=35, init_length=7,
+                stop_on_goal=False,
+            ),
+        )
+        cfg = GAConfig(population_size=20, generations=5, max_len=35, init_length=7)
+        outcome = GAPlanner(hanoi3, cfg, multiphase=mp, seed=2).solve()
+        assert outcome.generations <= 10
+
+    def test_seeding_produces_instant_solution(self, hanoi3):
+        cfg = GAConfig(population_size=20, generations=30, max_len=35, init_length=7)
+        planner = GAPlanner(hanoi3, cfg, seed=3)
+        seeds = planner.seed_individuals([optimal_hanoi_moves(3)])
+        outcome = planner.solve(seeds=seeds)
+        assert outcome.solved
+        assert outcome.detail.solved_at_generation == 0
+
+    def test_seeds_rejected_in_multiphase(self, hanoi3):
+        cfg = GAConfig(population_size=20, generations=5, max_len=35, init_length=7)
+        planner = GAPlanner(hanoi3, cfg, multiphase=2, seed=4)
+        seeds = planner.seed_individuals([optimal_hanoi_moves(3)], jitter=False)
+        with pytest.raises(ValueError, match="single-phase"):
+            planner.solve(seeds=seeds)
+
+    def test_custom_start_state(self, hanoi3):
+        cfg = GAConfig(population_size=20, generations=10, max_len=35, init_length=7)
+        outcome = GAPlanner(hanoi3, cfg, seed=5).solve(start_state=((1,), (3, 2), ()))
+        assert outcome.solved

@@ -1,0 +1,59 @@
+"""Tests for seeded RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import make_rng, random_floats, spawn, spawn_many, stream
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(42), make_rng(42)
+        assert a.random(10).tolist() == b.random(10).tolist()
+
+    def test_different_seeds_differ(self):
+        a, b = make_rng(1), make_rng(2)
+        assert a.random(10).tolist() != b.random(10).tolist()
+
+    def test_none_seed_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_of_parent(self):
+        parent = make_rng(7)
+        child = spawn(parent)
+        # Child stream differs from what the parent would have produced.
+        assert child.random(10).tolist() != make_rng(7).random(10).tolist()
+
+    def test_children_differ_from_each_other(self):
+        parent = make_rng(7)
+        a, b = spawn_many(parent, 2)
+        assert a.random(10).tolist() != b.random(10).tolist()
+
+    def test_spawn_is_reproducible(self):
+        ours = [g.random(5).tolist() for g in spawn_many(make_rng(3), 4)]
+        theirs = [g.random(5).tolist() for g in spawn_many(make_rng(3), 4)]
+        assert ours == theirs
+
+    def test_spawn_zero(self):
+        assert spawn_many(make_rng(0), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_many(make_rng(0), -1)
+
+    def test_stream_yields_distinct_generators(self):
+        it = stream(make_rng(5))
+        a, b = next(it), next(it)
+        assert a.random(5).tolist() != b.random(5).tolist()
+
+
+class TestRandomFloats:
+    def test_range(self):
+        x = random_floats(make_rng(1), 1000)
+        assert x.shape == (1000,)
+        assert (x >= 0).all() and (x < 1).all()
+
+    def test_zero_length(self):
+        assert random_floats(make_rng(1), 0).shape == (0,)

@@ -1,0 +1,118 @@
+"""Tests for termination criteria."""
+
+import pytest
+
+from repro.core import (
+    Deadline,
+    FitnessTarget,
+    GAConfig,
+    GARun,
+    GenerationLimit,
+    Stagnation,
+    all_of,
+    any_of,
+    make_rng,
+)
+from repro.core.stats import GenerationStats
+from repro.domains import HanoiDomain
+
+
+def _stats(gen, best=0.5):
+    return GenerationStats(
+        generation=gen, best_total=best, mean_total=best / 2, best_goal=best,
+        mean_goal=best / 2, mean_length=10.0, max_length=10, min_length=10,
+        solved_count=0,
+    )
+
+
+class TestStagnation:
+    def test_fires_after_patience_without_improvement(self):
+        s = Stagnation(patience=3)
+        assert not s(_stats(0, 0.5))
+        assert not s(_stats(1, 0.5))
+        assert not s(_stats(2, 0.5))
+        assert s(_stats(3, 0.5))  # 3 generations with no improvement
+
+    def test_improvement_resets(self):
+        s = Stagnation(patience=2)
+        s(_stats(0, 0.5))
+        s(_stats(1, 0.5))
+        assert not s(_stats(2, 0.6))  # improved: counter resets
+        assert not s(_stats(3, 0.6))
+        assert s(_stats(4, 0.6))
+
+    def test_min_delta(self):
+        s = Stagnation(patience=1, min_delta=0.1)
+        s(_stats(0, 0.5))
+        assert s(_stats(1, 0.55))  # below min_delta: counts as stagnant
+
+    def test_reset(self):
+        s = Stagnation(patience=1)
+        s(_stats(0, 0.5))
+        assert s(_stats(1, 0.5))
+        s.reset()
+        assert not s(_stats(2, 0.4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Stagnation(patience=0)
+        with pytest.raises(ValueError):
+            Stagnation(patience=1, min_delta=-1)
+
+
+class TestOtherCriteria:
+    def test_fitness_target(self):
+        c = FitnessTarget(0.9)
+        assert not c(_stats(0, 0.8))
+        assert c(_stats(1, 0.9))
+
+    def test_generation_limit(self):
+        c = GenerationLimit(5)
+        assert not c(_stats(4))
+        assert c(_stats(5))
+        with pytest.raises(ValueError):
+            GenerationLimit(-1)
+
+    def test_deadline(self):
+        t = [0.0]
+        c = Deadline(10.0, clock=lambda: t[0])
+        assert not c(_stats(0))
+        t[0] = 11.0
+        assert c(_stats(1))
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+
+class TestCombinators:
+    def test_any_of(self):
+        c = any_of(FitnessTarget(0.9), GenerationLimit(5))
+        assert not c(_stats(0, 0.5))
+        assert c(_stats(1, 0.95))
+        assert c(_stats(6, 0.1))
+
+    def test_all_of(self):
+        c = all_of(FitnessTarget(0.9), GenerationLimit(5))
+        assert not c(_stats(1, 0.95))
+        assert not c(_stats(6, 0.1))
+        assert c(_stats(6, 0.95))
+
+    def test_any_of_evaluates_all_for_state(self):
+        """Stateful criteria must tick even when another fires first."""
+        stag = Stagnation(patience=1)
+        c = any_of(GenerationLimit(0), stag)
+        assert c(_stats(0, 0.5))  # limit fires, but stagnation also ticked
+        assert stag._since == 0  # first call set the baseline
+
+
+class TestIntegrationWithGARun:
+    def test_stagnation_stops_run_early(self):
+        domain = HanoiDomain(3)
+        cfg = GAConfig(
+            population_size=10, generations=200, max_len=35, init_length=7,
+            stop_on_goal=False, mutation_rate=0.0, crossover_rate=0.0,
+        )
+        # With no variation operators the population cannot improve, so
+        # stagnation fires almost immediately.
+        run = GARun(domain, cfg, make_rng(0))
+        result = run.run(on_generation=Stagnation(patience=5))
+        assert result.generations_run < 200

@@ -1,0 +1,130 @@
+"""Tests for the Towers of Hanoi domain."""
+
+import pytest
+
+from repro.domains import HanoiDomain, HanoiMove, hanoi_strips_problem, optimal_hanoi_moves
+from repro.planning import Plan
+from repro.planning.search import breadth_first_search
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        d = HanoiDomain(3)
+        assert d.initial_state == ((3, 2, 1), (), ())
+
+    def test_bad_disk_count(self):
+        with pytest.raises(ValueError):
+            HanoiDomain(0)
+
+    def test_bad_goal_stake(self):
+        with pytest.raises(ValueError):
+            HanoiDomain(3, goal_stake=5)
+
+    def test_optimal_length(self):
+        assert HanoiDomain(5).optimal_length == 31
+
+
+class TestMoves:
+    def test_initial_moves_only_from_a(self, hanoi3):
+        ops = hanoi3.valid_operations(hanoi3.initial_state)
+        assert all(mv.src == 0 for mv in ops)
+        assert {mv.dst for mv in ops} == {1, 2}
+
+    def test_larger_never_on_smaller(self, hanoi3):
+        # d1 on B, d2+d3 on A: moving A's top (d2) onto B (d1) is illegal.
+        state = ((3, 2), (1,), ())
+        ops = hanoi3.valid_operations(state)
+        assert HanoiMove(0, 1) not in ops
+        assert HanoiMove(0, 2) in ops  # d2 to empty C is fine
+        assert HanoiMove(1, 0) in ops  # d1 onto d2 is fine
+
+    def test_apply_moves_top_disk(self, hanoi3):
+        nxt = hanoi3.apply(hanoi3.initial_state, HanoiMove(0, 1))
+        assert nxt == ((3, 2), (1,), ())
+
+    def test_every_state_has_two_or_three_moves(self, hanoi3, rng):
+        state = hanoi3.initial_state
+        for _ in range(100):
+            ops = hanoi3.valid_operations(state)
+            assert 2 <= len(ops) <= 3
+            state = hanoi3.apply(state, ops[int(rng.integers(0, len(ops)))])
+
+    def test_disk_conservation(self, hanoi5, rng):
+        state = hanoi5.initial_state
+        for _ in range(200):
+            ops = hanoi5.valid_operations(state)
+            state = hanoi5.apply(state, ops[int(rng.integers(0, len(ops)))])
+            disks = sorted(d for stack in state for d in stack)
+            assert disks == [1, 2, 3, 4, 5]
+            for stack in state:
+                assert list(stack) == sorted(stack, reverse=True)
+
+
+class TestGoalFitness:
+    def test_initial_is_zero(self, hanoi3):
+        assert hanoi3.goal_fitness(hanoi3.initial_state) == 0.0
+
+    def test_goal_is_one(self, hanoi3):
+        assert hanoi3.goal_fitness(((), (3, 2, 1), ())) == 1.0
+        assert hanoi3.is_goal(((), (3, 2, 1), ()))
+
+    def test_weights_are_powers_of_two(self):
+        d = HanoiDomain(3)
+        # Only the largest disk (weight 4 of total 7) on B.
+        assert d.goal_fitness(((2, 1), (3,), ())) == pytest.approx(4 / 7)
+        # All but the largest on B: the deceptive state from the paper.
+        assert d.goal_fitness(((3,), (2, 1), ())) == pytest.approx(3 / 7)
+
+    def test_paper_deception_below_half(self):
+        """All disks but the largest on B scores slightly under 0.5."""
+        d = HanoiDomain(5)
+        state = ((5,), (4, 3, 2, 1), ())
+        assert 0.4 < d.goal_fitness(state) < 0.5
+
+    def test_alternative_goal_stake(self):
+        d = HanoiDomain(3, goal_stake=2)
+        assert d.is_goal(((), (), (3, 2, 1)))
+
+
+class TestOptimalMoves:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_optimal_solves_in_minimum_steps(self, n):
+        d = HanoiDomain(n)
+        moves = optimal_hanoi_moves(n)
+        assert len(moves) == 2**n - 1
+        assert d.is_goal(d.execute(moves))
+
+    def test_alternate_destination(self):
+        d = HanoiDomain(3, goal_stake=2)
+        moves = optimal_hanoi_moves(3, src=0, dst=2)
+        assert d.is_goal(d.execute(moves))
+
+    def test_zero_disks(self):
+        assert optimal_hanoi_moves(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_hanoi_moves(-1)
+
+
+class TestStripsEncoding:
+    def test_matches_native_optimum(self):
+        p = hanoi_strips_problem(3)
+        from repro.planning import StripsDomainAdapter
+
+        result = breadth_first_search(StripsDomainAdapter(p))
+        assert result.solved and result.plan_length == 7
+        assert Plan(result.plan).solves(p)
+
+    def test_operation_count(self):
+        # move(d, from, to): d over disks, from/to over valid supports.
+        p = hanoi_strips_problem(2)
+        # d1 can sit on d2/A/B/C (from,to pairs of distinct supports ≠ d1);
+        # d2 only on stakes. Exact count is less interesting than validity:
+        assert len(p.operations) > 0
+        for op in p.operations:
+            assert op.name.startswith("move(")
+
+    def test_bad_disk_count(self):
+        with pytest.raises(ValueError):
+            hanoi_strips_problem(0)

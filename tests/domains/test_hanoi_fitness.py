@@ -1,0 +1,100 @@
+"""Tests for the exact-distance Hanoi fitness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_rng
+from repro.domains import HanoiDomain, StructuralHanoiDomain, hanoi_distance, optimal_hanoi_moves
+from repro.planning.search import breadth_first_search
+
+
+class TestHanoiDistance:
+    def test_initial_state_is_optimal_length(self):
+        for n in (1, 2, 3, 4, 5, 8):
+            d = HanoiDomain(n)
+            assert hanoi_distance(d.initial_state, n) == 2**n - 1
+
+    def test_goal_is_zero(self):
+        assert hanoi_distance(((), (3, 2, 1), ()), 3) == 0
+
+    def test_deceptive_state_is_maximally_far(self):
+        """All-but-largest on B needs a full unwind: distance 2^n - 1."""
+        assert hanoi_distance(((5,), (4, 3, 2, 1), ()), 5) == 31
+
+    def test_one_move_away(self):
+        assert hanoi_distance(((1,), (3, 2), ()), 3) == 1
+
+    def test_matches_bfs_on_random_states(self):
+        """The closed form equals the true shortest path everywhere."""
+        domain = HanoiDomain(3)
+        rng = make_rng(0)
+        state = domain.initial_state
+        for _ in range(30):
+            ops = domain.valid_operations(state)
+            state = domain.apply(state, ops[int(rng.integers(0, len(ops)))])
+            bfs = breadth_first_search(domain, start_state=state)
+            assert hanoi_distance(state, 3) == bfs.plan_length
+
+    def test_wrong_disk_count_rejected(self):
+        with pytest.raises(ValueError):
+            hanoi_distance(((2, 1), (), ()), 3)
+
+    def test_alternative_goal_stake(self):
+        assert hanoi_distance(((), (), (3, 2, 1)), 3, goal_stake=2) == 0
+        assert hanoi_distance(((3, 2, 1), (), ()), 3, goal_stake=2) == 7
+
+    @given(st.integers(0, 10_000), st.integers(2, 7), st.integers(0, 80))
+    @settings(max_examples=40, deadline=None)
+    def test_distance_changes_by_at_most_one_per_move(self, seed, n, steps):
+        """|d(s) - d(s')| <= 1 along any edge — the defining property of an
+        exact distance."""
+        domain = HanoiDomain(n)
+        rng = make_rng(seed)
+        state = domain.initial_state
+        prev = hanoi_distance(state, n)
+        for _ in range(steps):
+            ops = domain.valid_operations(state)
+            state = domain.apply(state, ops[int(rng.integers(0, len(ops)))])
+            cur = hanoi_distance(state, n)
+            assert abs(cur - prev) <= 1
+            prev = cur
+
+
+class TestStructuralDomain:
+    def test_fitness_is_normalised_distance(self):
+        d = StructuralHanoiDomain(4)
+        assert d.goal_fitness(d.initial_state) == 0.0
+        assert d.goal_fitness(((), (4, 3, 2, 1), ())) == 1.0
+        one_away = ((1,), (4, 3, 2), ())
+        assert d.goal_fitness(one_away) == pytest.approx(1 - 1 / 15)
+
+    def test_monotone_along_optimal_plan(self):
+        """Unlike the weighted-disk fitness, the structural fitness rises
+        monotonically along the optimal solution."""
+        n = 4
+        d = StructuralHanoiDomain(n)
+        state = d.initial_state
+        values = [d.goal_fitness(state)]
+        for mv in optimal_hanoi_moves(n):
+            state = d.apply(state, mv)
+            values.append(d.goal_fitness(state))
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_weighted_fitness_is_not_monotone(self):
+        """Sanity check on the contrast: the paper's fitness dips along the
+        optimal plan (the deception the structural fitness removes)."""
+        n = 4
+        d = HanoiDomain(n)
+        state = d.initial_state
+        values = [d.goal_fitness(state)]
+        for mv in optimal_hanoi_moves(n):
+            state = d.apply(state, mv)
+            values.append(d.goal_fitness(state))
+        assert values != sorted(values)
+
+    def test_is_goal_consistent(self):
+        d = StructuralHanoiDomain(3)
+        assert d.is_goal(((), (3, 2, 1), ()))
+        assert not d.is_goal(d.initial_state)

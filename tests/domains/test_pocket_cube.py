@@ -1,0 +1,105 @@
+"""Tests for the Pocket Cube domain."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GAConfig, GAPlanner, make_rng
+from repro.domains.pocket_cube import MOVES, CubeMove, PocketCubeDomain, scrambled_state
+from repro.planning.search import astar, breadth_first_search, goal_gap
+
+
+@pytest.fixture
+def cube():
+    return PocketCubeDomain()
+
+
+class TestMoveAlgebra:
+    @pytest.mark.parametrize("face", ["U", "R", "F"])
+    def test_four_quarter_turns_identity(self, cube, face):
+        state = cube.initial_state
+        for _ in range(4):
+            state = cube.apply(state, CubeMove(face, 1))
+        assert state == cube.initial_state
+
+    @pytest.mark.parametrize("face", ["U", "R", "F"])
+    def test_move_and_inverse_cancel(self, cube, face):
+        s1 = cube.apply(cube.initial_state, CubeMove(face, 1))
+        s2 = cube.apply(s1, CubeMove(face, 3))
+        assert s2 == cube.initial_state
+
+    @pytest.mark.parametrize("face", ["U", "R", "F"])
+    def test_double_is_two_quarters(self, cube, face):
+        via_double = cube.apply(cube.initial_state, CubeMove(face, 2))
+        via_quarters = cube.apply(
+            cube.apply(cube.initial_state, CubeMove(face, 1)), CubeMove(face, 1)
+        )
+        assert via_double == via_quarters
+
+    def test_dbl_corner_never_moves(self, cube):
+        rng = make_rng(0)
+        state = cube.initial_state
+        for _ in range(100):
+            state = cube.apply(state, MOVES[int(rng.integers(0, 9))])
+            cp, co = state
+            assert cp[6] == 6 and co[6] == 0
+
+    @given(st.integers(0, 10_000), st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_orientation_invariant(self, seed, n):
+        """Total twist stays ≡ 0 (mod 3) along any move sequence."""
+        state = scrambled_state(n, make_rng(seed))
+        assert sum(state[1]) % 3 == 0
+        assert sorted(state[0]) == list(range(8))
+
+
+class TestDomainProtocol:
+    def test_nine_moves_everywhere(self, cube):
+        assert len(cube.valid_operations(cube.initial_state)) == 9
+        scrambled = scrambled_state(10, make_rng(1))
+        assert len(cube.valid_operations(scrambled)) == 9
+
+    def test_goal_fitness_semantics(self, cube):
+        assert cube.goal_fitness(cube.initial_state) == 1.0
+        assert cube.is_goal(cube.initial_state)
+        one_turn = cube.apply(cube.initial_state, CubeMove("R", 1))
+        assert cube.goal_fitness(one_turn) < 1.0
+        assert not cube.is_goal(one_turn)
+
+    def test_invalid_states_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            PocketCubeDomain(((0, 0, 2, 3, 4, 5, 6, 7), (0,) * 8))
+        with pytest.raises(ValueError, match="divisible by 3"):
+            PocketCubeDomain(((0, 1, 2, 3, 4, 5, 6, 7), (1, 0, 0, 0, 0, 0, 0, 0)))
+        with pytest.raises(ValueError, match="DBL"):
+            PocketCubeDomain(((6, 1, 2, 3, 4, 5, 0, 7), (0,) * 8))
+
+    def test_decode_key_constant(self, cube):
+        a = cube.decode_key(cube.initial_state)
+        b = cube.decode_key(scrambled_state(7, make_rng(2)))
+        assert a == b
+
+
+class TestSolving:
+    def test_bfs_inverts_short_scramble(self):
+        start = scrambled_state(4, make_rng(3))
+        domain = PocketCubeDomain(start)
+        r = breadth_first_search(domain, max_expansions=500_000)
+        assert r.solved
+        assert r.plan_length <= 4  # optimal never exceeds the scramble
+
+    def test_astar_with_fitness_gap(self):
+        start = scrambled_state(5, make_rng(4))
+        domain = PocketCubeDomain(start)
+        r = astar(domain, heuristic=goal_gap(domain, scale=3.0), max_expansions=500_000)
+        assert r.solved
+        final = domain.execute(r.plan)
+        assert domain.is_goal(final)
+
+    def test_ga_solves_shallow_scramble(self):
+        start = scrambled_state(4, make_rng(5))
+        domain = PocketCubeDomain(start)
+        cfg = GAConfig(population_size=150, generations=80, max_len=30, init_length=8)
+        outcome = GAPlanner(domain, cfg, multiphase=3, seed=6).solve()
+        assert outcome.solved
+        assert domain.is_goal(domain.execute(outcome.plan))

@@ -1,0 +1,145 @@
+"""Tests for the sliding-tile domain."""
+
+import pytest
+
+from repro.core import make_rng
+from repro.domains import (
+    SlidingTileDomain,
+    TileMove,
+    is_solvable,
+    manhattan_distance,
+    random_solvable_start,
+    reversed_start,
+)
+from repro.domains.sliding_tile import goal_tuple
+
+
+class TestConstruction:
+    def test_defaults(self, tile3):
+        assert tile3.initial_state == reversed_start(3)
+        assert tile3.goal_state == (1, 2, 3, 4, 5, 6, 7, 8, 0)
+        assert tile3.tile_count == 8
+        assert tile3.distance_bound == 2 * 2 * 8  # 2(n-1)·T
+
+    def test_too_small_board(self):
+        with pytest.raises(ValueError):
+            SlidingTileDomain(1)
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            SlidingTileDomain(2, initial=(1, 1, 2, 0))
+
+    def test_unsolvable_rejected(self):
+        # Swap two tiles of the goal: odd permutation.
+        with pytest.raises(ValueError, match="not reachable"):
+            SlidingTileDomain(3, initial=(2, 1, 3, 4, 5, 6, 7, 8, 0))
+
+    def test_unsolvable_accepted_when_check_disabled(self):
+        d = SlidingTileDomain(3, initial=(2, 1, 3, 4, 5, 6, 7, 8, 0), check_solvable=False)
+        assert d.initial_state[0] == 2
+
+
+class TestSolvability:
+    def test_reversed_start_solvable_all_sizes(self):
+        for n in (2, 3, 4, 5):
+            assert is_solvable(reversed_start(n), n)
+
+    def test_goal_solvable_from_itself(self):
+        assert is_solvable(goal_tuple(3), 3)
+
+    def test_single_swap_unsolvable(self):
+        assert not is_solvable((2, 1, 3, 4, 5, 6, 7, 8, 0), 3)
+
+    def test_even_board_row_parity(self):
+        # Moving the blank within a column changes the row term and the
+        # inversion count together — still solvable.
+        g = goal_tuple(4)
+        state = list(g)
+        # Slide blank up twice: swap (15, blank) vertically.
+        state[15], state[11] = state[11], state[15]
+        assert is_solvable(tuple(state), 4)
+
+    def test_random_solvable_start(self):
+        rng = make_rng(0)
+        for _ in range(10):
+            s = random_solvable_start(3, rng)
+            assert is_solvable(s, 3)
+
+    def test_half_of_permutations_solvable(self):
+        rng = make_rng(1)
+        solvable = sum(
+            is_solvable(tuple(int(x) for x in rng.permutation(9)), 3) for _ in range(400)
+        )
+        assert 150 < solvable < 250
+
+
+class TestMoves:
+    def test_corner_has_two_moves(self, tile3):
+        # Blank at top-left in the reversed start.
+        ops = tile3.valid_operations(tile3.initial_state)
+        assert {op.direction for op in ops} == {"down", "right"}
+
+    def test_center_has_four_moves(self, tile3):
+        state = (1, 2, 3, 4, 0, 5, 6, 7, 8)
+        ops = tile3.valid_operations(state)
+        assert len(ops) == 4
+
+    def test_apply_swaps_blank(self, tile3):
+        state = (1, 2, 3, 4, 0, 5, 6, 7, 8)
+        nxt = tile3.apply(state, TileMove("up"))
+        assert nxt == (1, 0, 3, 4, 2, 5, 6, 7, 8)
+
+    def test_invalid_apply_raises(self, tile3):
+        with pytest.raises(ValueError, match="invalid"):
+            tile3.apply(tile3.initial_state, TileMove("up"))
+
+    def test_moves_preserve_permutation(self, tile3, rng):
+        state = tile3.initial_state
+        for _ in range(200):
+            ops = tile3.valid_operations(state)
+            state = tile3.apply(state, ops[int(rng.integers(0, len(ops)))])
+            assert sorted(state) == list(range(9))
+
+    def test_move_then_inverse_is_identity(self, tile3):
+        state = (1, 2, 3, 4, 0, 5, 6, 7, 8)
+        inverse = {"up": "down", "down": "up", "left": "right", "right": "left"}
+        for d in ("up", "down", "left", "right"):
+            back = tile3.apply(tile3.apply(state, TileMove(d)), TileMove(inverse[d]))
+            assert back == state
+
+
+class TestGoalFitness:
+    def test_goal_is_one(self, tile3):
+        assert tile3.goal_fitness(tile3.goal_state) == 1.0
+        assert tile3.is_goal(tile3.goal_state)
+
+    def test_fitness_in_unit_interval(self, tile3, rng):
+        state = tile3.initial_state
+        for _ in range(100):
+            ops = tile3.valid_operations(state)
+            state = tile3.apply(state, ops[int(rng.integers(0, len(ops)))])
+            assert 0.0 <= tile3.goal_fitness(state) <= 1.0
+
+    def test_equation_six(self, tile3):
+        """goal fitness = 1 - manhattan / (D·T)."""
+        s = tile3.initial_state
+        expected = 1.0 - tile3.manhattan(s) / (2 * (3 - 1) * 8)
+        assert tile3.goal_fitness(s) == pytest.approx(expected)
+
+    def test_manhattan_matches_free_function(self, tile3):
+        s = tile3.initial_state
+        assert tile3.manhattan(s) == manhattan_distance(s, tile3.goal_state, 3)
+
+    def test_one_move_from_goal(self, tile3):
+        state = (1, 2, 3, 4, 5, 6, 7, 0, 8)  # blank one left of home
+        assert tile3.manhattan(state) == 1
+        assert not tile3.is_goal(state)
+
+
+class TestCustomGoals:
+    def test_custom_goal_pair(self):
+        initial = (1, 2, 3, 4, 5, 6, 7, 8, 0)
+        goal = (1, 2, 3, 4, 5, 6, 0, 7, 8)
+        d = SlidingTileDomain(3, initial=initial, goal=goal)
+        assert d.is_goal(goal)
+        assert not d.is_goal(initial)

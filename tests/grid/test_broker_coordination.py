@@ -1,0 +1,130 @@
+"""Tests for the broker and the coordination service with replanning."""
+
+import pytest
+
+from repro.core import GAConfig, GAPlanner
+from repro.grid import (
+    CoordinationService,
+    DataProduct,
+    GridEvent,
+    ResourceBroker,
+    greedy_grid_planner,
+    imaging_pipeline,
+)
+
+
+class TestBroker:
+    def test_discover_respects_requirements(self):
+        onto, _ = imaging_pipeline()
+        broker = ResourceBroker(onto)
+        hosts = {m.name for m in broker.discover("analyze")}  # 16 GB min
+        assert "lab-ws" not in hosts
+        assert "hpc-1" in hosts
+
+    def test_offers_ranked_by_total_time(self):
+        onto, _ = imaging_pipeline()
+        broker = ResourceBroker(onto)
+        offers = broker.offers("fft")
+        totals = [o.total_s for o in offers]
+        assert totals == sorted(totals)
+        assert offers[0].machine in ("hpc-1", "hpc-2")  # fastest machines
+
+    def test_staging_cost_shifts_ranking(self):
+        onto, _ = imaging_pipeline()
+        broker = ResourceBroker(onto)
+        frames = DataProduct.make("equalized")
+        # Data sits on campus-a: staging to hpc is cheap (10 Gb/s), but
+        # staying on campus costs nothing to stage.
+        offers = broker.offers("highpass", input_locations=[(frames, "campus-a")])
+        by_machine = {o.machine: o for o in offers}
+        assert by_machine["campus-a"].staging_s == 0.0
+        assert by_machine["hpc-1"].staging_s > 0.0
+
+    def test_load_penalty(self):
+        onto, _ = imaging_pipeline()
+        onto.topology.set_load("hpc-1", 50.0)
+        broker = ResourceBroker(onto, load_penalty=1000.0)
+        best = broker.best_offer("fft")
+        assert best.machine != "hpc-1"
+
+    def test_failed_machines_excluded(self):
+        onto, _ = imaging_pipeline()
+        for m in ("hpc-1", "hpc-2", "campus-a", "campus-b"):
+            onto.topology.fail_machine(m)
+        assert broker_has_no_offer(onto, "fft")
+
+    def test_negative_penalty_rejected(self):
+        onto, _ = imaging_pipeline()
+        with pytest.raises(ValueError):
+            ResourceBroker(onto, load_penalty=-1)
+
+
+def broker_has_no_offer(onto, program):
+    return ResourceBroker(onto).best_offer(program) is None
+
+
+class TestCoordination:
+    def test_plain_execution_no_events(self):
+        onto, domain = imaging_pipeline()
+        svc = CoordinationService(onto, greedy_grid_planner())
+        report = svc.run(domain)
+        assert report.success
+        assert report.replans == 0
+        assert domain.is_goal(report.final_placements)
+        assert report.total_makespan > 0
+
+    def test_replans_after_failure(self):
+        onto, domain = imaging_pipeline()
+        svc = CoordinationService(onto, greedy_grid_planner(), max_replans=3)
+        report = svc.run(domain, events=[GridEvent(time=2.0, kind="fail", machine="hpc-1")])
+        assert report.success
+        assert report.replans >= 1
+        # The failed machine must not host anything in the final attempt.
+        last = report.attempts[-1]
+        machines = {rec.machine for rec in last.result.trace if rec.status == "done"}
+        assert "hpc-1" not in machines
+
+    def test_replan_budget_exhausted(self):
+        onto, domain = imaging_pipeline()
+        # Kill everything capable of running the 16 GB stages: planning
+        # becomes impossible and the service must give up cleanly.
+        events = [
+            GridEvent(time=0.5, kind="fail", machine=m)
+            for m in ("campus-a", "campus-b", "hpc-1", "hpc-2")
+        ]
+        svc = CoordinationService(onto, greedy_grid_planner(max_expansions=20_000), max_replans=2)
+        report = svc.run(domain, events=events)
+        assert not report.success
+
+    def test_goal_already_met_is_noop(self):
+        onto, domain = imaging_pipeline()
+        report_product = DataProduct.make("report")
+        from repro.grid import GridWorkflowDomain
+
+        done = GridWorkflowDomain(
+            onto,
+            list(domain.initial_state) + [(report_product, "lab-ws")],
+            goal=list(domain.goal),
+        )
+        svc = CoordinationService(onto, greedy_grid_planner())
+        report = svc.run(done)
+        assert report.success
+        assert report.attempts == []
+
+    def test_ga_planner_drives_coordination(self):
+        onto, domain = imaging_pipeline()
+
+        def ga_planner(d):
+            cfg = GAConfig(population_size=50, generations=40, max_len=20, init_length=8)
+            outcome = GAPlanner(d, cfg, multiphase=3, seed=11).solve()
+            return outcome.plan if outcome.solved else None
+
+        svc = CoordinationService(onto, ga_planner)
+        report = svc.run(domain)
+        assert report.success
+        assert report.planning_seconds > 0
+
+    def test_negative_max_replans_rejected(self):
+        onto, _ = imaging_pipeline()
+        with pytest.raises(ValueError):
+            CoordinationService(onto, greedy_grid_planner(), max_replans=-1)

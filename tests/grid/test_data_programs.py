@@ -1,0 +1,135 @@
+"""Tests for data products, provenance, and program specs."""
+
+import pytest
+
+from repro.grid import DataProduct, DataType, InputSpec, Machine, OutputSpec, ProgramSpec
+from repro.grid.data import ProvenanceStep
+
+
+class TestDataProduct:
+    def test_make_freezes_attrs(self):
+        p = DataProduct.make("img", attrs={"b": 2, "a": 1})
+        assert p.attrs == (("a", 1), ("b", 2))
+
+    def test_attr_lookup(self):
+        p = DataProduct.make("img", attrs={"resolution": 1024})
+        assert p.attr("resolution") == 1024
+        assert p.attr("missing", 7) == 7
+
+    def test_with_attrs_merges(self):
+        p = DataProduct.make("img", attrs={"a": 1}).with_attrs(b=2, a=3)
+        assert p.attr("a") == 3 and p.attr("b") == 2
+
+    def test_derived_extends_history(self):
+        raw = DataProduct.make("raw", attrs={"resolution": 512})
+        eq = raw.derived("equalized", program="histeq", params={"bins": 256})
+        assert eq.dtype == "equalized"
+        assert eq.processed_by("histeq")
+        assert not raw.processed_by("histeq")
+        assert eq.history[-1] == ProvenanceStep("histeq", (("bins", 256),))
+
+    def test_derived_inherits_attrs_by_default(self):
+        raw = DataProduct.make("raw", attrs={"resolution": 512})
+        out = raw.derived("x", program="p")
+        assert out.attr("resolution") == 512
+
+    def test_hashable_and_equal(self):
+        a = DataProduct.make("t", attrs={"k": 1})
+        b = DataProduct.make("t", attrs={"k": 1})
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_str_shows_genealogy(self):
+        p = DataProduct.make("raw").derived("x", "prog1").derived("y", "prog2")
+        assert "prog1" in str(p) and "prog2" in str(p)
+
+
+class TestDataType:
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            DataType("t", volume_mb=-1)
+
+
+class TestInputSpec:
+    def test_type_must_match(self):
+        spec = InputSpec(dtype="img")
+        assert spec.accepts(DataProduct.make("img"))
+        assert not spec.accepts(DataProduct.make("other"))
+
+    def test_min_attrs(self):
+        spec = InputSpec(dtype="img", min_attrs=(("resolution", 512),))
+        assert spec.accepts(DataProduct.make("img", attrs={"resolution": 1024}))
+        assert not spec.accepts(DataProduct.make("img", attrs={"resolution": 128}))
+        assert not spec.accepts(DataProduct.make("img"))  # attribute missing
+
+    def test_history_requirements(self):
+        spec = InputSpec(dtype="img", requires_history=("histeq",), forbids_history=("lowpass",))
+        good = DataProduct.make("raw").derived("img", "histeq")
+        assert spec.accepts(good)
+        assert not spec.accepts(DataProduct.make("img"))  # histeq missing
+        poisoned = good.derived("img", "lowpass")
+        assert not spec.accepts(poisoned)
+
+
+class TestProgramSpec:
+    def _prog(self, **kw):
+        base = dict(
+            name="p",
+            inputs=(InputSpec(dtype="in"),),
+            outputs=(OutputSpec(dtype="out"),),
+            flops=100.0,
+            min_memory_gb=8,
+        )
+        base.update(kw)
+        return ProgramSpec(**base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="flops"):
+            self._prog(flops=0)
+        with pytest.raises(ValueError, match="output"):
+            self._prog(outputs=())
+
+    def test_machine_ok(self):
+        p = self._prog()
+        assert p.machine_ok(Machine("m", site="s", speed=1, memory_gb=16))
+        assert not p.machine_ok(Machine("m", site="s", speed=1, memory_gb=4))
+        assert not p.machine_ok(Machine("m", site="s", speed=1, memory_gb=16).failed())
+
+    def test_match_inputs(self):
+        p = self._prog()
+        assert p.match_inputs([DataProduct.make("in")]) is not None
+        assert p.match_inputs([DataProduct.make("other")]) is None
+        assert p.match_inputs([]) is None
+
+    def test_match_inputs_no_double_use(self):
+        p = self._prog(inputs=(InputSpec(dtype="in"), InputSpec(dtype="in")))
+        one = DataProduct.make("in")
+        assert p.match_inputs([one]) is None  # one product cannot fill two slots
+        two = DataProduct.make("in", attrs={"i": 2})
+        assert p.match_inputs([one, two]) is not None
+
+    def test_match_is_deterministic(self):
+        p = self._prog()
+        pool = [DataProduct.make("in", attrs={"i": i}) for i in range(3)]
+        assert p.match_inputs(pool) == p.match_inputs(list(reversed(pool)))
+
+    def test_produce_provenance(self):
+        p = self._prog(params=(("alpha", 2),))
+        raw = DataProduct.make("in", attrs={"resolution": 512})
+        (out,) = p.produce((raw,))
+        assert out.dtype == "out"
+        assert out.processed_by("p")
+        assert out.attr("resolution") == 512  # inherited
+
+    def test_source_program_produces_from_nothing(self):
+        p = ProgramSpec(
+            name="gen", inputs=(), outputs=(OutputSpec(dtype="out", attrs=(("v", 1),)),)
+        )
+        (out,) = p.produce(())
+        assert out.dtype == "out" and out.attr("v") == 1
+
+    def test_runtime_on(self):
+        p = self._prog(flops=1000)
+        m = Machine("m", site="s", speed=500, memory_gb=16)
+        assert p.runtime_on(m) == pytest.approx(2.0)
+        assert p.runtime_on(m.with_load(1.0)) == pytest.approx(4.0)

@@ -1,0 +1,117 @@
+"""Tests for machines, sites, links, topology."""
+
+import pytest
+
+from repro.grid import GridTopology, Link, Machine, Site
+
+
+def _topo():
+    t = GridTopology(local_bandwidth_mbps=10_000)
+    t.add_site(Site("s1")).add_site(Site("s2")).add_site(Site("s3"))
+    t.add_machine(Machine("m1", site="s1", speed=1000))
+    t.add_machine(Machine("m2", site="s1", speed=2000))
+    t.add_machine(Machine("m3", site="s2", speed=4000))
+    t.add_machine(Machine("m4", site="s3", speed=500))
+    t.add_link(Link("s1", "s2", bandwidth_mbps=100, latency_s=0.1))
+    t.add_link(Link("s2", "s3", bandwidth_mbps=1000, latency_s=0.2))
+    return t
+
+
+class TestMachine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Machine("m", site="s", speed=0)
+        with pytest.raises(ValueError):
+            Machine("m", site="s", speed=1, memory_gb=0)
+        with pytest.raises(ValueError):
+            Machine("m", site="s", speed=1, load=-1)
+
+    def test_effective_speed_under_load(self):
+        m = Machine("m", site="s", speed=1000, load=1.0)
+        assert m.effective_speed == 500.0
+
+    def test_state_transitions(self):
+        m = Machine("m", site="s", speed=1000)
+        assert m.failed().up is False
+        assert m.failed().restored().up is True
+        assert m.with_load(2.0).load == 2.0
+
+
+class TestLink:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            Link("a", "b", bandwidth_mbps=1, latency_s=-1)
+
+
+class TestTopology:
+    def test_duplicate_site_rejected(self):
+        t = GridTopology()
+        t.add_site(Site("s"))
+        with pytest.raises(ValueError, match="duplicate"):
+            t.add_site(Site("s"))
+
+    def test_machine_needs_known_site(self):
+        t = GridTopology()
+        with pytest.raises(ValueError, match="unknown site"):
+            t.add_machine(Machine("m", site="nope", speed=1))
+
+    def test_link_needs_known_sites(self):
+        t = GridTopology()
+        t.add_site(Site("a"))
+        with pytest.raises(ValueError, match="unknown site"):
+            t.add_link(Link("a", "b", bandwidth_mbps=1))
+
+    def test_machine_names_sorted(self):
+        t = _topo()
+        assert t.machine_names() == ["m1", "m2", "m3", "m4"]
+
+    def test_same_site_bandwidth_is_local(self):
+        t = _topo()
+        assert t.bandwidth("m1", "m2") == 10_000
+
+    def test_path_bandwidth_is_bottleneck(self):
+        t = _topo()
+        assert t.bandwidth("m1", "m4") == 100  # s1-s2 link limits
+
+    def test_latency_sums_along_path(self):
+        t = _topo()
+        assert t.latency("m1", "m4") == pytest.approx(0.3)
+
+    def test_no_path_returns_none(self):
+        t = _topo()
+        t.add_site(Site("island"))
+        t.add_machine(Machine("m5", site="island", speed=1))
+        assert t.bandwidth("m1", "m5") is None
+        assert t.transfer_time("m1", "m5", 10) is None
+
+    def test_transfer_time(self):
+        t = _topo()
+        # 100 MB over 100 Mbit/s = 8 s, plus 0.1 s latency.
+        assert t.transfer_time("m1", "m3", 100) == pytest.approx(8.1)
+
+    def test_same_machine_transfer_free(self):
+        t = _topo()
+        assert t.transfer_time("m1", "m1", 1e9) == 0.0
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            _topo().transfer_time("m1", "m2", -5)
+
+    def test_fail_and_restore(self):
+        t = _topo()
+        t.fail_machine("m1")
+        assert not t.machines["m1"].up
+        assert "m1" not in [m.name for m in t.up_machines()]
+        t.restore_machine("m1")
+        assert t.machines["m1"].up
+
+    def test_set_load(self):
+        t = _topo()
+        t.set_load("m2", 3.0)
+        assert t.machines["m2"].effective_speed == 500.0
+
+    def test_set_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            _topo().set_load("zzz", 1.0)

@@ -1,0 +1,69 @@
+"""Property tests on simulator invariants over random pipelines."""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_rng
+from repro.grid import GridSimulator, plan_to_activity_graph
+from repro.grid.generators import random_pipeline
+from repro.planning.search import goal_gap, greedy_best_first
+
+
+def _executed(seed, n_stages=3):
+    rng = make_rng(seed)
+    onto, domain = random_pipeline(rng, n_stages=n_stages)
+    r = greedy_best_first(domain, goal_gap(domain, scale=1000.0), max_expansions=100_000)
+    assert r.solved
+    graph = plan_to_activity_graph(domain, r.plan)
+    sim = GridSimulator(onto)
+    return graph, sim, sim.execute(graph, domain.initial_state)
+
+
+class TestSimulatorInvariants:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_no_server_overlap(self, seed):
+        """A machine's CPU (and NIC) runs at most one task at a time."""
+        graph, sim, result = _executed(seed)
+        by_server = defaultdict(list)
+        for rec in result.trace:
+            if rec.status != "done":
+                continue
+            activity = graph.activity(rec.activity_id)
+            by_server[sim._server_of(activity)].append((rec.start, rec.end))
+        for intervals in by_server.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-9
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_dependencies_respected_in_time(self, seed):
+        """No activity starts before every predecessor has finished."""
+        graph, _sim, result = _executed(seed)
+        times = {r.activity_id: (r.start, r.end) for r in result.trace if r.status == "done"}
+        for act in graph.activities():
+            for pred in graph.predecessors(act.id):
+                assert times[act.id][0] >= times[pred][1] - 1e-9
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_makespan_is_last_completion(self, seed):
+        _graph, _sim, result = _executed(seed)
+        ends = [r.end for r in result.trace if r.status == "done"]
+        assert result.makespan == max(ends)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_durations_match_model(self, seed):
+        """Every record's duration equals the simulator's duration model."""
+        graph, sim, result = _executed(seed)
+        for rec in result.trace:
+            if rec.status != "done":
+                continue
+            expected = sim._duration(graph.activity(rec.activity_id))
+            assert rec.end - rec.start == pytest.approx(expected)
+

@@ -1,0 +1,44 @@
+"""Integration tests for the extension study drivers."""
+
+import pytest
+
+from repro.analysis import fitness_accuracy_study, island_study
+from repro.analysis.experiments import ExperimentScale
+
+TINY = ExperimentScale.scaled(
+    population_size=24,
+    generations_single=25,
+    generations_phase=10,
+    runs_hanoi=2,
+    runs_tile=2,
+    hanoi_disks=(3,),
+    tile_sizes=(3,),
+)
+
+
+class TestFitnessAccuracyStudy:
+    def test_structure(self):
+        t = fitness_accuracy_study(TINY, seed=1, n_disks=3, tile_n=3)
+        assert len(t.rows) == 4
+        domains = t.column("Domain")
+        assert domains.count("hanoi-3") == 2 and domains.count("tile-3x3") == 2
+        for solved, total in zip(t.column("Solved Runs"), t.column("Total Runs")):
+            assert 0 <= solved <= total == 2
+
+    def test_reproducible(self):
+        a = fitness_accuracy_study(TINY, seed=2, n_disks=3).rows
+        b = fitness_accuracy_study(TINY, seed=2, n_disks=3).rows
+        assert a == b
+
+
+class TestIslandStudy:
+    def test_structure(self):
+        t = island_study(TINY, seed=3, n_disks=3, n_islands=3)
+        assert len(t.rows) == 2
+        assert t.rows[0][0] == "1 population"
+        assert "islands" in t.rows[1][0]
+        assert all(0.0 <= f <= 1.0 for f in t.column("Avg Goal Fitness"))
+
+    def test_total_runs_consistent(self):
+        t = island_study(TINY, seed=4, n_disks=3)
+        assert t.column("Total Runs") == [2, 2]

@@ -1,0 +1,65 @@
+"""Tests for the STRIPS-to-domain adapter."""
+
+import pytest
+
+from repro.core import GAConfig, GAPlanner
+from repro.domains import hanoi_strips_problem
+from repro.planning import Operation, PlanningProblem, StripsDomainAdapter, atom
+
+
+def _problem():
+    ops = (
+        Operation("a", preconditions={atom("s")}, add={atom("m")}, delete={atom("s")}, cost=2.5),
+        Operation("b", preconditions={atom("m")}, add={atom("g")}),
+    )
+    return PlanningProblem(
+        conditions={atom("s"), atom("m"), atom("g")},
+        operations=ops,
+        initial={atom("s")},
+        goal={atom("g"), atom("m")},
+        name="tiny",
+    )
+
+
+class TestAdapter:
+    def test_protocol_surface(self):
+        d = StripsDomainAdapter(_problem())
+        assert d.initial_state == frozenset({atom("s")})
+        assert [op.name for op in d.valid_operations(d.initial_state)] == ["a"]
+        nxt = d.apply(d.initial_state, d.problem.operations[0])
+        assert atom("m") in nxt
+        assert d.name == "tiny"
+
+    def test_default_goal_fitness_is_fraction(self):
+        d = StripsDomainAdapter(_problem())
+        assert d.goal_fitness(d.initial_state) == 0.0
+        assert d.goal_fitness(frozenset({atom("m")})) == pytest.approx(0.5)
+        assert d.goal_fitness(frozenset({atom("m"), atom("g")})) == 1.0
+
+    def test_custom_goal_fitness(self):
+        d = StripsDomainAdapter(_problem(), goal_fitness_fn=lambda p, s: 0.25)
+        assert d.goal_fitness(d.initial_state) == 0.25
+
+    def test_custom_goal_fitness_range_checked(self):
+        d = StripsDomainAdapter(_problem(), goal_fitness_fn=lambda p, s: 7.0)
+        with pytest.raises(ValueError):
+            d.goal_fitness(d.initial_state)
+
+    def test_operation_cost_passthrough(self):
+        d = StripsDomainAdapter(_problem())
+        assert d.operation_cost(d.problem.operations[0]) == 2.5
+
+    def test_valid_ops_cached(self):
+        d = StripsDomainAdapter(_problem())
+        a = d.valid_operations(d.initial_state)
+        b = d.valid_operations(d.initial_state)
+        assert a is b
+
+    def test_ga_solves_strips_hanoi(self):
+        d = StripsDomainAdapter(hanoi_strips_problem(3))
+        cfg = GAConfig(population_size=60, generations=120, max_len=40, init_length=7)
+        outcome = GAPlanner(d, cfg, seed=0).solve()
+        assert outcome.solved
+        # Validate via the problem's own machinery.
+        plan = d.to_plan(outcome.plan)
+        assert plan.solves(d.problem)

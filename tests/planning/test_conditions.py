@@ -1,0 +1,52 @@
+"""Tests for atoms and states."""
+
+import pytest
+
+from repro.planning import atom, format_atom, format_state, make_state, satisfies
+
+
+class TestAtom:
+    def test_construction(self):
+        assert atom("on", "a", "b") == ("on", "a", "b")
+
+    def test_nullary(self):
+        assert atom("handempty") == ("handempty",)
+
+    def test_mixed_arg_types(self):
+        assert atom("on", 1, "A") == ("on", 1, "A")
+
+    def test_bad_predicate(self):
+        with pytest.raises(ValueError):
+            atom("")
+        with pytest.raises(ValueError):
+            atom(123)  # type: ignore[arg-type]
+
+
+class TestState:
+    def test_make_state(self):
+        s = make_state([atom("a"), atom("b")])
+        assert atom("a") in s and atom("b") in s
+
+    def test_duplicates_collapse(self):
+        s = make_state([atom("a"), atom("a")])
+        assert len(s) == 1
+
+    def test_non_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            make_state(["a"])  # type: ignore[list-item]
+
+    def test_satisfies(self):
+        s = make_state([atom("a"), atom("b"), atom("c")])
+        assert satisfies(s, [atom("a"), atom("b")])
+        assert not satisfies(s, [atom("a"), atom("d")])
+        assert satisfies(s, [])
+
+
+class TestFormatting:
+    def test_format_atom(self):
+        assert format_atom(atom("on", "a", "b")) == "on(a, b)"
+        assert format_atom(atom("handempty")) == "handempty"
+
+    def test_format_state_sorted(self):
+        s = make_state([atom("b"), atom("a")])
+        assert format_state(s) == "{a, b}"

@@ -1,0 +1,88 @@
+"""Tests for operator schemas and grounding."""
+
+import pytest
+
+from repro.planning import OperatorSchema, atom, ground_all, ground_schema, is_variable
+
+
+def _move_schema(**kw):
+    base = dict(
+        name="move",
+        parameters=(("?x", "thing"), ("?to", "place")),
+        preconditions=(atom("at", "?x", "home"),),
+        add=(atom("at", "?x", "?to"),),
+        delete=(atom("at", "?x", "home"),),
+    )
+    base.update(kw)
+    return OperatorSchema(**base)
+
+
+class TestIsVariable:
+    def test_variables(self):
+        assert is_variable("?x")
+        assert not is_variable("x")
+        assert not is_variable(3)
+
+
+class TestSchemaValidation:
+    def test_parameter_must_be_variable(self):
+        with pytest.raises(ValueError, match="'\\?'"):
+            OperatorSchema(name="bad", parameters=(("x", "t"),))
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            OperatorSchema(name="bad", parameters=(("?x", "t"), ("?x", "u")))
+
+
+class TestGrounding:
+    def test_cartesian_product(self):
+        schema = _move_schema()
+        ops = ground_schema(schema, {"thing": ["a", "b"], "place": ["p", "q"]})
+        assert len(ops) == 4
+        names = {op.name for op in ops}
+        assert "move(a, p)" in names and "move(b, q)" in names
+
+    def test_substitution_correct(self):
+        schema = _move_schema()
+        ops = ground_schema(schema, {"thing": ["a"], "place": ["p"]})
+        op = ops[0]
+        assert op.preconditions == frozenset({atom("at", "a", "home")})
+        assert op.add == frozenset({atom("at", "a", "p")})
+        assert op.delete == frozenset({atom("at", "a", "home")})
+
+    def test_constraint_filters_bindings(self):
+        schema = _move_schema(constraint=lambda b: b["?x"] != b["?to"])
+        ops = ground_schema(schema, {"thing": ["a"], "place": ["a", "p"]})
+        assert [op.name for op in ops] == ["move(a, p)"]
+
+    def test_callable_cost(self):
+        schema = _move_schema(cost=lambda b: 5.0 if b["?to"] == "p" else 1.0)
+        ops = ground_schema(schema, {"thing": ["a"], "place": ["p", "q"]})
+        costs = {op.name: op.cost for op in ops}
+        assert costs["move(a, p)"] == 5.0
+        assert costs["move(a, q)"] == 1.0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="no objects of type"):
+            ground_schema(_move_schema(), {"thing": ["a"]})
+
+    def test_unbound_variable_in_template_rejected(self):
+        schema = OperatorSchema(
+            name="bad",
+            parameters=(("?x", "t"),),
+            add=(atom("at", "?y"),),  # ?y never bound
+        )
+        with pytest.raises(ValueError, match="unbound"):
+            ground_schema(schema, {"t": ["a"]})
+
+    def test_ground_all_preserves_schema_order(self):
+        s1 = _move_schema(name="first")
+        s2 = _move_schema(name="second")
+        ops = ground_all([s1, s2], {"thing": ["a"], "place": ["p"]})
+        assert [op.name for op in ops] == ["first(a, p)", "second(a, p)"]
+
+    def test_grounding_is_deterministic(self):
+        objs = {"thing": ["a", "b"], "place": ["p", "q"]}
+        a = [op.name for op in ground_schema(_move_schema(), objs)]
+        b = [op.name for op in ground_schema(_move_schema(), objs)]
+        assert a == b

@@ -1,0 +1,67 @@
+"""Tests for STRIPS operations."""
+
+import pytest
+
+from repro.planning import Operation, atom
+from repro.planning.operation import check_operations
+
+
+def _op(**kw):
+    base = dict(
+        name="op",
+        preconditions={atom("p")},
+        add={atom("q")},
+        delete={atom("p")},
+    )
+    base.update(kw)
+    return Operation(**base)
+
+
+class TestOperation:
+    def test_applicable(self):
+        op = _op()
+        assert op.applicable(frozenset({atom("p")}))
+        assert not op.applicable(frozenset())
+
+    def test_apply(self):
+        op = _op()
+        out = op.apply(frozenset({atom("p"), atom("r")}))
+        assert out == frozenset({atom("q"), atom("r")})
+
+    def test_apply_invalid_raises(self):
+        with pytest.raises(ValueError, match="missing preconditions"):
+            _op().apply(frozenset())
+
+    def test_apply_unchecked_skips_validation(self):
+        out = _op().apply_unchecked(frozenset())
+        assert atom("q") in out
+
+    def test_postconditions_view(self):
+        assert _op().postconditions == frozenset({atom("q")})
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            _op(cost=-1.0)
+
+    def test_add_delete_overlap_rejected(self):
+        with pytest.raises(ValueError, match="adds and deletes"):
+            Operation(name="bad", add={atom("x")}, delete={atom("x")})
+
+    def test_sets_are_frozen(self):
+        op = _op()
+        assert isinstance(op.preconditions, frozenset)
+        assert isinstance(op.add, frozenset)
+        assert isinstance(op.delete, frozenset)
+
+    def test_default_cost_is_unit(self):
+        assert _op().cost == 1.0
+
+
+class TestCheckOperations:
+    def test_passes_on_closed_universe(self):
+        universe = frozenset({atom("p"), atom("q")})
+        check_operations([_op()], universe)
+
+    def test_detects_stray_atoms(self):
+        with pytest.raises(ValueError, match="unknown"):
+            check_operations([_op()], frozenset({atom("p")}))

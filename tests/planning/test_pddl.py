@@ -1,0 +1,185 @@
+"""Tests for the PDDL-lite frontend."""
+
+import pytest
+
+from repro.planning import Plan, StripsDomainAdapter, atom
+from repro.planning.pddl import PddlError, load_problem, parse_domain, parse_problem
+from repro.planning.search import breadth_first_search, graphplan
+
+BLOCKS_DOMAIN = """
+; four-operator blocks world
+(define (domain blocks)
+  (:requirements :strips :typing)
+  (:predicates (on ?x ?y) (ontable ?x) (clear ?x) (handempty) (holding ?x))
+  (:action pickup
+    :parameters (?b - block)
+    :precondition (and (clear ?b) (ontable ?b) (handempty))
+    :effect (and (holding ?b) (not (clear ?b)) (not (ontable ?b)) (not (handempty))))
+  (:action putdown
+    :parameters (?b - block)
+    :precondition (holding ?b)
+    :effect (and (clear ?b) (ontable ?b) (handempty) (not (holding ?b))))
+  (:action stack
+    :parameters (?b - block ?under - block)
+    :precondition (and (holding ?b) (clear ?under))
+    :effect (and (on ?b ?under) (clear ?b) (handempty)
+                 (not (holding ?b)) (not (clear ?under))))
+  (:action unstack
+    :parameters (?b - block ?under - block)
+    :precondition (and (on ?b ?under) (clear ?b) (handempty))
+    :effect (and (holding ?b) (clear ?under)
+                 (not (on ?b ?under)) (not (clear ?b)) (not (handempty)))))
+"""
+
+SWAP_PROBLEM = """
+(define (problem swap)
+  (:domain blocks)
+  (:objects a b - block)
+  (:init (ontable a) (on b a) (clear b) (handempty))
+  (:goal (and (on a b) (ontable b))))
+"""
+
+
+class TestParser:
+    def test_domain_parses(self):
+        d = parse_domain(BLOCKS_DOMAIN)
+        assert d.name == "blocks"
+        assert {s.name for s in d.schemas} == {"pickup", "putdown", "stack", "unstack"}
+        assert d.predicates["on"] == 2
+        assert d.predicates["handempty"] == 0
+
+    def test_comments_ignored(self):
+        d = parse_domain("; hello\n" + BLOCKS_DOMAIN)
+        assert d.name == "blocks"
+
+    def test_action_cost_slot(self):
+        text = """
+        (define (domain d)
+          (:action go
+            :parameters (?x)
+            :precondition (at ?x)
+            :effect (and (seen ?x))
+            :cost 2.5))
+        """
+        d = parse_domain(text)
+        ops = d.ground({"object": ["p"]})
+        assert ops[0].cost == 2.5
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(PddlError, match="unbalanced"):
+            parse_domain("(define (domain d)")
+
+    def test_negative_precondition_rejected(self):
+        text = """
+        (define (domain d)
+          (:action bad
+            :parameters (?x)
+            :precondition (not (at ?x))
+            :effect (and (seen ?x))))
+        """
+        with pytest.raises(PddlError, match="negative preconditions"):
+            parse_domain(text)
+
+    def test_empty_effect_rejected(self):
+        text = """
+        (define (domain d)
+          (:action noop
+            :parameters (?x)
+            :precondition (at ?x)
+            :effect (and)))
+        """
+        with pytest.raises(PddlError, match="no effect"):
+            parse_domain(text)
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(PddlError, match="unsupported domain section"):
+            parse_domain("(define (domain d) (:functions (f)) )")
+
+    def test_unsupported_requirement_rejected(self):
+        with pytest.raises(PddlError, match="unsupported requirements"):
+            parse_domain(
+                "(define (domain d) (:requirements :adl) "
+                "(:action a :parameters (?x) :effect (and (p ?x))))"
+            )
+
+    def test_no_actions_rejected(self):
+        with pytest.raises(PddlError, match="no actions"):
+            parse_domain("(define (domain d) (:predicates (p ?x)))")
+
+    def test_domain_name_mismatch(self):
+        d = parse_domain(BLOCKS_DOMAIN)
+        bad = SWAP_PROBLEM.replace("(:domain blocks)", "(:domain other)")
+        with pytest.raises(PddlError, match="targets domain"):
+            parse_problem(bad, d)
+
+
+class TestGroundedProblem:
+    def test_problem_structure(self):
+        p = load_problem(BLOCKS_DOMAIN, SWAP_PROBLEM)
+        assert p.name == "swap"
+        assert atom("on", "b", "a") in p.initial
+        assert p.goal == frozenset({atom("on", "a", "b"), atom("ontable", "b")})
+        # 2 blocks: pickup/putdown x2, stack/unstack x2 ordered pairs = 4+4.
+        assert len(p.operations) == 2 + 2 + 2 + 2
+
+    def test_bfs_solves_it(self):
+        p = load_problem(BLOCKS_DOMAIN, SWAP_PROBLEM)
+        r = breadth_first_search(StripsDomainAdapter(p))
+        assert r.solved
+        assert Plan(r.plan).solves(p)
+        # unstack b, putdown b, pickup a, stack a b — optimal is 4.
+        assert r.plan_length == 4
+
+    def test_graphplan_solves_it(self):
+        p = load_problem(BLOCKS_DOMAIN, SWAP_PROBLEM)
+        r = graphplan(p, max_levels=12)
+        assert r.solved
+        assert Plan(r.plan).solves(p)
+
+    def test_matches_python_blocks_world(self):
+        """The PDDL encoding and the Python builder agree on plan length."""
+        from repro.domains import blocks_world_problem
+
+        py = blocks_world_problem([["a", "b"]], [["b", "a"]])
+        pddl = load_problem(
+            BLOCKS_DOMAIN,
+            """
+            (define (problem swap2)
+              (:domain blocks)
+              (:objects a b - block)
+              (:init (ontable a) (on b a) (clear b) (handempty))
+              (:goal (and (ontable b) (on a b))))
+            """,
+        )
+        r_py = breadth_first_search(StripsDomainAdapter(py))
+        r_pd = breadth_first_search(StripsDomainAdapter(pddl))
+        assert r_py.plan_length == r_pd.plan_length == 4
+
+    def test_untyped_objects(self):
+        domain = """
+        (define (domain walk)
+          (:action go
+            :parameters (?from ?to)
+            :precondition (at ?from)
+            :effect (and (at ?to) (not (at ?from)))))
+        """
+        problem = """
+        (define (problem stroll)
+          (:domain walk)
+          (:objects home park)
+          (:init (at home))
+          (:goal (at park)))
+        """
+        p = load_problem(domain, problem)
+        r = breadth_first_search(StripsDomainAdapter(p))
+        assert r.solved and r.plan_length == 1
+
+    def test_ga_plans_pddl_problem(self):
+        from repro.core import GAConfig, GAPlanner
+
+        p = load_problem(BLOCKS_DOMAIN, SWAP_PROBLEM)
+        d = StripsDomainAdapter(p)
+        cfg = GAConfig(population_size=60, generations=80, max_len=30, init_length=8)
+        outcome = GAPlanner(d, cfg, seed=1).solve()
+        assert outcome.solved
+        assert Plan(outcome.plan).solves(p)

@@ -1,0 +1,134 @@
+"""Tests for PlanningProblem and Plan simulation."""
+
+import pytest
+
+from repro.planning import Operation, Plan, PlanningProblem, atom, simulate
+
+
+def _two_step_problem():
+    """start --a--> mid --b--> goal"""
+    ops = (
+        Operation("a", preconditions={atom("start")}, add={atom("mid")}, delete={atom("start")}),
+        Operation("b", preconditions={atom("mid")}, add={atom("goal")}, delete={atom("mid")}),
+    )
+    conditions = {atom("start"), atom("mid"), atom("goal")}
+    return PlanningProblem(
+        conditions=conditions,
+        operations=ops,
+        initial={atom("start")},
+        goal={atom("goal")},
+        name="two-step",
+    )
+
+
+class TestPlanningProblem:
+    def test_valid_operations_order_and_content(self):
+        p = _two_step_problem()
+        assert [op.name for op in p.valid_operations(p.initial)] == ["a"]
+
+    def test_is_goal_and_satisfaction(self):
+        p = _two_step_problem()
+        assert not p.is_goal(p.initial)
+        assert p.goal_satisfaction(p.initial) == 0.0
+        assert p.is_goal(frozenset({atom("goal"), atom("mid")}))
+
+    def test_successors(self):
+        p = _two_step_problem()
+        succ = p.successors(p.initial)
+        assert len(succ) == 1
+        op, state = succ[0]
+        assert op.name == "a" and atom("mid") in state
+
+    def test_initial_outside_universe_rejected(self):
+        with pytest.raises(ValueError, match="initial"):
+            PlanningProblem(
+                conditions={atom("a")},
+                operations=(),
+                initial={atom("zzz")},
+                goal={atom("a")},
+            )
+
+    def test_goal_outside_universe_rejected(self):
+        with pytest.raises(ValueError, match="goal"):
+            PlanningProblem(
+                conditions={atom("a")},
+                operations=(),
+                initial={atom("a")},
+                goal={atom("zzz")},
+            )
+
+    def test_duplicate_operation_names_rejected(self):
+        op = Operation("dup", add={atom("a")})
+        with pytest.raises(ValueError, match="duplicate"):
+            PlanningProblem(
+                conditions={atom("a")},
+                operations=(op, op),
+                initial={atom("a")},
+                goal={atom("a")},
+            )
+
+    def test_restarted_from(self):
+        p = _two_step_problem()
+        q = p.restarted_from({atom("mid")})
+        assert q.initial == frozenset({atom("mid")})
+        assert q.goal == p.goal
+
+    def test_with_goal(self):
+        p = _two_step_problem()
+        q = p.with_goal({atom("mid")})
+        assert q.is_goal(frozenset({atom("mid")}))
+
+    def test_operation_by_name(self):
+        p = _two_step_problem()
+        assert p.operation_by_name["a"].name == "a"
+
+
+class TestPlanSimulation:
+    def test_solving_plan(self):
+        p = _two_step_problem()
+        plan = Plan((p.operations[0], p.operations[1]))
+        result = simulate(plan, p)
+        assert result.solves
+        assert result.executed == 2
+        assert result.cost == 2.0
+        assert result.first_goal_index == 2
+        assert len(result.states) == 3
+
+    def test_invalid_plan_stops(self):
+        p = _two_step_problem()
+        plan = Plan((p.operations[1],))  # b before a
+        result = simulate(plan, p)
+        assert not result.is_valid
+        assert result.invalid_index == 0
+        assert result.executed == 0
+
+    def test_skip_invalid_mode(self):
+        p = _two_step_problem()
+        plan = Plan((p.operations[1], p.operations[0], p.operations[1]))
+        result = simulate(plan, p, stop_at_invalid=False)
+        assert result.invalid_index == 0  # first invalid recorded
+        assert result.reaches_goal  # but execution continued around it
+
+    def test_empty_plan(self):
+        p = _two_step_problem()
+        result = Plan(()).simulate(p)
+        assert result.is_valid and not result.reaches_goal
+        assert result.executed == 0
+
+    def test_plan_concat_and_prefix(self):
+        p = _two_step_problem()
+        a = Plan((p.operations[0],))
+        b = Plan((p.operations[1],))
+        combined = a.concat(b)
+        assert combined.solves(p)
+        assert len(combined.prefix(1)) == 1
+
+    def test_plan_cost_property(self):
+        p = _two_step_problem()
+        assert Plan(p.operations).cost == 2.0
+
+    def test_first_goal_index_zero_when_start_is_goal(self):
+        p = _two_step_problem().restarted_from({atom("goal")})
+        result = Plan(()).simulate(p)
+        assert result.first_goal_index == 0
+        assert result.solves
