@@ -13,6 +13,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import ExperimentScale, scale_from_env
+from repro.obs import MemoryRecorder, MetricsRegistry, Tracer, observe, planner_summary
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -20,6 +21,29 @@ RESULTS_DIR = Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
     return scale_from_env()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_observability():
+    """Attach the in-memory recorder + metrics to the whole bench session.
+
+    Everything the benches run reports through the ambient observability
+    pair, so the session can close with headline numbers (evals/sec,
+    decode-cache hit rate) alongside the tables.  Set ``REPRO_BENCH_OBS=0``
+    to switch it off when measuring the planner's uninstrumented cost.
+    """
+    if os.environ.get("REPRO_BENCH_OBS", "1") == "0":
+        yield None
+        return
+    recorder = MemoryRecorder(capacity=100_000)
+    metrics = MetricsRegistry()
+    with observe(tracer=Tracer([recorder]), metrics=metrics):
+        yield recorder
+    headline = planner_summary(metrics)
+    if headline or recorder.total_written:
+        print("\n[obs] bench session:", f"{recorder.total_written} events recorded")
+        for key, value in headline.items():
+            print(f"[obs]   {key} = {value}")
 
 
 @pytest.fixture(scope="session")

@@ -48,12 +48,42 @@ from repro.analysis import (
 )
 from repro.core import GAConfig, GAPlanner
 from repro.domains import HanoiDomain, SlidingTileDomain
+from repro.obs import JsonlSink, MetricsRegistry, ProgressSink, Tracer, observe
 
 __all__ = ["main"]
 
 
 def _scale(args) -> ExperimentScale:
     return ExperimentScale.scaled() if args.scaled else ExperimentScale.paper()
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags, available on every subcommand."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="append a JSONL event trace (generations, phases, evaluation batches, ...)",
+    )
+    group.add_argument(
+        "--metrics", action="store_true",
+        help="collect counters/timers and print a metrics summary at exit",
+    )
+    group.add_argument(
+        "--progress", action="store_true",
+        help="human-readable per-generation progress on stderr",
+    )
+
+
+def _build_observability(args):
+    """Tracer + metrics registry from the parsed obs flags."""
+    sinks = []
+    if getattr(args, "trace", None):
+        sinks.append(JsonlSink(args.trace))
+    if getattr(args, "progress", False):
+        sinks.append(ProgressSink(sys.stderr))
+    tracer = Tracer(sinks) if sinks else None
+    metrics = MetricsRegistry() if getattr(args, "metrics", False) else None
+    return tracer, metrics
 
 
 def _cmd_solve(args) -> int:
@@ -74,9 +104,24 @@ def _cmd_solve(args) -> int:
         max_len=max_len,
         init_length=init,
     )
-    multiphase = args.phases if args.phases > 1 else None
-    outcome = GAPlanner(domain, config, multiphase=multiphase, seed=args.seed).solve()
+    mode = args.mode
+    multiphase = None
+    islands = None
+    if mode == "islands":
+        islands = args.islands
+    elif mode == "multiphase" or (mode is None and args.phases > 1):
+        multiphase = args.phases
+    outcome = GAPlanner(
+        domain,
+        config,
+        multiphase=multiphase,
+        seed=args.seed,
+        islands=islands,
+        mode=mode,
+        evaluator=args.evaluator,
+    ).solve()
     print(f"domain:        {domain.name}")
+    print(f"mode:          {outcome.mode}")
     print(f"solved:        {outcome.solved}")
     print(f"goal fitness:  {outcome.goal_fitness:.3f}")
     print(f"plan length:   {outcome.plan_length}")
@@ -172,6 +217,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crossover", choices=("random", "state-aware", "mixed"), default="random")
     p.add_argument("--seed", type=int, default=2003)
     p.add_argument("--show-plan", action="store_true")
+    p.add_argument(
+        "--mode", choices=("single", "multiphase", "islands"), default=None,
+        help="run mode (default: multiphase when --phases > 1, else single)",
+    )
+    p.add_argument("--islands", type=int, default=4, help="island count for --mode islands")
+    p.add_argument(
+        "--evaluator", choices=("serial", "process"), default="serial",
+        help="population evaluation strategy (process = worker pool)",
+    )
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("table", help="regenerate a paper table")
@@ -205,12 +259,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=_cmd_schedule)
 
+    for subparser in sub.choices.values():
+        _add_obs_flags(subparser)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    tracer, metrics = _build_observability(args)
+    try:
+        with observe(tracer=tracer, metrics=metrics):
+            code = args.func(args)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if metrics is not None:
+        print(metrics.render())
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

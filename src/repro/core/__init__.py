@@ -29,7 +29,7 @@ from repro.core.parallel import (
     ProcessPoolEvaluator,
     SerialEvaluator,
 )
-from repro.core.planner import GAPlanner, PlanningOutcome
+from repro.core.planner import GAPlanner, PLANNING_MODES, PlanningOutcome
 from repro.core.rng import make_rng, spawn, spawn_many
 from repro.core.selection import (
     SELECTION_SCHEMES,
@@ -56,6 +56,7 @@ __all__ = [
     "Individual",
     "MultiPhaseConfig",
     "MultiPhaseResult",
+    "PLANNING_MODES",
     "PhaseRecord",
     "PlanningOutcome",
     "ProcessPoolEvaluator",

@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.core.ga import GARun
 from repro.core.individual import Individual
+from repro.obs.events import CheckpointWrite
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["Checkpoint", "save_checkpoint", "load_checkpoint", "restore_run"]
 
@@ -52,6 +54,10 @@ def save_checkpoint(run: GARun, path: str | Path) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "wb") as fh:
         pickle.dump(capture(run), fh, protocol=pickle.HIGHEST_PROTOCOL)
+    if run.tracer.enabled:
+        run.tracer.emit(
+            CheckpointWrite(scope=run.scope, path=str(path), generation=run.generation)
+        )
 
 
 def load_checkpoint(path: str | Path) -> Checkpoint:
@@ -71,6 +77,13 @@ def restore_run(run: GARun, ckpt: Checkpoint) -> GARun:
 
     The run must have been built with the same domain, config and start
     state that produced the checkpoint; only the evolving state is restored.
+
+    Observability round-trip: events are tagged with the generation counter,
+    and the restored run resumes counting at ``ckpt.generation``, so a trace
+    spanning the original and resumed runs contains each generation exactly
+    once.  The best-individual re-evaluation below is bookkeeping, not new
+    search work — it is deliberately hidden from the run's tracer/metrics so
+    resuming never double-counts evaluations.
     """
     if len(ckpt.genomes) != run.config.population_size:
         raise ValueError(
@@ -83,6 +96,10 @@ def restore_run(run: GARun, ckpt: Checkpoint) -> GARun:
     run.solved_at = ckpt.solved_at
     if ckpt.best_genes is not None:
         best = Individual(genes=ckpt.best_genes)
-        run.evaluator.evaluate([best], run.context)
+        run.evaluator.bind_observability(NULL_TRACER, None, scope=run.scope)
+        try:
+            run.evaluator.evaluate([best], run.context)
+        finally:
+            run.evaluator.bind_observability(run.tracer, run.metrics, scope=run.scope)
         run.best = best
     return run

@@ -31,6 +31,9 @@ from repro.core.mutation import uniform_reset_mutation
 from repro.core.parallel import EvaluationContext, Evaluator, SerialEvaluator
 from repro.core.selection import tournament_selection
 from repro.core.stats import GenerationStats, RunHistory
+from repro.obs.events import DecodeCacheSnapshot, GenerationComplete
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, default_metrics, default_tracer
 from repro.protocol import PlanningDomain
 
 __all__ = ["GARun", "GAResult", "initial_population", "run_ga"]
@@ -111,6 +114,14 @@ class GARun:
     Exposes :meth:`step` for callers that need per-generation control (the
     multi-phase driver, tests, live dashboards) and :meth:`run` for the
     plain loop.
+
+    Observability: *tracer* receives ``generation`` events (one per
+    evaluated generation) and a final ``decode-cache`` snapshot; *metrics*
+    gets the ``selection`` / ``variation`` timers plus whatever the
+    evaluator records.  Both default to the ambient pair installed by
+    :func:`repro.obs.observe` (the null tracer / no registry otherwise), and
+    *scope* tags this run's events when several runs share one tracer
+    (phases, islands).
     """
 
     def __init__(
@@ -121,6 +132,9 @@ class GARun:
         start_state: Optional[object] = None,
         evaluator: Optional[Evaluator] = None,
         seeds: Optional[Sequence[Individual]] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        scope: str = "",
     ) -> None:
         if config.max_len is None:
             raise ValueError("GAConfig.max_len must be set (the paper's MaxLen)")
@@ -135,6 +149,10 @@ class GARun:
             truncate_at_goal=config.truncate_at_goal,
         )
         self.evaluator = evaluator if evaluator is not None else SerialEvaluator()
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.metrics = metrics if metrics is not None else default_metrics()
+        self.scope = scope
+        self.evaluator.bind_observability(self.tracer, self.metrics, scope=scope)
         self._crossover = CROSSOVER_OPERATORS[config.crossover]
         self.population = initial_population(config, rng, seeds=seeds)
         self.history = RunHistory()
@@ -153,12 +171,16 @@ class GARun:
             self.best = gen_best.copy()
         if self.solved_at is None and stats.solved_count > 0:
             self.solved_at = self.generation
+        if self.tracer.enabled:
+            self.tracer.emit(GenerationComplete.from_stats(stats, scope=self.scope))
 
     def _next_generation(self) -> None:
         cfg = self.config
+        t0 = time.perf_counter()
         parents = tournament_selection(
             self.population, cfg.population_size, self.rng, cfg.tournament_size
         )
+        t1 = time.perf_counter()
         offspring: List[Individual] = []
         if cfg.elitism:
             elite = sorted(self.population, key=lambda ind: ind.total_fitness, reverse=True)
@@ -179,6 +201,9 @@ class GARun:
                     break
         self.population = offspring
         self.generation += 1
+        if self.metrics is not None:
+            self.metrics.timer("selection").record(t1 - t0)
+            self.metrics.timer("variation").record(time.perf_counter() - t1)
 
     # -- public API ----------------------------------------------------------
 
@@ -205,6 +230,12 @@ class GARun:
             if self.config.stop_on_goal and self.solved_at is not None:
                 break
         assert self.best is not None
+        if self.tracer.enabled:
+            info = self.evaluator.cache_info()
+            if info is not None:
+                self.tracer.emit(
+                    DecodeCacheSnapshot(scope=self.scope, hits=info[0], misses=info[1])
+                )
         return GAResult(
             best=self.best,
             history=self.history,
@@ -222,8 +253,19 @@ def run_ga(
     start_state: Optional[object] = None,
     evaluator: Optional[Evaluator] = None,
     seeds: Optional[Sequence[Individual]] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    scope: str = "",
 ) -> GAResult:
     """Convenience wrapper: construct a :class:`GARun` and run it."""
     return GARun(
-        domain, config, rng, start_state=start_state, evaluator=evaluator, seeds=seeds
+        domain,
+        config,
+        rng,
+        start_state=start_state,
+        evaluator=evaluator,
+        seeds=seeds,
+        tracer=tracer,
+        metrics=metrics,
+        scope=scope,
     ).run()

@@ -29,6 +29,9 @@ from repro.core.ga import GAResult, GARun
 from repro.core.individual import Individual
 from repro.core.parallel import Evaluator
 from repro.core.stats import RunHistory
+from repro.obs.events import IslandMigration
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, default_metrics, default_tracer
 from repro.protocol import PlanningDomain
 
 __all__ = ["IslandConfig", "IslandResult", "run_islands"]
@@ -104,41 +107,66 @@ def run_islands(
     rng: np.random.Generator,
     start_state: Optional[object] = None,
     evaluator_factory: Optional[Callable[[], Evaluator]] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> IslandResult:
     """Run the island-model GA to the per-island generation budget.
 
     Stops early when ``config.island.stop_on_goal`` is set and any island
-    produces a solving individual.
+    produces a solving individual.  Per-island evaluators built by
+    *evaluator_factory* are closed before returning (also on early stop or
+    error).  Island *i*'s events carry the ``island-i`` scope; migrations
+    emit ``island-migration`` events on the shared tracer.
     """
     t0 = time.perf_counter()
+    tracer = tracer if tracer is not None else default_tracer()
+    metrics = metrics if metrics is not None else default_metrics()
     rngs = rng_mod.spawn_many(rng, config.n_islands)
-    islands = [
-        GARun(
-            domain,
-            config.island,
-            rngs[i],
-            start_state=start_state,
-            evaluator=evaluator_factory() if evaluator_factory else None,
-        )
-        for i in range(config.n_islands)
-    ]
-    solved_at: Optional[int] = None
-    migrations = 0
-    generations = 0
-    for gen in range(config.island.generations):
-        for run in islands:
-            # Evaluate and record, but breed only after possible migration.
-            run._evaluate_and_record()
-        generations = gen + 1
-        if solved_at is None and any(r.solved_at is not None for r in islands):
-            solved_at = gen
-            if config.island.stop_on_goal:
-                break
-        if (gen + 1) % config.migration_interval == 0:
-            _migrate(islands, config.migration_size)
-            migrations += 1
-        for run in islands:
-            run._next_generation()
+    evaluators = [evaluator_factory() if evaluator_factory else None for _ in range(config.n_islands)]
+    try:
+        islands = [
+            GARun(
+                domain,
+                config.island,
+                rngs[i],
+                start_state=start_state,
+                evaluator=evaluators[i],
+                tracer=tracer,
+                metrics=metrics,
+                scope=f"island-{i}",
+            )
+            for i in range(config.n_islands)
+        ]
+        solved_at: Optional[int] = None
+        migrations = 0
+        generations = 0
+        for gen in range(config.island.generations):
+            for run in islands:
+                # Evaluate and record, but breed only after possible migration.
+                run._evaluate_and_record()
+            generations = gen + 1
+            if solved_at is None and any(r.solved_at is not None for r in islands):
+                solved_at = gen
+                if config.island.stop_on_goal:
+                    break
+            if (gen + 1) % config.migration_interval == 0:
+                _migrate(islands, config.migration_size)
+                migrations += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        IslandMigration(
+                            generation=gen,
+                            migration=migrations,
+                            n_islands=config.n_islands,
+                            migrants_per_island=config.migration_size,
+                        )
+                    )
+            for run in islands:
+                run._next_generation()
+    finally:
+        for evaluator in evaluators:
+            if evaluator is not None:
+                evaluator.close()
 
     best_island = 0
     best: Optional[Individual] = None

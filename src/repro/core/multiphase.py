@@ -27,6 +27,9 @@ from repro.core.fitness import FitnessResult
 from repro.core.ga import GAResult, GARun
 from repro.core.individual import Individual
 from repro.core.parallel import Evaluator
+from repro.obs.events import PhaseEnd, PhaseStart
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, default_metrics, default_tracer
 from repro.protocol import PlanningDomain
 
 __all__ = ["PhaseRecord", "MultiPhaseResult", "run_multiphase"]
@@ -78,6 +81,8 @@ def run_multiphase(
     start_state: Optional[object] = None,
     evaluator_factory: Optional[Callable[[], Evaluator]] = None,
     on_phase: Optional[Callable[[PhaseRecord], None]] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> MultiPhaseResult:
     """Run the multi-phase GA on *domain*.
 
@@ -87,8 +92,14 @@ def run_multiphase(
         Called once per phase to build an evaluator (process pools are bound
         to a start state, so they cannot be reused across phases).  ``None``
         means serial evaluation.
+    tracer / metrics:
+        Observability: phase-start/end events bracket each phase's
+        generation stream (phase events and the phase's generation events
+        share the ``phase-N`` scope).  Defaults to the ambient pair.
     """
     t0 = time.perf_counter()
+    tracer = tracer if tracer is not None else default_tracer()
+    metrics = metrics if metrics is not None else default_metrics()
     state = start_state if start_state is not None else domain.initial_state
     phase_cfg = config.phase
     if config.early_stop_in_phase and not phase_cfg.stop_on_goal:
@@ -103,6 +114,9 @@ def run_multiphase(
     total_generations = 0
 
     for phase_index in range(1, config.max_phases + 1):
+        scope = f"phase-{phase_index}"
+        if tracer.enabled:
+            tracer.emit(PhaseStart(scope=scope, phase=phase_index))
         evaluator = evaluator_factory() if evaluator_factory is not None else None
         run = GARun(
             domain,
@@ -110,6 +124,9 @@ def run_multiphase(
             phase_rngs[phase_index - 1],
             start_state=state,
             evaluator=evaluator,
+            tracer=tracer,
+            metrics=metrics,
+            scope=scope,
         )
         try:
             result = run.run()
@@ -129,6 +146,17 @@ def run_multiphase(
             solved=best.fitness.goal_reached,
         )
         phases.append(record)
+        if tracer.enabled:
+            tracer.emit(
+                PhaseEnd(
+                    scope=scope,
+                    phase=phase_index,
+                    generations=result.generations_run,
+                    plan_length=len(record.plan),
+                    goal_fitness=record.goal_fitness,
+                    solved=record.solved,
+                )
+            )
         if on_phase is not None:
             on_phase(record)
         plan = plan + record.plan

@@ -11,18 +11,30 @@ the process boundary.
 
 On a single-core box (or for small populations, where pickling dominates)
 use the default :class:`SerialEvaluator`.
+
+Evaluators are observable: :meth:`Evaluator.bind_observability` attaches a
+tracer and metrics registry (done automatically by :class:`~repro.core.ga.
+GARun`), after which every ``evaluate`` call emits an ``evaluation-batch``
+event and feeds the canonical ``evals`` / ``eval_batch`` / ``decode`` /
+``dispatch`` / ``worker_eval`` / ``decode_cache_*`` instruments.  With the
+null tracer and no registry the instrumented branches are skipped, keeping
+the uninstrumented hot path at its old cost.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.encoding import DecodeCache, decode
 from repro.core.fitness import FitnessFunction
+from repro.obs.events import EvaluationBatch
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.protocol import PlanningDomain
 from repro.core.individual import Individual
 
@@ -44,22 +56,50 @@ class EvaluationContext:
         self.fitness = fitness
         self.truncate_at_goal = truncate_at_goal
 
-    def evaluate_genes(self, genes: np.ndarray, cache: Optional[DecodeCache] = None):
-        decoded = decode(
+    def decode_genes(self, genes: np.ndarray, cache: Optional[DecodeCache] = None):
+        return decode(
             genes,
             self.domain,
             self.start_state,
             truncate_at_goal=self.truncate_at_goal,
             cache=cache,
         )
+
+    def evaluate_genes(self, genes: np.ndarray, cache: Optional[DecodeCache] = None):
+        decoded = self.decode_genes(genes, cache=cache)
         return decoded, self.fitness(decoded)
 
 
 class Evaluator:
     """Strategy interface: fill in ``decoded`` and ``fitness`` in place."""
 
+    # Observability is off by default; class attributes keep subclasses'
+    # __init__ free of boilerplate.
+    _tracer: Tracer = NULL_TRACER
+    _metrics: Optional[MetricsRegistry] = None
+    _scope: str = ""
+
     def evaluate(self, population: Sequence[Individual], context: EvaluationContext) -> None:
         raise NotImplementedError
+
+    def bind_observability(
+        self,
+        tracer: Tracer,
+        metrics: Optional[MetricsRegistry],
+        scope: str = "",
+    ) -> None:
+        """Attach the tracer/metrics this evaluator reports through."""
+        self._tracer = tracer
+        self._metrics = metrics
+        self._scope = scope
+
+    @property
+    def instrumented(self) -> bool:
+        return self._metrics is not None or self._tracer.enabled
+
+    def cache_info(self) -> Optional[Tuple[int, int]]:
+        """Cumulative decode-cache ``(hits, misses)``, or ``None`` if unknown."""
+        return None
 
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
@@ -78,14 +118,66 @@ class SerialEvaluator(Evaluator):
         self._cache: Optional[DecodeCache] = None
         self._cache_domain: Optional[PlanningDomain] = None
 
+    def cache_info(self) -> Optional[Tuple[int, int]]:
+        if self._cache is None:
+            return None
+        return self._cache.hits, self._cache.misses
+
     def evaluate(self, population: Sequence[Individual], context: EvaluationContext) -> None:
         if self._cache is None or self._cache_domain is not context.domain:
             self._cache = DecodeCache(context.domain)
             self._cache_domain = context.domain
-        for ind in population:
-            if ind.is_evaluated:
-                continue
-            ind.decoded, ind.fitness = context.evaluate_genes(ind.genes, cache=self._cache)
+        if not self.instrumented:
+            for ind in population:
+                if ind.is_evaluated:
+                    continue
+                ind.decoded, ind.fitness = context.evaluate_genes(ind.genes, cache=self._cache)
+            return
+        self._evaluate_instrumented(population, context)
+
+    def _evaluate_instrumented(
+        self, population: Sequence[Individual], context: EvaluationContext
+    ) -> None:
+        """Same work as :meth:`evaluate`, with decode/fitness split timing."""
+        cache = self._cache
+        assert cache is not None
+        pending = [ind for ind in population if not ind.is_evaluated]
+        if not pending:
+            return
+        hits0, misses0 = cache.hits, cache.misses
+        decode_s = 0.0
+        fitness_s = 0.0
+        t0 = time.perf_counter()
+        for ind in pending:
+            t1 = time.perf_counter()
+            decoded = context.decode_genes(ind.genes, cache=cache)
+            t2 = time.perf_counter()
+            ind.decoded, ind.fitness = decoded, context.fitness(decoded)
+            t3 = time.perf_counter()
+            decode_s += t2 - t1
+            fitness_s += t3 - t2
+        seconds = time.perf_counter() - t0
+        hits, misses = cache.hits - hits0, cache.misses - misses0
+        if self._metrics is not None:
+            m = self._metrics
+            m.counter("evals").add(len(pending))
+            m.timer("eval_batch").record(seconds)
+            m.timer("decode").record(decode_s, count=len(pending))
+            m.timer("fitness").record(fitness_s, count=len(pending))
+            m.counter("decode_cache_hits").add(hits)
+            m.counter("decode_cache_misses").add(misses)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                EvaluationBatch(
+                    scope=self._scope,
+                    n_evaluated=len(pending),
+                    seconds=seconds,
+                    mode="serial",
+                    chunks=1,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                )
+            )
 
 
 # -- process-pool machinery ---------------------------------------------------
@@ -104,22 +196,42 @@ def _init_worker(context: EvaluationContext) -> None:
 
 
 def _evaluate_chunk(chunk: List[np.ndarray]):
+    """Evaluate one chunk in a worker.
+
+    Returns ``(results, seconds, cache_hits, cache_misses)`` — the per-chunk
+    wall time and decode-cache deltas measured inside the worker, so the
+    parent can aggregate true in-worker cost separately from dispatch
+    overhead.
+    """
     assert _WORKER_CONTEXT is not None, "worker not initialised"
-    return [_WORKER_CONTEXT.evaluate_genes(genes, cache=_WORKER_CACHE) for genes in chunk]
+    cache = _WORKER_CACHE
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    t0 = time.perf_counter()
+    results = [_WORKER_CONTEXT.evaluate_genes(genes, cache=cache) for genes in chunk]
+    seconds = time.perf_counter() - t0
+    hits = (cache.hits - hits0) if cache is not None else 0
+    misses = (cache.misses - misses0) if cache is not None else 0
+    return results, seconds, hits, misses
 
 
 class ProcessPoolEvaluator(Evaluator):
     """Chunked evaluation across a pool of worker processes.
 
-    The domain and start state are fixed at pool construction (they are
-    shipped through the initializer); evaluating against a different context
-    raises, because workers would silently use stale state otherwise.  The
-    multi-phase driver therefore builds one pool per phase.
+    The pool's workers are initialised with one :class:`EvaluationContext`
+    (the domain and start state ship through the pool initializer).  The
+    context can be given up front, or left ``None`` to bind lazily on the
+    first :meth:`evaluate` call — which is what lets zero-argument evaluator
+    factories (``GAPlanner(evaluator="process")``, the multi-phase driver's
+    per-phase factories) build pools before the start state is known.
+    Evaluating against a *different* context afterwards raises, because
+    workers would silently use stale state otherwise; build one evaluator
+    per phase/start-state instead.
     """
 
     def __init__(
         self,
-        context: EvaluationContext,
+        context: Optional[EvaluationContext] = None,
         processes: Optional[int] = None,
         chunk_size: int = 16,
     ) -> None:
@@ -128,18 +240,35 @@ class ProcessPoolEvaluator(Evaluator):
         self.context = context
         self.chunk_size = chunk_size
         self.processes = processes or max(1, (os.cpu_count() or 1))
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._cache_hits = 0
+        self._cache_misses = 0
+        if context is not None:
+            self._start_pool(context)
+
+    def _start_pool(self, context: EvaluationContext) -> None:
+        self.context = context
         self._pool = ProcessPoolExecutor(
             max_workers=self.processes,
             initializer=_init_worker,
             initargs=(context,),
         )
 
+    def cache_info(self) -> Optional[Tuple[int, int]]:
+        """Aggregated worker-side decode-cache stats (instrumented runs only)."""
+        if not (self._cache_hits or self._cache_misses):
+            return None
+        return self._cache_hits, self._cache_misses
+
     def evaluate(self, population: Sequence[Individual], context: EvaluationContext) -> None:
-        if context is not self.context:
+        if self.context is None:
+            self._start_pool(context)
+        elif context is not self.context:
             raise ValueError(
-                "ProcessPoolEvaluator is bound to the context it was built "
+                "ProcessPoolEvaluator is bound to the context it first evaluated "
                 "with; create a new evaluator for a new phase/domain"
             )
+        assert self._pool is not None
         pending = [ind for ind in population if not ind.is_evaluated]
         if not pending:
             return
@@ -147,11 +276,41 @@ class ProcessPoolEvaluator(Evaluator):
             [ind.genes for ind in pending[i : i + self.chunk_size]]
             for i in range(0, len(pending), self.chunk_size)
         ]
-        results = self._pool.map(_evaluate_chunk, chunks)
-        flat = [item for chunk in results for item in chunk]
+        t0 = time.perf_counter()
+        outputs = list(self._pool.map(_evaluate_chunk, chunks))
+        seconds = time.perf_counter() - t0
+        flat = [item for chunk_results, _, _, _ in outputs for item in chunk_results]
         for ind, (decoded, fitness) in zip(pending, flat):
             ind.decoded = decoded
             ind.fitness = fitness
+        if self.instrumented:
+            worker_s = sum(s for _, s, _, _ in outputs)
+            hits = sum(h for _, _, h, _ in outputs)
+            misses = sum(m for _, _, _, m in outputs)
+            self._cache_hits += hits
+            self._cache_misses += misses
+            if self._metrics is not None:
+                m = self._metrics
+                m.counter("evals").add(len(pending))
+                m.timer("eval_batch").record(seconds)
+                m.timer("dispatch").record(max(0.0, seconds - worker_s / self.processes))
+                m.timer("worker_eval").record(worker_s, count=len(chunks))
+                m.counter("decode_cache_hits").add(hits)
+                m.counter("decode_cache_misses").add(misses)
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    EvaluationBatch(
+                        scope=self._scope,
+                        n_evaluated=len(pending),
+                        seconds=seconds,
+                        mode="process",
+                        chunks=len(chunks),
+                        cache_hits=hits,
+                        cache_misses=misses,
+                    )
+                )
 
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

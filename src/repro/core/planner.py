@@ -1,33 +1,52 @@
 """High-level facade: the GA planner.
 
 Most users want "give me a plan for this domain"; :class:`GAPlanner` wraps
-configuration, seeding, single- vs multi-phase mode, and result packaging
-behind one call.  The lower-level :class:`~repro.core.ga.GARun` and
-:func:`~repro.core.multiphase.run_multiphase` remain available for
-fine-grained control.
+configuration, seeding, run-mode dispatch and result packaging behind one
+call.  All three run modes — ``"single"`` (one GA run), ``"multiphase"``
+(the paper's Section 3.5 driver) and ``"islands"`` (the ring-migration
+island model) — return the same :class:`PlanningOutcome` with identical
+field semantics, so callers can switch modes without touching downstream
+code.  The lower-level :class:`~repro.core.ga.GARun`,
+:func:`~repro.core.multiphase.run_multiphase` and
+:func:`~repro.core.islands.run_islands` remain available for fine-grained
+control.
+
+Evaluator lifetimes are explicit: the planner accepts an ``evaluator=``
+*specification* (``"serial"``, ``"process"``, or a zero-argument factory),
+constructs concrete evaluators itself, and always closes them — process
+pools never leak, including on ``stop_on_goal`` early exits and on errors.
 """
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass
-from typing import Optional, Sequence
-
-import numpy as np
+from typing import Callable, Optional, Sequence, Union
 
 from repro.core.config import GAConfig, MultiPhaseConfig
 from repro.core.encoding import encode_operations
 from repro.core.ga import GAResult, run_ga
 from repro.core.individual import Individual
+from repro.core.islands import IslandConfig, IslandResult, run_islands
 from repro.core.multiphase import MultiPhaseResult, run_multiphase
+from repro.core.parallel import Evaluator, ProcessPoolEvaluator
 from repro.core.rng import make_rng
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.protocol import PlanningDomain
 
-__all__ = ["PlanningOutcome", "GAPlanner"]
+__all__ = ["PlanningOutcome", "GAPlanner", "PLANNING_MODES"]
+
+PLANNING_MODES = ("single", "multiphase", "islands")
+
+#: Evaluator specification accepted by :class:`GAPlanner`: a named strategy
+#: or a zero-argument factory returning a fresh :class:`Evaluator`.
+EvaluatorSpec = Union[None, str, Callable[[], Evaluator]]
 
 
 @dataclass(frozen=True)
 class PlanningOutcome:
-    """Uniform result for single- and multi-phase planning.
+    """Uniform result for every planning mode.
 
     Attributes
     ----------
@@ -40,9 +59,17 @@ class PlanningOutcome:
     plan_length / plan_cost:
         Size and total cost of the plan.
     generations:
-        Total generations evolved across all phases.
+        Total generations evolved — summed over phases in multi-phase mode
+        and over islands in island mode, so it is always the total search
+        effort in generation units.
+    elapsed_seconds:
+        Wall clock of the whole run.
+    mode:
+        Which run mode produced this outcome (``"single"``, ``"multiphase"``
+        or ``"islands"``).
     detail:
-        The underlying :class:`GAResult` or :class:`MultiPhaseResult`.
+        The underlying :class:`GAResult`, :class:`MultiPhaseResult` or
+        :class:`IslandResult`.
     """
 
     plan: tuple
@@ -53,6 +80,31 @@ class PlanningOutcome:
     generations: int
     elapsed_seconds: float
     detail: object
+    mode: str = "single"
+
+
+def _resolve_evaluator_factory(spec: EvaluatorSpec) -> Optional[Callable[[], Evaluator]]:
+    """Normalise an evaluator spec to a zero-argument factory (or ``None``).
+
+    ``None``/"serial" → serial evaluation, "process" → one lazily-bound
+    :class:`ProcessPoolEvaluator` per run/phase/island, callables are used
+    as factories directly.  Evaluator *instances* are rejected: a pool is
+    bound to one start state, so sharing an instance across phases would
+    silently evaluate against stale state — pass a factory instead.
+    """
+    if spec is None or spec == "serial":
+        return None
+    if spec == "process":
+        return ProcessPoolEvaluator
+    if isinstance(spec, Evaluator):
+        raise TypeError(
+            "pass an evaluator factory (e.g. ProcessPoolEvaluator or a lambda), "
+            "not an Evaluator instance: instances cannot be re-bound across "
+            "phases/islands and their lifetime would be ambiguous"
+        )
+    if callable(spec):
+        return spec
+    raise ValueError(f"unknown evaluator spec {spec!r}; use 'serial', 'process' or a factory")
 
 
 class GAPlanner:
@@ -63,13 +115,31 @@ class GAPlanner:
     domain:
         The planning domain.
     config:
-        Single-phase GA parameters (also used as the phase config in
-        multi-phase mode, with ``stop_on_goal`` handled by the driver).
+        Single-phase GA parameters (also the per-phase config in multi-phase
+        mode and the per-island config in island mode, unless the
+        corresponding sub-config overrides it).
     multiphase:
-        ``None`` for a single-phase run; a :class:`MultiPhaseConfig` (or a
-        phase count, for convenience) for the multi-phase algorithm.
+        A :class:`MultiPhaseConfig`, or a phase count for convenience.
+        Implies ``mode="multiphase"`` when *mode* is not given.
+    islands:
+        An :class:`IslandConfig`, or an island count for convenience (ring
+        defaults, *config* as the per-island config).  Implies
+        ``mode="islands"`` when *mode* is not given.
+    mode:
+        Explicit run mode: ``"single"``, ``"multiphase"`` or ``"islands"``.
+        Defaults to whichever of *multiphase*/*islands* was supplied, else
+        ``"single"``.  Selecting ``mode="multiphase"`` or ``mode="islands"``
+        without the matching config builds a default one from *config*.
     seed:
         Root seed; every run derives independent streams from it.
+    evaluator:
+        Evaluator specification: ``None``/``"serial"``, ``"process"``, or a
+        zero-argument factory.  The planner owns the lifetime — evaluators
+        are context-managed per run (per phase / per island) and always
+        closed.
+    tracer / metrics:
+        Observability wiring passed to the underlying drivers; defaults to
+        the ambient pair installed by :func:`repro.obs.observe`.
     """
 
     def __init__(
@@ -78,13 +148,46 @@ class GAPlanner:
         config: GAConfig,
         multiphase: Optional[MultiPhaseConfig | int] = None,
         seed: Optional[int] = None,
+        *,
+        islands: Optional[IslandConfig | int] = None,
+        mode: Optional[str] = None,
+        evaluator: EvaluatorSpec = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.domain = domain
         self.config = config
         if isinstance(multiphase, int):
-            multiphase = MultiPhaseConfig(max_phases=multiphase, phase=config.replace(stop_on_goal=False))
+            multiphase = MultiPhaseConfig(
+                max_phases=multiphase, phase=config.replace(stop_on_goal=False)
+            )
+        if isinstance(islands, int):
+            islands = IslandConfig(n_islands=islands, island=config)
+        if multiphase is not None and islands is not None:
+            raise ValueError("give at most one of multiphase= and islands=")
+        if mode is None:
+            mode = (
+                "multiphase" if multiphase is not None
+                else "islands" if islands is not None
+                else "single"
+            )
+        if mode not in PLANNING_MODES:
+            raise ValueError(f"mode must be one of {PLANNING_MODES}, got {mode!r}")
+        if mode == "multiphase" and multiphase is None:
+            multiphase = MultiPhaseConfig(phase=config.replace(stop_on_goal=False))
+        if mode == "islands" and islands is None:
+            islands = IslandConfig(island=config)
+        if mode != "multiphase":
+            multiphase = None
+        if mode != "islands":
+            islands = None
+        self.mode = mode
         self.multiphase = multiphase
+        self.islands = islands
         self.rng = make_rng(seed)
+        self._evaluator_factory = _resolve_evaluator_factory(evaluator)
+        self.tracer = tracer
+        self.metrics = metrics
 
     def seed_individuals(
         self, plans: Sequence[Sequence], jitter: bool = True
@@ -102,26 +205,29 @@ class GAPlanner:
         start_state: Optional[object] = None,
         seeds: Optional[Sequence[Individual]] = None,
     ) -> PlanningOutcome:
-        """Run the configured GA and package the outcome."""
-        if self.multiphase is not None:
-            if seeds:
-                raise ValueError("seeding is only supported in single-phase mode")
-            mp: MultiPhaseResult = run_multiphase(
-                self.domain, self.multiphase, self.rng, start_state=start_state
+        """Run the configured mode and package the uniform outcome."""
+        if self.mode == "multiphase":
+            return self._solve_multiphase(start_state, seeds)
+        if self.mode == "islands":
+            return self._solve_islands(start_state, seeds)
+        return self._solve_single(start_state, seeds)
+
+    # -- per-mode drivers ----------------------------------------------------
+
+    def _solve_single(self, start_state, seeds) -> PlanningOutcome:
+        factory = self._evaluator_factory
+        with ExitStack() as stack:
+            evaluator = stack.enter_context(factory()) if factory is not None else None
+            result: GAResult = run_ga(
+                self.domain,
+                self.config,
+                self.rng,
+                start_state=start_state,
+                evaluator=evaluator,
+                seeds=seeds,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
-            return PlanningOutcome(
-                plan=mp.plan,
-                solved=mp.solved,
-                goal_fitness=mp.goal_fitness,
-                plan_length=mp.plan_length,
-                plan_cost=self.domain.plan_cost(mp.plan),
-                generations=mp.total_generations,
-                elapsed_seconds=mp.elapsed_seconds,
-                detail=mp,
-            )
-        result: GAResult = run_ga(
-            self.domain, self.config, self.rng, start_state=start_state, seeds=seeds
-        )
         decoded = result.best.decoded
         assert decoded is not None and result.best.fitness is not None
         return PlanningOutcome(
@@ -133,4 +239,57 @@ class GAPlanner:
             generations=result.generations_run,
             elapsed_seconds=result.elapsed_seconds,
             detail=result,
+            mode="single",
+        )
+
+    def _solve_multiphase(self, start_state, seeds) -> PlanningOutcome:
+        if seeds:
+            raise ValueError("seeding is only supported in single-phase mode")
+        assert self.multiphase is not None
+        mp: MultiPhaseResult = run_multiphase(
+            self.domain,
+            self.multiphase,
+            self.rng,
+            start_state=start_state,
+            evaluator_factory=self._evaluator_factory,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        return PlanningOutcome(
+            plan=mp.plan,
+            solved=mp.solved,
+            goal_fitness=mp.goal_fitness,
+            plan_length=mp.plan_length,
+            plan_cost=self.domain.plan_cost(mp.plan),
+            generations=mp.total_generations,
+            elapsed_seconds=mp.elapsed_seconds,
+            detail=mp,
+            mode="multiphase",
+        )
+
+    def _solve_islands(self, start_state, seeds) -> PlanningOutcome:
+        if seeds:
+            raise ValueError("seeding is only supported in single-phase mode")
+        assert self.islands is not None
+        result: IslandResult = run_islands(
+            self.domain,
+            self.islands,
+            self.rng,
+            start_state=start_state,
+            evaluator_factory=self._evaluator_factory,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        decoded = result.best.decoded
+        assert decoded is not None and result.best.fitness is not None
+        return PlanningOutcome(
+            plan=decoded.operations,
+            solved=result.best.fitness.goal_reached,
+            goal_fitness=result.best.fitness.goal,
+            plan_length=len(decoded.operations),
+            plan_cost=decoded.cost,
+            generations=result.generations_run * self.islands.n_islands,
+            elapsed_seconds=result.elapsed_seconds,
+            detail=result,
+            mode="islands",
         )

@@ -1,9 +1,14 @@
-"""Structured run logging: JSONL traces of GA evolution.
+"""Legacy JSONL run logging — now a shim over :mod:`repro.obs`.
 
-Long experiments need post-hoc inspection without re-running; a
-:class:`GenerationLogger` plugs into :meth:`GARun.run`'s ``on_generation``
-callback (or the multi-phase driver's ``on_phase``) and appends one JSON
-object per generation — cheap, append-only, and safe to ``tail -f``.
+.. deprecated::
+    New code should attach a :class:`repro.obs.JsonlSink` to a tracer (or
+    pass ``tracer=`` / use ``--trace``) instead; see DESIGN.md §7 for the
+    migration note.  This module keeps the original ``GenerationLogger`` /
+    ``read_log`` API and on-disk record format working: one JSON object per
+    generation with the legacy keys (``run``, ``generation``, ``best_total``,
+    …, ``elapsed_s``), implemented by emitting
+    :class:`~repro.obs.events.GenerationComplete` events through a private
+    tracer whose JSONL sink rewrites records into the legacy shape.
 """
 
 from __future__ import annotations
@@ -14,6 +19,9 @@ from pathlib import Path
 from typing import IO, Optional, Union
 
 from repro.core.stats import GenerationStats
+from repro.obs.events import GenerationComplete, RunEvent
+from repro.obs.sinks import JsonlSink
+from repro.obs.tracer import Tracer
 
 __all__ = ["GenerationLogger", "read_log"]
 
@@ -36,43 +44,31 @@ class GenerationLogger:
         run_id: str = "run",
         flush_every: int = 1,
     ) -> None:
-        if flush_every < 1:
-            raise ValueError("flush_every must be >= 1")
         self.run_id = run_id
-        self.flush_every = flush_every
-        self._count = 0
-        if isinstance(target, (str, Path)):
-            path = Path(target)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh: IO[str] = open(path, "a")
-            self._owned = True
-        else:
-            self._fh = target
-            self._owned = False
+        self._sink = JsonlSink(target, flush_every=flush_every, record_fn=self._legacy_record)
+        self._tracer = Tracer([self._sink])
         self._t0 = time.perf_counter()
 
-    def __call__(self, stats: GenerationStats) -> None:
-        record = {
-            "run": self.run_id,
-            "generation": stats.generation,
-            "best_total": stats.best_total,
-            "mean_total": stats.mean_total,
-            "best_goal": stats.best_goal,
-            "mean_goal": stats.mean_goal,
-            "mean_length": stats.mean_length,
-            "solved": stats.solved_count,
+    def _legacy_record(self, event: RunEvent) -> dict:
+        assert isinstance(event, GenerationComplete)
+        return {
+            "run": event.scope,
+            "generation": event.generation,
+            "best_total": event.best_total,
+            "mean_total": event.mean_total,
+            "best_goal": event.best_goal,
+            "mean_goal": event.mean_goal,
+            "mean_length": event.mean_length,
+            "solved": event.solved_count,
             "elapsed_s": round(time.perf_counter() - self._t0, 4),
         }
-        self._fh.write(json.dumps(record) + "\n")
-        self._count += 1
-        if self._count % self.flush_every == 0:
-            self._fh.flush()
+
+    def __call__(self, stats: GenerationStats) -> None:
+        self._tracer.emit(GenerationComplete.from_stats(stats, scope=self.run_id))
         return None
 
     def close(self) -> None:
-        self._fh.flush()
-        if self._owned:
-            self._fh.close()
+        self._tracer.close()
 
     def __enter__(self) -> "GenerationLogger":
         return self

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -25,6 +26,9 @@ from repro.grid.activity_graph import Activity, ActivityGraph
 from repro.grid.ontology import Ontology
 from repro.grid.resources import GridTopology
 from repro.grid.workflow_domain import RunProgram, Transfer
+from repro.obs.events import SimulationComplete
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, default_metrics, default_tracer
 
 __all__ = ["GridEvent", "TaskRecord", "ExecutionResult", "GridSimulator"]
 
@@ -89,12 +93,25 @@ class GridSimulator:
     The simulator mutates its :class:`GridTopology` (loads, failures), so a
     fresh topology copy — or sequential reuse with care — is expected per
     experiment.
+
+    Each :meth:`execute` call reports through the observability layer: a
+    ``sim-complete`` event on *tracer* plus ``sim_execute`` timer and
+    ``sim_tasks_done`` / ``sim_tasks_failed`` counters on *metrics* (both
+    default to the ambient pair).
     """
 
-    def __init__(self, ontology: Ontology, events: Sequence[GridEvent] = ()) -> None:
+    def __init__(
+        self,
+        ontology: Ontology,
+        events: Sequence[GridEvent] = (),
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.ontology = ontology
         self.topology: GridTopology = ontology.topology
         self.events = sorted(events, key=lambda e: e.time)
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.metrics = metrics if metrics is not None else default_metrics()
 
     # -- durations ---------------------------------------------------------------
 
@@ -131,6 +148,7 @@ class GridSimulator:
         abort_on_failure: bool = False,
     ) -> ExecutionResult:
         """Simulate *graph*; see class docstring for the failure contract."""
+        wall0 = time.perf_counter()
         remaining_deps: Dict[int, int] = {
             a.id: len(graph.predecessors(a.id)) for a in graph.activities()
         }
@@ -258,6 +276,21 @@ class GridSimulator:
 
         success = len(completed) == len(graph)
         makespan = max((r.end for r in trace if r.status == "done"), default=0.0)
+        seconds = time.perf_counter() - wall0
+        if self.metrics is not None:
+            self.metrics.timer("sim_execute").record(seconds)
+            self.metrics.counter("sim_tasks_done").add(len(completed))
+            self.metrics.counter("sim_tasks_failed").add(len(failed))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SimulationComplete(
+                    makespan=makespan,
+                    tasks_done=len(completed),
+                    tasks_failed=len(failed),
+                    success=success,
+                    seconds=seconds,
+                )
+            )
         return ExecutionResult(
             trace=trace,
             makespan=makespan,

@@ -1,0 +1,88 @@
+"""repro.obs — the observability layer: structured events + metrics.
+
+The paper notes that "the fitness evaluation time has a significant impact
+on the overall execution time of a GA"; this package is the instrument that
+makes such statements measurable in this codebase.  Two orthogonal pieces:
+
+- **Event stream** — every run layer (single-phase GA, multi-phase driver,
+  island model, evaluators, checkpointing, grid simulator, GA scheduler)
+  emits typed :class:`RunEvent` objects through a :class:`Tracer` with
+  pluggable sinks: :class:`JsonlSink` (append-only traces),
+  :class:`CsvSummarySink` (stable per-generation columns),
+  :class:`MemoryRecorder` (tests/benchmarks), :class:`ProgressSink`
+  (human-readable feed).
+
+- **Metrics** — a :class:`MetricsRegistry` of counters/timers/histograms
+  wrapped around the hot paths (decode, fitness, selection/variation,
+  process-pool chunk dispatch) plus :func:`planner_summary` for the
+  headline numbers (evals/sec, decode-cache hit rate).
+
+Instrumented constructors take explicit ``tracer=`` / ``metrics=``
+arguments and fall back to the ambient pair installed by :func:`observe`
+— which is how the CLI's ``--trace/--metrics/--progress`` flags reach every
+subcommand without threading parameters through the analysis drivers.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    CheckpointWrite,
+    DecodeCacheSnapshot,
+    EvaluationBatch,
+    GenerationComplete,
+    IslandMigration,
+    PhaseEnd,
+    PhaseStart,
+    RunEvent,
+    SchedulerGeneration,
+    SimulationComplete,
+    event_from_dict,
+)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, Timer, planner_summary
+from repro.obs.sinks import (
+    CSV_COLUMNS,
+    CsvSummarySink,
+    JsonlSink,
+    MemoryRecorder,
+    ProgressSink,
+    read_trace,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Sink,
+    Tracer,
+    default_metrics,
+    default_tracer,
+    observe,
+)
+
+__all__ = [
+    "CSV_COLUMNS",
+    "CheckpointWrite",
+    "Counter",
+    "CsvSummarySink",
+    "DecodeCacheSnapshot",
+    "EVENT_KINDS",
+    "EvaluationBatch",
+    "GenerationComplete",
+    "Histogram",
+    "IslandMigration",
+    "JsonlSink",
+    "MemoryRecorder",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "PhaseEnd",
+    "PhaseStart",
+    "ProgressSink",
+    "RunEvent",
+    "SchedulerGeneration",
+    "SimulationComplete",
+    "Sink",
+    "Timer",
+    "Tracer",
+    "default_metrics",
+    "default_tracer",
+    "event_from_dict",
+    "observe",
+    "planner_summary",
+    "read_trace",
+]

@@ -1,0 +1,200 @@
+"""Structured run events: the vocabulary of the observability layer.
+
+Every significant thing that happens during a planning run — a generation
+finishing, a phase starting, islands migrating, an evaluation batch being
+dispatched, a decode cache being interrogated, a checkpoint hitting disk —
+is one immutable :class:`RunEvent`.  Events are plain frozen dataclasses
+with JSON-friendly payloads, so every sink (JSONL, CSV, memory, progress)
+consumes the same objects and traces parse back losslessly via
+:func:`event_from_dict`.
+
+Events carry a ``scope`` string identifying which sub-run emitted them
+(``"phase-2"``, ``"island-0"``, ``"scheduler"``, …); a plain single-phase
+run uses the empty scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import TYPE_CHECKING, ClassVar, Dict, Type
+
+if TYPE_CHECKING:  # import at runtime would cycle: repro.core imports repro.obs
+    from repro.core.stats import GenerationStats
+
+__all__ = [
+    "RunEvent",
+    "GenerationComplete",
+    "PhaseStart",
+    "PhaseEnd",
+    "IslandMigration",
+    "EvaluationBatch",
+    "DecodeCacheSnapshot",
+    "CheckpointWrite",
+    "SchedulerGeneration",
+    "SimulationComplete",
+    "EVENT_KINDS",
+    "event_from_dict",
+]
+
+
+@dataclass(frozen=True, kw_only=True)
+class RunEvent:
+    """Base class for all observability events.
+
+    ``kind`` is the stable wire name of the event type (a class attribute,
+    not a payload field); ``scope`` names the emitting sub-run.
+    """
+
+    kind: ClassVar[str] = "event"
+    scope: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable payload, ``kind`` included."""
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True, kw_only=True)
+class GenerationComplete(RunEvent):
+    """One generation was evaluated (emitted before breeding the next)."""
+
+    kind: ClassVar[str] = "generation"
+    generation: int
+    best_total: float
+    mean_total: float
+    best_goal: float
+    mean_goal: float
+    mean_length: float
+    solved_count: int
+
+    @classmethod
+    def from_stats(cls, stats: "GenerationStats", scope: str = "") -> "GenerationComplete":
+        return cls(
+            scope=scope,
+            generation=stats.generation,
+            best_total=stats.best_total,
+            mean_total=stats.mean_total,
+            best_goal=stats.best_goal,
+            mean_goal=stats.mean_goal,
+            mean_length=stats.mean_length,
+            solved_count=stats.solved_count,
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class PhaseStart(RunEvent):
+    """A multi-phase driver is starting phase ``phase`` (1-based)."""
+
+    kind: ClassVar[str] = "phase-start"
+    phase: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class PhaseEnd(RunEvent):
+    """A phase finished; payload summarises its contribution."""
+
+    kind: ClassVar[str] = "phase-end"
+    phase: int
+    generations: int
+    plan_length: int
+    goal_fitness: float
+    solved: bool
+
+
+@dataclass(frozen=True, kw_only=True)
+class IslandMigration(RunEvent):
+    """One ring migration happened across all islands."""
+
+    kind: ClassVar[str] = "island-migration"
+    generation: int
+    migration: int
+    n_islands: int
+    migrants_per_island: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class EvaluationBatch(RunEvent):
+    """An evaluator scored a batch of pending individuals."""
+
+    kind: ClassVar[str] = "evaluation-batch"
+    n_evaluated: int
+    seconds: float
+    mode: str  # "serial" | "process"
+    chunks: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass(frozen=True, kw_only=True)
+class DecodeCacheSnapshot(RunEvent):
+    """Cumulative decode-cache statistics at a point in time."""
+
+    kind: ClassVar[str] = "decode-cache"
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True, kw_only=True)
+class CheckpointWrite(RunEvent):
+    """A run checkpoint was persisted to disk."""
+
+    kind: ClassVar[str] = "checkpoint"
+    path: str
+    generation: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class SchedulerGeneration(RunEvent):
+    """One generation of the GA task mapper (makespan objective)."""
+
+    kind: ClassVar[str] = "scheduler-generation"
+    generation: int
+    best_makespan: float
+    mean_objective: float
+
+
+@dataclass(frozen=True, kw_only=True)
+class SimulationComplete(RunEvent):
+    """A grid simulation finished executing an activity graph."""
+
+    kind: ClassVar[str] = "sim-complete"
+    makespan: float
+    tasks_done: int
+    tasks_failed: int
+    success: bool
+    seconds: float
+
+
+EVENT_KINDS: Dict[str, Type[RunEvent]] = {
+    cls.kind: cls
+    for cls in (
+        GenerationComplete,
+        PhaseStart,
+        PhaseEnd,
+        IslandMigration,
+        EvaluationBatch,
+        DecodeCacheSnapshot,
+        CheckpointWrite,
+        SchedulerGeneration,
+        SimulationComplete,
+    )
+}
+
+
+def event_from_dict(record: dict) -> RunEvent:
+    """Inverse of :meth:`RunEvent.to_dict`.
+
+    Unknown payload keys are ignored (forward compatibility: newer traces
+    stay readable by older code); an unknown ``kind`` raises ``ValueError``.
+    """
+    kind = record.get("kind")
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    known = {f.name for f in fields(cls)}
+    payload = {k: v for k, v in record.items() if k in known}
+    return cls(**payload)

@@ -1,0 +1,214 @@
+"""Lightweight metrics: counters, wall-clock timers, histograms.
+
+A :class:`MetricsRegistry` is a named bag of instruments shared by every
+layer of one run.  Instruments are created on first use, accumulate in
+plain Python attributes (no locks — a registry belongs to one process; the
+process-pool evaluator aggregates worker-side numbers into the parent's
+registry itself), and render to either a ``summary()`` dict or a
+human-readable table.
+
+Canonical instrument names used by the planner stack (see DESIGN.md §7):
+
+================== ========== ==================================================
+name               instrument meaning
+================== ========== ==================================================
+``evals``          counter    individuals evaluated
+``eval_batch``     timer      wall time of whole-population evaluation calls
+``decode``         timer      genome decoding (serial evaluator, per batch)
+``fitness``        timer      fitness scoring (serial evaluator, per batch)
+``dispatch``       timer      parent-side wait on process-pool chunk results
+``worker_eval``    timer      in-worker chunk evaluation time (summed)
+``selection``      timer      parent selection per generation
+``variation``      timer      crossover + mutation per generation
+``decode_cache_hits`` /
+``decode_cache_misses`` counter decode-cache outcomes
+================== ========== ==================================================
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Timer", "Histogram", "MetricsRegistry", "planner_summary"]
+
+
+class Counter:
+    """A monotonically growing integer/float count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n=1) -> None:
+        self.value += n
+
+
+class Timer:
+    """Accumulated wall-clock time with call count and min/max."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, seconds: float, count: int = 1) -> None:
+        self.count += count
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @contextmanager
+    def time(self):
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(time.perf_counter() - t0)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Histogram:
+    """Value distribution: count/sum/min/max plus a bounded sample.
+
+    Keeps at most ``sample_size`` values (the earliest ones — enough for
+    percentile estimates in tests and summaries without unbounded memory).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "sample_size", "_sample")
+
+    def __init__(self, name: str, sample_size: int = 1024) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.sample_size = sample_size
+        self._sample: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._sample) < self.sample_size:
+            self._sample.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (q in [0, 100]) from the sample."""
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+
+class MetricsRegistry:
+    """Named counters/timers/histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.timers: Dict[str, Timer] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def timer(self, name: str) -> Timer:
+        t = self.timers.get(name)
+        if t is None:
+            t = self.timers[name] = Timer(name)
+        return t
+
+    def histogram(self, name: str, sample_size: int = 1024) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, sample_size)
+        return h
+
+    def summary(self) -> dict:
+        """All instruments as one JSON-friendly dict."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "timers": {
+                n: {"count": t.count, "total_s": t.total, "mean_s": t.mean}
+                for n, t in sorted(self.timers.items())
+            },
+            "histograms": {
+                n: {"count": h.count, "mean": h.mean, "min": h.min, "max": h.max}
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable metrics table."""
+        lines = ["metrics:"]
+        if self.counters:
+            lines.append("  counters:")
+            for name, c in sorted(self.counters.items()):
+                lines.append(f"    {name:<24} {c.value}")
+        if self.timers:
+            lines.append("  timers:")
+            for name, t in sorted(self.timers.items()):
+                lines.append(
+                    f"    {name:<24} total {t.total:9.4f}s  n {t.count:<8} mean {t.mean * 1e3:9.4f}ms"
+                )
+        if self.histograms:
+            lines.append("  histograms:")
+            for name, h in sorted(self.histograms.items()):
+                lines.append(
+                    f"    {name:<24} n {h.count:<8} mean {h.mean:9.4f}  "
+                    f"min {h.min:9.4f}  max {h.max:9.4f}"
+                )
+        derived = planner_summary(self)
+        if derived:
+            lines.append("  derived:")
+            for name, value in derived.items():
+                lines.append(f"    {name:<24} {value}")
+        return "\n".join(lines)
+
+
+def planner_summary(metrics: Optional[MetricsRegistry]) -> dict:
+    """Headline planner numbers derived from the canonical instruments.
+
+    Returns ``evals_per_sec`` (individuals scored per second of evaluation
+    wall time) and ``decode_cache_hit_rate`` when the underlying instruments
+    recorded anything; an empty dict otherwise.
+    """
+    if metrics is None:
+        return {}
+    out: dict = {}
+    evals = metrics.counters.get("evals")
+    batch = metrics.timers.get("eval_batch")
+    if evals is not None and batch is not None and batch.total > 0:
+        out["evals_per_sec"] = round(evals.value / batch.total, 1)
+    hits = metrics.counters.get("decode_cache_hits")
+    misses = metrics.counters.get("decode_cache_misses")
+    if hits is not None or misses is not None:
+        h = hits.value if hits else 0
+        m = misses.value if misses else 0
+        if h + m:
+            out["decode_cache_hit_rate"] = round(h / (h + m), 4)
+    return out

@@ -1,0 +1,123 @@
+"""The Tracer: fan events out to pluggable sinks, plus ambient defaults.
+
+A :class:`Tracer` owns an ordered list of sinks and forwards every emitted
+:class:`~repro.obs.events.RunEvent` to each of them.  ``NULL_TRACER`` (a
+tracer with no sinks) is the universal "tracing off" value: ``emit`` on it
+is a no-op and ``enabled`` is False, so hot paths can skip event
+construction entirely.
+
+Ambient defaults
+----------------
+Deep call stacks (the analysis drivers regenerate whole paper tables
+through many layers) would need a ``tracer=`` parameter on every function
+to be observable.  Instead the module keeps a process-wide default
+tracer/metrics pair, installed with the :func:`observe` context manager;
+instrumented constructors (``GARun``, ``GridSimulator``, ``ga_schedule``,
+…) fall back to the ambient pair whenever no explicit one is passed.  This
+is the same shape as :mod:`logging`'s root logger: explicit wiring wins,
+ambient state covers everything else.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, List, Optional
+
+from repro.obs.events import RunEvent
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "Sink",
+    "Tracer",
+    "NULL_TRACER",
+    "observe",
+    "default_tracer",
+    "default_metrics",
+]
+
+
+class Sink:
+    """Receives events from a tracer.  Subclasses override :meth:`write`."""
+
+    def write(self, event: RunEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class Tracer:
+    """Emit events to zero or more sinks.
+
+    The empty tracer is falsy-cheap: ``enabled`` is False and emitters are
+    expected to guard event construction behind it.
+    """
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, sinks: Iterable[Sink] = ()) -> None:
+        self.sinks: List[Sink] = list(sinks)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.sinks)
+
+    def emit(self, event: RunEvent) -> None:
+        for sink in self.sinks:
+            sink.write(event)
+
+    def add_sink(self, sink: Sink) -> None:
+        self.sinks.append(sink)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+NULL_TRACER = Tracer()
+
+_ambient_tracer: Tracer = NULL_TRACER
+_ambient_metrics: Optional[MetricsRegistry] = None
+
+
+def default_tracer() -> Tracer:
+    """The ambient tracer (``NULL_TRACER`` unless :func:`observe` is active)."""
+    return _ambient_tracer
+
+
+def default_metrics() -> Optional[MetricsRegistry]:
+    """The ambient metrics registry, or ``None``."""
+    return _ambient_metrics
+
+
+@contextmanager
+def observe(tracer: Optional[Tracer] = None, metrics: Optional[MetricsRegistry] = None):
+    """Install *tracer*/*metrics* as the ambient pair for the block.
+
+    Nested ``observe`` blocks stack; leaving a block restores the previous
+    pair.  ``None`` leaves the corresponding slot unchanged, so metrics can
+    be added without disturbing an outer tracer (and vice versa).
+    """
+    global _ambient_tracer, _ambient_metrics
+    prev = (_ambient_tracer, _ambient_metrics)
+    if tracer is not None:
+        _ambient_tracer = tracer
+    if metrics is not None:
+        _ambient_metrics = metrics
+    try:
+        yield (_ambient_tracer, _ambient_metrics)
+    finally:
+        _ambient_tracer, _ambient_metrics = prev

@@ -14,11 +14,15 @@ eleven-heuristics study's GA entry.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.events import SchedulerGeneration
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, default_metrics, default_tracer
 from repro.scheduling.heuristics import min_min
 from repro.scheduling.metrics import flowtime, machine_loads, makespan
 
@@ -82,8 +86,17 @@ def ga_schedule(
     etc: np.ndarray,
     config: GASchedulerConfig,
     rng: np.random.Generator,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> GASchedulerResult:
-    """Evolve a task→machine mapping minimising makespan for *etc*."""
+    """Evolve a task→machine mapping minimising makespan for *etc*.
+
+    Emits one ``scheduler-generation`` event per generation (scope
+    ``"scheduler"``) and records the ``sched_objective`` timer plus a
+    ``sched_evals`` counter; defaults to the ambient observability pair.
+    """
+    tracer = tracer if tracer is not None else default_tracer()
+    metrics = metrics if metrics is not None else default_metrics()
     n_tasks, n_machines = etc.shape
     pop = rng.integers(0, n_machines, size=(config.population_size, n_tasks))
     if config.seed_min_min:
@@ -94,12 +107,25 @@ def ga_schedule(
     best_obj = np.inf
 
     for _gen in range(config.generations):
+        t0 = time.perf_counter()
         obj = _objective(etc, pop, config.flowtime_weight)
+        if metrics is not None:
+            metrics.timer("sched_objective").record(time.perf_counter() - t0)
+            metrics.counter("sched_evals").add(config.population_size)
         gen_best = int(np.argmin(obj))
         if obj[gen_best] < best_obj:
             best_obj = float(obj[gen_best])
             best_assign = pop[gen_best].copy()
         history.append(float(makespan(etc, pop[gen_best])))
+        if tracer.enabled:
+            tracer.emit(
+                SchedulerGeneration(
+                    scope="scheduler",
+                    generation=_gen,
+                    best_makespan=history[-1],
+                    mean_objective=float(obj.mean()),
+                )
+            )
 
         # Tournament selection (vectorised): k random contestants per slot.
         draws = rng.integers(0, config.population_size, size=(config.population_size, config.tournament_size))

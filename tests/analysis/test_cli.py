@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import read_trace
 
 
 class TestParser:
@@ -58,3 +59,50 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "consistent" in out and "Min-min" in out
+
+
+class TestObservabilityFlags:
+    SOLVE = [
+        "solve", "hanoi", "--size", "3", "--population", "40",
+        "--generations", "30", "--phases", "2", "--seed", "0",
+    ]
+
+    def test_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "out.jsonl"
+        rc = main([*self.SOLVE, "--trace", str(trace), "--metrics"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # The trace parses back into typed events covering the run.
+        events = read_trace(trace)
+        kinds = {e.kind for e in events}
+        assert {"phase-start", "generation", "evaluation-batch"} <= kinds
+        # The metrics summary carries the headline derived rates.
+        assert "evals_per_sec" in out
+        assert "decode_cache_hit_rate" in out
+
+    def test_progress_goes_to_stderr(self, capsys):
+        rc = main([*self.SOLVE, "--progress"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "gen" in captured.err
+
+    def test_trace_on_schedule_subcommand(self, tmp_path):
+        trace = tmp_path / "sched.jsonl"
+        rc = main([
+            "schedule", "--tasks", "16", "--machines", "4",
+            "--generations", "5", "--trace", str(trace),
+        ])
+        assert rc == 0
+        events = read_trace(trace, kind="scheduler-generation")
+        # One GA run per consistency class, 5 generations each.
+        assert [e.generation for e in events] == list(range(5)) * 3
+
+    def test_solve_mode_flags(self, capsys):
+        rc = main([
+            "solve", "hanoi", "--size", "3", "--population", "40",
+            "--generations", "40", "--seed", "0",
+            "--mode", "islands", "--islands", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mode:          islands" in out

@@ -75,3 +75,38 @@ class TestIslandEvaluatorFactory:
         )
         run_islands(hanoi3, cfg, make_rng(2), evaluator_factory=CountingEvaluator)
         assert CountingEvaluator.instances == 3
+        assert CountingEvaluator.closed == 3
+
+    def test_evaluators_closed_on_early_stop(self, hanoi3):
+        # stop_on_goal lets the run exit before the generation budget; the
+        # per-island evaluators must still be released.
+        cfg = IslandConfig(
+            n_islands=2,
+            migration_interval=5,
+            migration_size=1,
+            island=GAConfig(
+                population_size=40, generations=60, max_len=35, init_length=7,
+                stop_on_goal=True,
+            ),
+        )
+        run_islands(hanoi3, cfg, make_rng(3), evaluator_factory=CountingEvaluator)
+        assert CountingEvaluator.instances == 2
+        assert CountingEvaluator.closed == 2
+
+    def test_evaluators_closed_even_on_error(self, hanoi3):
+        class Exploding(CountingEvaluator):
+            def evaluate(self, population, context):
+                raise RuntimeError("boom")
+
+        cfg = IslandConfig(
+            n_islands=2,
+            migration_interval=2,
+            migration_size=1,
+            island=GAConfig(
+                population_size=8, generations=2, max_len=35, init_length=7,
+                stop_on_goal=False,
+            ),
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            run_islands(hanoi3, cfg, make_rng(4), evaluator_factory=Exploding)
+        assert CountingEvaluator.closed == CountingEvaluator.instances

@@ -1,0 +1,70 @@
+"""Event schema tests: dict round-trips and wire stability."""
+
+import pytest
+
+from repro.core import GAConfig, GARun, make_rng
+from repro.core.stats import GenerationStats
+from repro.obs import (
+    EVENT_KINDS,
+    CheckpointWrite,
+    DecodeCacheSnapshot,
+    EvaluationBatch,
+    GenerationComplete,
+    IslandMigration,
+    PhaseEnd,
+    PhaseStart,
+    SchedulerGeneration,
+    SimulationComplete,
+    event_from_dict,
+)
+
+SAMPLES = [
+    GenerationComplete(
+        scope="phase-1", generation=3, best_total=0.8, mean_total=0.4,
+        best_goal=0.9, mean_goal=0.5, mean_length=12.5, solved_count=2,
+    ),
+    PhaseStart(scope="phase-2", phase=2),
+    PhaseEnd(scope="phase-2", phase=2, generations=100, plan_length=31, goal_fitness=1.0, solved=True),
+    IslandMigration(generation=9, migration=1, n_islands=4, migrants_per_island=2),
+    EvaluationBatch(n_evaluated=200, seconds=0.5, mode="process", chunks=13, cache_hits=10, cache_misses=3),
+    DecodeCacheSnapshot(hits=100, misses=25),
+    CheckpointWrite(path="/tmp/c.pkl", generation=50),
+    SchedulerGeneration(scope="scheduler", generation=7, best_makespan=120.5, mean_objective=150.0),
+    SimulationComplete(makespan=42.0, tasks_done=10, tasks_failed=0, success=True, seconds=0.01),
+]
+
+
+class TestEventRoundTrip:
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_dict_round_trip(self, event):
+        record = event.to_dict()
+        assert record["kind"] == event.kind
+        assert event_from_dict(record) == event
+
+    def test_every_kind_registered(self):
+        assert {e.kind for e in SAMPLES} == set(EVENT_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "nope"})
+
+    def test_unknown_payload_keys_ignored(self):
+        record = PhaseStart(phase=1).to_dict()
+        record["future_field"] = 123
+        assert event_from_dict(record) == PhaseStart(phase=1)
+
+    def test_hit_rate(self):
+        assert DecodeCacheSnapshot(hits=3, misses=1).hit_rate == pytest.approx(0.75)
+        assert DecodeCacheSnapshot(hits=0, misses=0).hit_rate == 0.0
+
+
+class TestFromStats:
+    def test_matches_generation_stats(self, hanoi3):
+        cfg = GAConfig(population_size=10, generations=2, max_len=35, init_length=7)
+        run = GARun(hanoi3, cfg, make_rng(0))
+        stats: GenerationStats = run.step()
+        event = GenerationComplete.from_stats(stats, scope="s")
+        assert event.generation == stats.generation
+        assert event.best_total == stats.best_total
+        assert event.solved_count == stats.solved_count
+        assert event.scope == "s"

@@ -1,0 +1,89 @@
+"""Metrics registry tests."""
+
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, planner_summary
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        m = MetricsRegistry()
+        m.counter("x").add()
+        m.counter("x").add(4)
+        assert m.counters["x"].value == 5
+        assert m.counter("x") is m.counters["x"]  # created once
+
+    def test_timer_record_and_stats(self):
+        m = MetricsRegistry()
+        t = m.timer("t")
+        t.record(0.2)
+        t.record(0.1, count=3)
+        assert t.count == 4
+        assert t.total == pytest.approx(0.3)
+        assert t.min == pytest.approx(0.1)
+        assert t.max == pytest.approx(0.2)
+        assert t.mean == pytest.approx(0.075)
+
+    def test_timer_context_manager(self):
+        m = MetricsRegistry()
+        with m.timer("t").time():
+            time.sleep(0.01)
+        assert m.timers["t"].count == 1
+        assert m.timers["t"].total >= 0.005
+
+    def test_histogram(self):
+        m = MetricsRegistry()
+        h = m.histogram("h")
+        for v in (1.0, 3.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+
+    def test_histogram_sample_bounded(self):
+        m = MetricsRegistry()
+        h = m.histogram("h", sample_size=8)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert len(h._sample) == 8
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        m = MetricsRegistry()
+        m.counter("c").add(2)
+        m.timer("t").record(0.5)
+        m.histogram("h").observe(1.0)
+        s = m.summary()
+        assert s["counters"] == {"c": 2}
+        assert s["timers"]["t"]["count"] == 1
+        assert s["histograms"]["h"]["mean"] == 1.0
+
+    def test_planner_summary_derivations(self):
+        m = MetricsRegistry()
+        m.counter("evals").add(500)
+        m.timer("eval_batch").record(2.0)
+        m.counter("decode_cache_hits").add(90)
+        m.counter("decode_cache_misses").add(10)
+        derived = planner_summary(m)
+        assert derived["evals_per_sec"] == pytest.approx(250.0)
+        assert derived["decode_cache_hit_rate"] == pytest.approx(0.9)
+
+    def test_planner_summary_empty_cases(self):
+        assert planner_summary(None) == {}
+        assert planner_summary(MetricsRegistry()) == {}
+
+    def test_render_mentions_headlines(self):
+        m = MetricsRegistry()
+        m.counter("evals").add(100)
+        m.timer("eval_batch").record(1.0)
+        m.counter("decode_cache_hits").add(1)
+        m.counter("decode_cache_misses").add(1)
+        text = m.render()
+        assert "evals_per_sec" in text
+        assert "decode_cache_hit_rate" in text
