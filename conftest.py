@@ -1,0 +1,56 @@
+"""Root conftest: a fallback per-test timeout shim.
+
+CI installs ``pytest-timeout`` for real watchdog coverage; environments
+without it (timeouts matter most for the chaos tests, which deliberately
+wedge worker processes) get the SIGALRM-based stand-in below so a hung
+test still fails instead of stalling the whole suite.  Living at the repo
+root, the shim (and its claim on the ``timeout`` ini key) covers both the
+``tests/`` and ``benchmarks/`` trees.
+"""
+
+import importlib.util
+import signal
+import threading
+
+import pytest
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    def pytest_addoption(parser):
+        # Claim the ini key pytest-timeout would own, so `timeout = ...` in
+        # pyproject.toml works (and warns about nothing) either way.
+        parser.addini("timeout", "per-test timeout in seconds (fallback shim)", default="0")
+
+    def _timeout_for(item) -> float:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        try:
+            return float(item.config.getini("timeout") or 0)
+        except (TypeError, ValueError):
+            return 0.0
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        seconds = _timeout_for(item)
+        usable = (
+            seconds > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not usable:
+            return (yield)
+
+        def _expired(signum, frame):
+            raise TimeoutError(f"test exceeded the {seconds:g}s fallback timeout")
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            return (yield)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

@@ -8,15 +8,18 @@ Commands
 - ``ablation``    — run one of the ablation studies
 - ``compare``     — the planner comparison table
 - ``schedule``    — the scheduling-heuristics table
+- ``chaos``       — grid workflow under an injected fault plan
 
 Examples
 --------
 ::
 
     python -m repro solve hanoi --size 5 --phases 5 --seed 7
+    python -m repro solve hanoi --faults "worker-crash:n=2;eval-timeout:s=10" --seed 7
     python -m repro table 2 --scaled
     python -m repro figure 3
     python -m repro ablation fitness
+    python -m repro chaos --faults "machine-crash:p=0.5;slowdown:factor=4" --seed 11
 """
 
 from __future__ import annotations
@@ -86,6 +89,45 @@ def _build_observability(args):
     return tracer, metrics
 
 
+def _resolve_solve_evaluator(args):
+    """Evaluator spec for ``solve``: fault flags imply a resilient wrapper.
+
+    ``--faults``, ``--retry-max`` and ``--eval-timeout`` all require the
+    recovery ladder, so any of them upgrades the evaluator to a
+    :class:`~repro.core.resilient.ResilientEvaluator` factory carrying the
+    fault plan's worker crash/hang injections.
+    """
+    wants_faults = (
+        args.faults is not None
+        or args.retry_max is not None
+        or args.eval_timeout is not None
+    )
+    if args.evaluator != "resilient" and not wants_faults:
+        return args.evaluator
+
+    from repro.core import ResiliencePolicy, ResilientEvaluator
+    from repro.faults import FaultInjector
+
+    plan = FaultInjector(args.faults, seed=args.seed).plan() if args.faults else None
+    timeout = args.eval_timeout
+    if timeout is None and plan is not None:
+        timeout = plan.eval_timeout_s
+    policy_kwargs = {"eval_timeout_s": timeout}
+    if args.retry_max is not None:
+        policy_kwargs["retry_max"] = args.retry_max
+    policy = ResiliencePolicy(**policy_kwargs)
+
+    def factory():
+        return ResilientEvaluator(
+            policy=policy,
+            worker_crashes=plan.worker_crashes if plan else 0,
+            worker_hangs=plan.worker_hangs if plan else 0,
+            hang_seconds=plan.hang_seconds if plan else 30.0,
+        )
+
+    return factory
+
+
 def _cmd_solve(args) -> int:
     if args.domain == "hanoi":
         domain = HanoiDomain(args.size)
@@ -118,7 +160,7 @@ def _cmd_solve(args) -> int:
         seed=args.seed,
         islands=islands,
         mode=mode,
-        evaluator=args.evaluator,
+        evaluator=_resolve_solve_evaluator(args),
     ).solve()
     print(f"domain:        {domain.name}")
     print(f"mode:          {outcome.mode}")
@@ -201,6 +243,44 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults import FaultInjector
+    from repro.grid import (
+        CoordinationService,
+        ga_grid_planner,
+        greedy_grid_planner,
+        imaging_pipeline,
+    )
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.obs.tracer import default_metrics, default_tracer
+
+    onto, domain = imaging_pipeline()
+    injector = FaultInjector(args.faults, seed=args.seed)
+    plan = injector.plan(topology=onto.topology, horizon=args.horizon)
+    print(plan.describe())
+
+    # Counters are the whole point of this command, so collect them even
+    # without --metrics (reusing the ambient pair when observe() set one up).
+    tracer = default_tracer() if default_tracer().enabled else Tracer([])
+    metrics = default_metrics() or MetricsRegistry()
+    planner = (
+        ga_grid_planner(seed=args.seed) if args.planner == "ga" else greedy_grid_planner()
+    )
+    service = CoordinationService(
+        onto, planner, max_replans=args.max_replans, tracer=tracer, metrics=metrics
+    )
+    report = service.run(domain, events=plan.grid_events)
+
+    print(f"\nsuccess:         {report.success}")
+    print(f"rounds:          {len(report.attempts)}")
+    print(f"total makespan:  {report.total_makespan:.1f}s")
+    print(f"activities run:  {report.total_activities_run}")
+    print("\nfault/recovery counters:")
+    for name in ("faults_injected", "retries", "replans", "degradations"):
+        print(f"  {name:16s} {metrics.counter(name).value}")
+    return 0 if report.success else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -223,8 +303,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--islands", type=int, default=4, help="island count for --mode islands")
     p.add_argument(
-        "--evaluator", choices=("serial", "process"), default="serial",
-        help="population evaluation strategy (process = worker pool)",
+        "--evaluator", choices=("serial", "process", "resilient"), default="serial",
+        help="population evaluation strategy (process = worker pool, "
+        "resilient = worker pool with retry/degradation ladder)",
+    )
+    fault_group = p.add_argument_group("fault injection")
+    fault_group.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="fault plan, e.g. 'worker-crash:n=2;eval-timeout:s=10' "
+        "(implies --evaluator resilient)",
+    )
+    fault_group.add_argument(
+        "--retry-max", type=int, default=None, metavar="N",
+        help="pool retries per evaluation batch before serial fallback",
+    )
+    fault_group.add_argument(
+        "--eval-timeout", type=float, default=None, metavar="S",
+        help="per-batch evaluation timeout in seconds",
     )
     p.set_defaults(func=_cmd_solve)
 
@@ -258,6 +353,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--generations", type=int, default=100)
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("chaos", help="grid workflow under an injected fault plan")
+    p.add_argument(
+        "--faults", metavar="SPEC",
+        default="machine-crash:p=0.35,restore=20;slowdown:factor=3,p=0.3",
+        help="fault spec (see repro.faults.parse_fault_spec)",
+    )
+    p.add_argument("--seed", type=int, default=3, help="fault-timeline seed")
+    p.add_argument("--horizon", type=float, default=60.0, help="fault window in sim seconds")
+    p.add_argument("--max-replans", type=int, default=3)
+    p.add_argument(
+        "--planner", choices=("greedy", "ga"), default="greedy",
+        help="replanner used after each fault (ga = the paper's multi-phase GA)",
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     for subparser in sub.choices.values():
         _add_obs_flags(subparser)

@@ -28,7 +28,9 @@ from repro.core.parallel import (
     Evaluator,
     ProcessPoolEvaluator,
     SerialEvaluator,
+    WorkerPoolError,
 )
+from repro.core.resilient import ResiliencePolicy, ResilientEvaluator
 from repro.core.planner import GAPlanner, PLANNING_MODES, PlanningOutcome
 from repro.core.rng import make_rng, spawn, spawn_many
 from repro.core.selection import (
@@ -60,9 +62,12 @@ __all__ = [
     "PhaseRecord",
     "PlanningOutcome",
     "ProcessPoolEvaluator",
+    "ResiliencePolicy",
+    "ResilientEvaluator",
     "RunHistory",
     "SELECTION_SCHEMES",
     "SerialEvaluator",
+    "WorkerPoolError",
     "cost_fitness",
     "decode",
     "deletion_mutation",
@@ -102,3 +107,23 @@ __all__ += ["IslandConfig", "IslandResult", "run_islands"]
 from repro.core.runlog import GenerationLogger, read_log  # noqa: E402
 
 __all__ += ["GenerationLogger", "read_log"]
+
+from repro.core.checkpoint import (  # noqa: E402
+    Checkpoint,
+    CheckpointError,
+    checkpoint_path,
+    load_checkpoint,
+    load_latest_checkpoint,
+    restore_run,
+    save_checkpoint,
+)
+
+__all__ += [
+    "Checkpoint",
+    "CheckpointError",
+    "checkpoint_path",
+    "load_checkpoint",
+    "load_latest_checkpoint",
+    "restore_run",
+    "save_checkpoint",
+]

@@ -24,9 +24,11 @@ the uninstrumented hot path at its old cost.
 from __future__ import annotations
 
 import os
+import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,7 +40,23 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.protocol import PlanningDomain
 from repro.core.individual import Individual
 
-__all__ = ["Evaluator", "SerialEvaluator", "ProcessPoolEvaluator", "EvaluationContext"]
+__all__ = [
+    "Evaluator",
+    "SerialEvaluator",
+    "ProcessPoolEvaluator",
+    "EvaluationContext",
+    "WorkerPoolError",
+]
+
+
+class WorkerPoolError(RuntimeError):
+    """The worker pool is unusable: workers died or never came up.
+
+    Raised instead of the opaque ``BrokenProcessPool`` that used to escape
+    from deep inside ``pool.map``, with a message naming the domain and the
+    likely cause.  Recoverable — :class:`~repro.core.resilient.
+    ResilientEvaluator` catches it, rebuilds the pool and retries (or
+    degrades to :class:`SerialEvaluator`)."""
 
 
 class EvaluationContext:
@@ -234,11 +252,15 @@ class ProcessPoolEvaluator(Evaluator):
         context: Optional[EvaluationContext] = None,
         processes: Optional[int] = None,
         chunk_size: int = 16,
+        timeout_s: Optional[float] = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
         self.context = context
         self.chunk_size = chunk_size
+        self.timeout_s = timeout_s
         self.processes = processes or max(1, (os.cpu_count() or 1))
         self._pool: Optional[ProcessPoolExecutor] = None
         self._cache_hits = 0
@@ -247,12 +269,57 @@ class ProcessPoolEvaluator(Evaluator):
             self._start_pool(context)
 
     def _start_pool(self, context: EvaluationContext) -> None:
+        # Probe picklability up front: an unpicklable domain would otherwise
+        # surface later as an opaque BrokenProcessPool from inside pool.map
+        # (worker initializers crash before running a single task).  The
+        # extra pickle costs one domain serialisation per pool — the same
+        # work the initializer ships anyway.
+        try:
+            pickle.dumps(context)
+        except Exception as exc:
+            raise WorkerPoolError(
+                f"cannot ship the evaluation context to worker processes: domain "
+                f"{type(context.domain).__name__} does not pickle ({exc}); use "
+                f"SerialEvaluator, or make the domain picklable (no lambdas, open "
+                f"files or thread locks in its state)"
+            ) from exc
         self.context = context
         self._pool = ProcessPoolExecutor(
             max_workers=self.processes,
             initializer=_init_worker,
             initargs=(context,),
         )
+
+    def ensure_started(self, context: EvaluationContext) -> None:
+        """Bind lazily to *context* and spin the pool up if not yet running."""
+        if self.context is None:
+            self._start_pool(context)
+        elif context is not self.context:
+            raise ValueError(
+                "ProcessPoolEvaluator is bound to the context it first evaluated "
+                "with; create a new evaluator for a new phase/domain"
+            )
+        elif self._pool is None:
+            self._start_pool(self.context)
+
+    def restart(self) -> None:
+        """Tear down the (possibly broken or hung) pool and build a fresh one.
+
+        Does not wait for stuck workers: outstanding futures are cancelled
+        and dead processes abandoned, which is the only safe move after a
+        ``BrokenProcessPool`` or a batch timeout.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self.context is not None:
+            self._start_pool(self.context)
+
+    def submit(self, fn: Callable, *args) -> Future:
+        """Run *fn(*args)* on one worker — health probes and fault injection."""
+        if self._pool is None:
+            raise RuntimeError("pool not started; evaluate once or call ensure_started()")
+        return self._pool.submit(fn, *args)
 
     def cache_info(self) -> Optional[Tuple[int, int]]:
         """Aggregated worker-side decode-cache stats (instrumented runs only)."""
@@ -261,13 +328,7 @@ class ProcessPoolEvaluator(Evaluator):
         return self._cache_hits, self._cache_misses
 
     def evaluate(self, population: Sequence[Individual], context: EvaluationContext) -> None:
-        if self.context is None:
-            self._start_pool(context)
-        elif context is not self.context:
-            raise ValueError(
-                "ProcessPoolEvaluator is bound to the context it first evaluated "
-                "with; create a new evaluator for a new phase/domain"
-            )
+        self.ensure_started(context)
         assert self._pool is not None
         pending = [ind for ind in population if not ind.is_evaluated]
         if not pending:
@@ -277,8 +338,24 @@ class ProcessPoolEvaluator(Evaluator):
             for i in range(0, len(pending), self.chunk_size)
         ]
         t0 = time.perf_counter()
-        outputs = list(self._pool.map(_evaluate_chunk, chunks))
+        try:
+            # ``timeout_s`` bounds the whole batch: map's iterator raises
+            # TimeoutError measured from the map() call, so one hung worker
+            # cannot wedge the run.  TimeoutError propagates as-is (the
+            # pool object itself is still consistent, merely busy).
+            outputs = list(self._pool.map(_evaluate_chunk, chunks, timeout=self.timeout_s))
+        except BrokenProcessPool as exc:
+            raise WorkerPoolError(
+                f"worker pool broke while evaluating {len(pending)} individuals on "
+                f"domain {type(context.domain).__name__}: worker process(es) died "
+                f"(crash, OOM kill, or an initializer error); call restart() and "
+                f"retry, or fall back to SerialEvaluator — ResilientEvaluator "
+                f"automates both"
+            ) from exc
         seconds = time.perf_counter() - t0
+        # No partial writes: individuals are only mutated after every chunk
+        # returned, so a failed batch leaves the population un-evaluated and
+        # safe to retry.
         flat = [item for chunk_results, _, _, _ in outputs for item in chunk_results]
         for ind, (decoded, fitness) in zip(pending, flat):
             ind.decoded = decoded

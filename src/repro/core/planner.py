@@ -87,15 +87,22 @@ def _resolve_evaluator_factory(spec: EvaluatorSpec) -> Optional[Callable[[], Eva
     """Normalise an evaluator spec to a zero-argument factory (or ``None``).
 
     ``None``/"serial" → serial evaluation, "process" → one lazily-bound
-    :class:`ProcessPoolEvaluator` per run/phase/island, callables are used
-    as factories directly.  Evaluator *instances* are rejected: a pool is
-    bound to one start state, so sharing an instance across phases would
-    silently evaluate against stale state — pass a factory instead.
+    :class:`ProcessPoolEvaluator` per run/phase/island, "resilient" → a
+    fault-tolerant pool (:class:`~repro.core.resilient.ResilientEvaluator`
+    around a fresh pool: crash/timeout retries with backoff, serial
+    degradation), callables are used as factories directly.  Evaluator
+    *instances* are rejected: a pool is bound to one start state, so
+    sharing an instance across phases would silently evaluate against
+    stale state — pass a factory instead.
     """
     if spec is None or spec == "serial":
         return None
     if spec == "process":
         return ProcessPoolEvaluator
+    if spec == "resilient":
+        from repro.core.resilient import ResilientEvaluator
+
+        return ResilientEvaluator
     if isinstance(spec, Evaluator):
         raise TypeError(
             "pass an evaluator factory (e.g. ProcessPoolEvaluator or a lambda), "
@@ -104,7 +111,9 @@ def _resolve_evaluator_factory(spec: EvaluatorSpec) -> Optional[Callable[[], Eva
         )
     if callable(spec):
         return spec
-    raise ValueError(f"unknown evaluator spec {spec!r}; use 'serial', 'process' or a factory")
+    raise ValueError(
+        f"unknown evaluator spec {spec!r}; use 'serial', 'process', 'resilient' or a factory"
+    )
 
 
 class GAPlanner:

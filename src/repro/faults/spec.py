@@ -1,0 +1,169 @@
+"""Fault-spec grammar: a compact, parseable description of an unreliable grid.
+
+A fault spec is a ``;``-separated list of clauses, each a fault kind with
+``,``-separated ``key=value`` parameters::
+
+    machine-crash:p=0.02;slowdown:factor=4;worker-crash:n=2;eval-timeout:s=5
+
+The grammar is deliberately tiny so the same string works as a CLI flag
+(``--faults``), a config field, and a test parameter.  Clauses divide into
+two families:
+
+- **grid clauses** (``machine-crash``, ``slowdown``, ``link-degrade``,
+  ``partition``) are materialised by :class:`~repro.faults.injector.
+  FaultInjector` into a deterministic :class:`~repro.grid.simulator.
+  GridEvent` timeline for the simulator;
+- **execution clauses** (``worker-crash``, ``worker-hang``,
+  ``eval-timeout``) configure the fault-tolerant evaluation path
+  (:class:`~repro.core.resilient.ResilientEvaluator`).
+
+Parsing is strict: unknown kinds, unknown parameters, missing required
+parameters and out-of-range values all raise ``ValueError`` naming the
+offending clause — a fault plan that silently differs from what the user
+typed would defeat the whole point of deterministic chaos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+__all__ = ["FaultClause", "FaultSpec", "parse_fault_spec", "FAULT_KINDS"]
+
+
+#: kind -> (required params, optional params with defaults)
+FAULT_KINDS: Dict[str, Tuple[Tuple[str, ...], Dict[str, float]]] = {
+    # grid-level faults (materialised into GridEvents)
+    "machine-crash": (("p",), {"restore": 0.0}),
+    "slowdown": (("factor",), {"p": 1.0, "duration": 0.0}),
+    "link-degrade": (("factor",), {"p": 1.0}),
+    "partition": (("p",), {}),
+    # execution-level faults (consumed by the resilient evaluation path)
+    "worker-crash": (("n",), {}),
+    "worker-hang": (("n",), {"s": 30.0}),
+    "eval-timeout": (("s",), {}),
+}
+
+_GRID_KINDS = ("machine-crash", "slowdown", "link-degrade", "partition")
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed clause: a fault kind plus its full parameter map."""
+
+    fault: str
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.fault not in FAULT_KINDS:
+            known = ", ".join(sorted(FAULT_KINDS))
+            raise ValueError(f"unknown fault kind {self.fault!r}; known kinds: {known}")
+        required, optional = FAULT_KINDS[self.fault]
+        params = dict(self.params)
+        for name in params:
+            if name not in required and name not in optional:
+                allowed = ", ".join((*required, *optional)) or "(none)"
+                raise ValueError(
+                    f"fault {self.fault!r}: unknown parameter {name!r} (allowed: {allowed})"
+                )
+        for name in required:
+            if name not in params:
+                raise ValueError(f"fault {self.fault!r}: missing required parameter {name!r}")
+        for name, default in optional.items():
+            params.setdefault(name, default)
+        self._validate(params)
+        object.__setattr__(self, "params", params)
+
+    def _validate(self, params: Dict[str, float]) -> None:
+        p = params.get("p")
+        if p is not None and not (0.0 <= p <= 1.0):
+            raise ValueError(f"fault {self.fault!r}: p must be in [0, 1], got {p}")
+        factor = params.get("factor")
+        if factor is not None and factor <= 1.0:
+            raise ValueError(f"fault {self.fault!r}: factor must be > 1, got {factor}")
+        n = params.get("n")
+        if n is not None and (n != int(n) or n < 0):
+            raise ValueError(f"fault {self.fault!r}: n must be a non-negative integer, got {n}")
+        s = params.get("s")
+        if s is not None and s <= 0:
+            raise ValueError(f"fault {self.fault!r}: s must be positive, got {s}")
+        for name in ("restore", "duration"):
+            v = params.get(name)
+            if v is not None and v < 0:
+                raise ValueError(f"fault {self.fault!r}: {name} must be non-negative, got {v}")
+
+    def __getitem__(self, name: str) -> float:
+        return self.params[name]
+
+    def __str__(self) -> str:
+        required, optional = FAULT_KINDS[self.fault]
+        parts = []
+        for name in (*required, *optional):
+            value = self.params[name]
+            if name in optional and value == optional[name]:
+                continue  # canonical form drops defaults
+            parts.append(f"{name}={value:g}")
+        return f"{self.fault}:{','.join(parts)}" if parts else self.fault
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A parsed fault spec: an ordered tuple of clauses plus typed views."""
+
+    clauses: Tuple[FaultClause, ...]
+
+    @property
+    def grid_clauses(self) -> Tuple[FaultClause, ...]:
+        return tuple(c for c in self.clauses if c.fault in _GRID_KINDS)
+
+    @property
+    def worker_crashes(self) -> int:
+        return sum(int(c["n"]) for c in self.clauses if c.fault == "worker-crash")
+
+    @property
+    def worker_hangs(self) -> int:
+        return sum(int(c["n"]) for c in self.clauses if c.fault == "worker-hang")
+
+    @property
+    def hang_seconds(self) -> float:
+        hangs = [c for c in self.clauses if c.fault == "worker-hang"]
+        return max((c["s"] for c in hangs), default=30.0)
+
+    @property
+    def eval_timeout_s(self) -> Optional[float]:
+        timeouts = [c["s"] for c in self.clauses if c.fault == "eval-timeout"]
+        return min(timeouts) if timeouts else None
+
+    def __str__(self) -> str:
+        return ";".join(str(c) for c in self.clauses)
+
+    def __iter__(self) -> Iterable[FaultClause]:
+        return iter(self.clauses)
+
+
+def parse_fault_spec(spec: str) -> FaultSpec:
+    """Parse a spec string; see module docstring for the grammar."""
+    clauses = []
+    for raw in spec.split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        fault, _, arg_str = raw.partition(":")
+        params: Dict[str, float] = {}
+        for pair in filter(None, (p.strip() for p in arg_str.split(","))):
+            name, sep, value = pair.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"fault clause {raw!r}: expected key=value parameters, got {pair!r}"
+                )
+            try:
+                params[name.strip()] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"fault clause {raw!r}: parameter {name.strip()!r} is not a number: "
+                    f"{value!r}"
+                ) from None
+        clauses.append(FaultClause(fault=fault.strip(), params=params))
+    if not clauses:
+        raise ValueError(f"fault spec {spec!r} contains no clauses")
+    return FaultSpec(clauses=tuple(clauses))

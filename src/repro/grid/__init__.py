@@ -1,12 +1,19 @@
 """Simulated heterogeneous grid: ontologies, workflows, societal services."""
 
 from repro.grid.activity_graph import Activity, ActivityGraph, plan_to_activity_graph, to_dot
-from repro.grid.broker import Offer, ResourceBroker
+from repro.grid.broker import (
+    Offer,
+    Placement,
+    PlacementError,
+    ResourceBroker,
+    RetryPolicy,
+)
 from repro.grid.catalog import ReplicaCatalog, StorageFullError
 from repro.grid.coordination import (
     Attempt,
     CoordinationReport,
     CoordinationService,
+    ga_grid_planner,
     greedy_grid_planner,
 )
 from repro.grid.data import DataProduct, DataType, ProvenanceStep
@@ -22,9 +29,11 @@ __all__ = [
     "Activity", "ActivityGraph", "Attempt", "CoordinationReport", "CoordinationService",
     "DataProduct", "DataType", "ExecutionResult", "GridEvent", "GridSimulator",
     "GridTopology", "GridWorkflowDomain", "InputSpec", "Link", "Machine", "Offer",
-    "Ontology", "OutputSpec", "ProgramSpec", "ProvenanceStep", "ReplicaCatalog",
-    "ResourceBroker", "StorageFullError",
-    "RunProgram", "Site", "TaskRecord", "Transfer", "greedy_grid_planner",
+    "Ontology", "OutputSpec", "Placement", "PlacementError", "ProgramSpec",
+    "ProvenanceStep", "ReplicaCatalog", "ResourceBroker", "RetryPolicy",
+    "StorageFullError",
+    "RunProgram", "Site", "TaskRecord", "Transfer", "ga_grid_planner",
+    "greedy_grid_planner",
     "imaging_pipeline", "plan_to_activity_graph", "random_grid", "random_pipeline",
     "small_heterogeneous_grid", "to_dot",
 ]

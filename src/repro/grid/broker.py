@@ -5,18 +5,60 @@ its preconditions and ranks them by estimated completion cost (runtime plus
 the time to stage missing inputs), from both "the grid's and the user's
 perspective" — the ranking weight lets callers trade raw speed against
 load-balancing pressure.
+
+On an unreliable grid an offer is a bet, not a contract: the chosen machine
+may crash or be unreachable by the time work is dispatched.
+:meth:`ResourceBroker.place_with_retry` encodes the recovery policy — walk
+the ranked offers from best to next-best, backing off exponentially (with a
+cap) between attempts, reporting each failure as a ``retry`` event and a
+``retries`` counter tick through :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.grid.data import DataProduct
 from repro.grid.ontology import Ontology
 from repro.grid.resources import Machine
+from repro.obs.events import RetryAttempt
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, default_metrics, default_tracer
 
-__all__ = ["Offer", "ResourceBroker"]
+__all__ = ["Offer", "ResourceBroker", "RetryPolicy", "Placement", "PlacementError"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff over a bounded number of attempts."""
+
+    max_attempts: int = 4
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff durations must be non-negative")
+
+    def backoff_s(self, failure_index: int) -> float:
+        """Delay after the ``failure_index``-th failure (0-based)."""
+        return min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** failure_index))
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Outcome of a retried placement: the offer that stuck, plus cost."""
+
+    offer: "Offer"
+    attempts: int
+    backoff_s: float  # total (simulated) backoff delay spent before success
+
+
+class PlacementError(RuntimeError):
+    """Every candidate offer was tried and failed (or none existed)."""
 
 
 @dataclass(frozen=True)
@@ -68,7 +110,10 @@ class ResourceBroker:
         input_locations: Sequence[Tuple[DataProduct, str]] = (),
     ) -> List[Offer]:
         """Ranked placements (cheapest first, load-penalised)."""
-        program = self.ontology.programs[program_name]
+        program = self.ontology.programs.get(program_name)
+        if program is None:
+            known = ", ".join(sorted(self.ontology.programs)) or "(none registered)"
+            raise ValueError(f"unknown program {program_name!r}; known: {known}")
         out: List[Offer] = []
         for machine in self.discover(program_name):
             staging = self._staging_time(machine.name, input_locations)
@@ -92,3 +137,63 @@ class ResourceBroker:
     ) -> Optional[Offer]:
         ranked = self.offers(program_name, input_locations)
         return ranked[0] if ranked else None
+
+    def place_with_retry(
+        self,
+        program_name: str,
+        input_locations: Sequence[Tuple[DataProduct, str]] = (),
+        *,
+        attempt: Callable[[Offer], bool],
+        policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> Placement:
+        """Place a program, falling back to the next-best offer on failure.
+
+        *attempt* dispatches work to one offer and reports success: truthy
+        return means the placement stuck; a falsy return or any exception
+        means it failed (machine crashed, dispatch refused, …) and the next
+        ranked offer is tried after a capped exponential backoff.  Backoff
+        is *simulated* — accumulated into :attr:`Placement.backoff_s`, not
+        slept — because broker time is grid time, not wall time.
+
+        Each failure emits a ``retry`` event and ticks the ``retries``
+        counter; exhausting every offer (or ``policy.max_attempts``) raises
+        :class:`PlacementError`.
+        """
+        policy = policy or RetryPolicy()
+        tracer = tracer if tracer is not None else default_tracer()
+        metrics = metrics if metrics is not None else default_metrics()
+        ranked = self.offers(program_name, input_locations)
+        if not ranked:
+            raise PlacementError(f"no machine can host program {program_name!r}")
+        delay = 0.0
+        failures: List[str] = []
+        for index, offer in enumerate(ranked[: policy.max_attempts]):
+            try:
+                ok = bool(attempt(offer))
+                reason = f"placement on {offer.machine} refused"
+            except Exception as exc:
+                ok = False
+                reason = f"placement on {offer.machine} failed: {exc}"
+            if ok:
+                return Placement(offer=offer, attempts=index + 1, backoff_s=delay)
+            failures.append(reason)
+            backoff = policy.backoff_s(index)
+            delay += backoff
+            if metrics is not None:
+                metrics.counter("retries").add(1)
+            if tracer.enabled:
+                tracer.emit(
+                    RetryAttempt(
+                        scope="broker",
+                        component="broker",
+                        attempt=index + 1,
+                        backoff_s=backoff,
+                        reason=reason,
+                    )
+                )
+        raise PlacementError(
+            f"program {program_name!r} could not be placed after "
+            f"{min(len(ranked), policy.max_attempts)} attempt(s): " + "; ".join(failures)
+        )

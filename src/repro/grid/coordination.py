@@ -20,8 +20,17 @@ from repro.grid.activity_graph import ActivityGraph, plan_to_activity_graph
 from repro.grid.ontology import Ontology
 from repro.grid.simulator import ExecutionResult, GridEvent, GridSimulator
 from repro.grid.workflow_domain import GridWorkflowDomain
+from repro.obs.events import ReplanTriggered
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, default_metrics, default_tracer
 
-__all__ = ["Attempt", "CoordinationReport", "CoordinationService", "greedy_grid_planner"]
+__all__ = [
+    "Attempt",
+    "CoordinationReport",
+    "CoordinationService",
+    "greedy_grid_planner",
+    "ga_grid_planner",
+]
 
 # A planner is any callable from domain to an operation sequence (or None).
 Planner = Callable[[GridWorkflowDomain], Optional[Sequence[object]]]
@@ -72,6 +81,32 @@ def greedy_grid_planner(max_expansions: int = 200_000) -> Planner:
     return plan
 
 
+def ga_grid_planner(
+    config=None,
+    phases: int = 3,
+    seed: int = 0,
+) -> Planner:
+    """The paper's planner as a replanner: multi-phase GA from the current state.
+
+    Each invocation restarts the multi-phase GA on the domain the
+    coordination service rebuilt from the *observed* placements over the
+    *changed* topology — the phase mechanism doubles as the recovery
+    primitive ("plans must be cheap to re-generate").  The seed is fixed,
+    so a replanning sequence is deterministic given the fault timeline.
+    """
+
+    def plan(domain: GridWorkflowDomain) -> Optional[Sequence[object]]:
+        from repro.core import GAConfig, GAPlanner
+
+        cfg = config or GAConfig(
+            population_size=100, generations=60, max_len=20, init_length=8
+        )
+        outcome = GAPlanner(domain, cfg, multiphase=phases, seed=seed).solve()
+        return outcome.plan if outcome.solved else None
+
+    return plan
+
+
 class CoordinationService:
     """Supervises plan execution and replans on grid changes."""
 
@@ -80,12 +115,16 @@ class CoordinationService:
         ontology: Ontology,
         planner: Planner,
         max_replans: int = 3,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_replans < 0:
             raise ValueError("max_replans must be non-negative")
         self.ontology = ontology
         self.planner = planner
         self.max_replans = max_replans
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.metrics = metrics if metrics is not None else default_metrics()
 
     def run(
         self,
@@ -120,17 +159,32 @@ class CoordinationService:
             # Strictly after the clock: an event *at* the abort instant was
             # already applied to the (shared, mutated) topology last round.
             local_events = [
-                GridEvent(e.time - clock, e.kind, e.machine, e.value)
+                GridEvent(e.time - clock, e.kind, e.machine, e.value, e.peer)
                 for e in pending_events
                 if e.time > clock
             ]
-            sim = GridSimulator(self.ontology, events=local_events)
+            sim = GridSimulator(
+                self.ontology, events=local_events, tracer=self.tracer, metrics=self.metrics
+            )
             result = sim.execute(graph, placements, abort_on_failure=True)
             attempts.append(Attempt(plan=tuple(plan), graph=graph, result=result))
             placements = result.placements
             if result.aborted_at is not None:
                 clock += result.aborted_at
-                continue  # grid changed: replan from the observed state
+                # Grid changed under us: replan from the observed state.
+                if self.metrics is not None:
+                    self.metrics.counter("replans").add(1)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ReplanTriggered(
+                            scope="coordination",
+                            round_index=round_index,
+                            at=clock,
+                            completed=len(result.completed),
+                            reason="grid event aborted execution",
+                        )
+                    )
+                continue
             clock += result.makespan
             break
 

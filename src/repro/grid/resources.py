@@ -113,6 +113,9 @@ class GridTopology:
         self.machines: Dict[str, Machine] = {}
         self._graph = nx.Graph()
         self.local_bandwidth_mbps = local_bandwidth_mbps
+        # Pristine Link records for currently degraded/partitioned site
+        # pairs, keyed by the sorted pair — what restore_link reinstates.
+        self._pristine_links: Dict[Tuple[str, str], Link] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -142,6 +145,12 @@ class GridTopology:
 
     def machine_names(self) -> list:
         return sorted(self.machines)
+
+    def link_pairs(self) -> list:
+        """Sorted site pairs that have (or had, while faulted) a link."""
+        pairs = {tuple(sorted(edge)) for edge in self._graph.edges}
+        pairs.update(self._pristine_links)
+        return sorted(pairs)
 
     def up_machines(self) -> list:
         return [self.machines[n] for n in self.machine_names() if self.machines[n].up]
@@ -213,3 +222,53 @@ class GridTopology:
 
     def set_load(self, name: str, load: float) -> None:
         self.set_machine(self._get(name).with_load(load))
+
+    # -- link faults ---------------------------------------------------------
+    #
+    # Link degradation and partition are the network half of the fault
+    # model: a degraded link keeps routing at a fraction of its bandwidth,
+    # a partitioned link disappears entirely (paths through it become
+    # unreachable until restored).  The pristine Link is remembered on the
+    # first fault so restore_link always returns to the original state.
+
+    def _link_key(self, site_a: str, site_b: str) -> Tuple[str, str]:
+        for s in (site_a, site_b):
+            if s not in self.sites:
+                raise ValueError(f"unknown site {s!r}")
+        return tuple(sorted((site_a, site_b)))  # type: ignore[return-value]
+
+    def _current_link(self, key: Tuple[str, str]) -> Optional[Link]:
+        if self._graph.has_edge(*key):
+            return self._graph.edges[key]["link"]
+        return None
+
+    def degrade_link(self, site_a: str, site_b: str, factor: float) -> None:
+        """Divide the link's bandwidth by *factor* (> 1)."""
+        if factor <= 1.0:
+            raise ValueError(f"degrade factor must be > 1, got {factor}")
+        key = self._link_key(site_a, site_b)
+        link = self._current_link(key)
+        if link is None:
+            raise ValueError(f"no link between {site_a!r} and {site_b!r}")
+        self._pristine_links.setdefault(key, link)
+        degraded = replace(link, bandwidth_mbps=link.bandwidth_mbps / factor)
+        self._graph.edges[key]["link"] = degraded
+
+    def partition_link(self, site_a: str, site_b: str) -> None:
+        """Remove the link entirely until :meth:`restore_link`."""
+        key = self._link_key(site_a, site_b)
+        link = self._current_link(key)
+        if link is None:
+            if key not in self._pristine_links:
+                raise ValueError(f"no link between {site_a!r} and {site_b!r}")
+            return  # already partitioned
+        self._pristine_links.setdefault(key, link)
+        self._graph.remove_edge(*key)
+
+    def restore_link(self, site_a: str, site_b: str) -> None:
+        """Undo any degradation/partition, reinstating the pristine link."""
+        key = self._link_key(site_a, site_b)
+        pristine = self._pristine_links.pop(key, None)
+        if pristine is None:
+            return  # never faulted — nothing to do
+        self._graph.add_edge(key[0], key[1], link=pristine)

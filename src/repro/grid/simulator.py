@@ -26,31 +26,55 @@ from repro.grid.activity_graph import Activity, ActivityGraph
 from repro.grid.ontology import Ontology
 from repro.grid.resources import GridTopology
 from repro.grid.workflow_domain import RunProgram, Transfer
-from repro.obs.events import SimulationComplete
+from repro.obs.events import FaultInjected, SimulationComplete
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, default_metrics, default_tracer
 
-__all__ = ["GridEvent", "TaskRecord", "ExecutionResult", "GridSimulator"]
+__all__ = [
+    "GridEvent",
+    "TaskRecord",
+    "ExecutionResult",
+    "GridSimulator",
+    "MACHINE_EVENT_KINDS",
+    "LINK_EVENT_KINDS",
+]
+
+
+#: Machine-level event kinds (``machine`` names a machine, ``peer`` unused).
+MACHINE_EVENT_KINDS = ("fail", "restore", "load")
+#: Link-level event kinds (``machine``/``peer`` name the two sites).
+LINK_EVENT_KINDS = ("link-degrade", "partition", "link-restore")
 
 
 @dataclass(frozen=True)
 class GridEvent:
-    """A scheduled change to the grid: failure, recovery, or load change.
+    """A scheduled change to the grid.
 
-    ``kind`` is ``"fail"``, ``"restore"`` or ``"load"``; ``value`` is the
-    new load factor for ``"load"`` events.
+    Machine events: ``kind`` is ``"fail"``, ``"restore"`` or ``"load"``
+    (``value`` is the new load factor for ``"load"``).  Link events:
+    ``kind`` is ``"link-degrade"`` (``value`` is the bandwidth divisor),
+    ``"partition"`` or ``"link-restore"``, with ``machine``/``peer``
+    naming the two endpoint sites.
     """
 
     time: float
     kind: str
     machine: str
     value: float = 0.0
+    peer: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in ("fail", "restore", "load"):
+        if self.kind not in MACHINE_EVENT_KINDS + LINK_EVENT_KINDS:
             raise ValueError(f"unknown event kind {self.kind!r}")
         if self.time < 0:
             raise ValueError("event time must be non-negative")
+        if self.kind in LINK_EVENT_KINDS and not self.peer:
+            raise ValueError(f"{self.kind} events need a peer site")
+
+    @property
+    def target(self) -> str:
+        """The machine, or ``"siteA--siteB"`` for link events."""
+        return f"{self.machine}--{self.peer}" if self.peer else self.machine
 
 
 @dataclass
@@ -182,13 +206,47 @@ class GridSimulator:
             if busy.get(server) is not None:
                 return
             queue = queues.get(server, [])
-            if not queue:
+            while queue:
+                aid = queue.pop(0)
+                activity = graph.activity(aid)
+                try:
+                    duration = self._duration(activity)
+                except ValueError:
+                    # A partition can sever a transfer's route between
+                    # enqueue and start; that's a task failure, not a
+                    # simulator crash.
+                    fail(aid, now, "no route at start")
+                    continue
+                busy[server] = aid
+                started_at[aid] = now
+                push(now + duration, "finish", aid)
                 return
-            aid = queue.pop(0)
-            activity = graph.activity(aid)
-            busy[server] = aid
-            started_at[aid] = now
-            push(now + self._duration(activity), "finish", aid)
+
+        faults_applied = 0
+
+        def apply_topology_change(ev: GridEvent) -> None:
+            if ev.kind == "fail":
+                self.topology.fail_machine(ev.machine)
+            elif ev.kind == "restore":
+                self.topology.restore_machine(ev.machine)
+            elif ev.kind == "load":
+                self.topology.set_load(ev.machine, ev.value)
+            elif ev.kind == "link-degrade":
+                self.topology.degrade_link(ev.machine, ev.peer, ev.value)
+            elif ev.kind == "partition":
+                self.topology.partition_link(ev.machine, ev.peer)
+            elif ev.kind == "link-restore":
+                self.topology.restore_link(ev.machine, ev.peer)
+
+        def note_fault(ev: GridEvent, t: float) -> None:
+            nonlocal faults_applied
+            faults_applied += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    FaultInjected(
+                        scope="sim", at=t, fault=ev.kind, target=ev.target, value=ev.value
+                    )
+                )
 
         def fail(aid: int, now: float, reason: str) -> None:
             activity = graph.activity(aid)
@@ -239,8 +297,9 @@ class GridSimulator:
                 maybe_start(server, now)
             elif kind == "grid-event":
                 ev = payload
+                apply_topology_change(ev)
+                note_fault(ev, now)
                 if ev.kind == "fail":
-                    self.topology.fail_machine(ev.machine)
                     # Kill running + queued work on every server of the machine.
                     for server in list(busy):
                         if server[0] != ev.machine:
@@ -262,17 +321,9 @@ class GridSimulator:
                             _t, _, k2, p2 = heapq.heappop(heap)
                             if k2 != "grid-event":
                                 continue
-                            if p2.kind == "fail":
-                                self.topology.fail_machine(p2.machine)
-                            elif p2.kind == "restore":
-                                self.topology.restore_machine(p2.machine)
-                            elif p2.kind == "load":
-                                self.topology.set_load(p2.machine, p2.value)
+                            apply_topology_change(p2)
+                            note_fault(p2, now)
                         break
-                elif ev.kind == "restore":
-                    self.topology.restore_machine(ev.machine)
-                elif ev.kind == "load":
-                    self.topology.set_load(ev.machine, ev.value)
 
         success = len(completed) == len(graph)
         makespan = max((r.end for r in trace if r.status == "done"), default=0.0)
@@ -281,6 +332,8 @@ class GridSimulator:
             self.metrics.timer("sim_execute").record(seconds)
             self.metrics.counter("sim_tasks_done").add(len(completed))
             self.metrics.counter("sim_tasks_failed").add(len(failed))
+            if faults_applied:
+                self.metrics.counter("faults_injected").add(faults_applied)
         if self.tracer.enabled:
             self.tracer.emit(
                 SimulationComplete(

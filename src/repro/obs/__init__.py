@@ -25,13 +25,18 @@ subcommand without threading parameters through the analysis drivers.
 
 from repro.obs.events import (
     EVENT_KINDS,
+    CheckpointRecovered,
     CheckpointWrite,
     DecodeCacheSnapshot,
     EvaluationBatch,
+    EvaluatorDegraded,
+    FaultInjected,
     GenerationComplete,
     IslandMigration,
     PhaseEnd,
     PhaseStart,
+    ReplanTriggered,
+    RetryAttempt,
     RunEvent,
     SchedulerGeneration,
     SimulationComplete,
@@ -57,12 +62,15 @@ from repro.obs.tracer import (
 
 __all__ = [
     "CSV_COLUMNS",
+    "CheckpointRecovered",
     "CheckpointWrite",
     "Counter",
     "CsvSummarySink",
     "DecodeCacheSnapshot",
     "EVENT_KINDS",
     "EvaluationBatch",
+    "EvaluatorDegraded",
+    "FaultInjected",
     "GenerationComplete",
     "Histogram",
     "IslandMigration",
@@ -73,6 +81,8 @@ __all__ = [
     "PhaseEnd",
     "PhaseStart",
     "ProgressSink",
+    "ReplanTriggered",
+    "RetryAttempt",
     "RunEvent",
     "SchedulerGeneration",
     "SimulationComplete",

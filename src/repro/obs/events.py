@@ -30,8 +30,13 @@ __all__ = [
     "EvaluationBatch",
     "DecodeCacheSnapshot",
     "CheckpointWrite",
+    "CheckpointRecovered",
     "SchedulerGeneration",
     "SimulationComplete",
+    "FaultInjected",
+    "RetryAttempt",
+    "EvaluatorDegraded",
+    "ReplanTriggered",
     "EVENT_KINDS",
     "event_from_dict",
 ]
@@ -148,6 +153,76 @@ class CheckpointWrite(RunEvent):
 
 
 @dataclass(frozen=True, kw_only=True)
+class CheckpointRecovered(RunEvent):
+    """A corrupted latest checkpoint was skipped for an older good one.
+
+    ``path`` is the checkpoint actually loaded; ``skipped`` counts the newer
+    files that failed validation (truncated, bad checksum, wrong version).
+    """
+
+    kind: ClassVar[str] = "checkpoint-recovered"
+    path: str
+    generation: int
+    skipped: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class FaultInjected(RunEvent):
+    """A fault from the injected timeline was applied to the grid.
+
+    ``fault`` is the grid-event kind (``fail``, ``restore``, ``load``,
+    ``link-degrade``, ``partition``, ``link-restore``); ``target`` names the
+    machine, or ``"siteA--siteB"`` for link faults; ``at`` is simulated time.
+    """
+
+    kind: ClassVar[str] = "fault-injected"
+    at: float
+    fault: str
+    target: str
+    value: float = 0.0
+
+
+@dataclass(frozen=True, kw_only=True)
+class RetryAttempt(RunEvent):
+    """A fault-tolerant component retried after a failure.
+
+    ``component`` is ``"broker"`` (placement moved to the next-best offer)
+    or ``"evaluator"`` (worker-pool batch retried after crash/timeout).
+    """
+
+    kind: ClassVar[str] = "retry"
+    component: str
+    attempt: int
+    backoff_s: float
+    reason: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class EvaluatorDegraded(RunEvent):
+    """A resilient evaluator gave up on its pool and fell back to serial."""
+
+    kind: ClassVar[str] = "evaluator-degraded"
+    failures: int
+    reason: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class ReplanTriggered(RunEvent):
+    """Execution aborted on a grid change; the coordinator is replanning.
+
+    ``at`` is the simulated abort time on the coordinator's global clock and
+    ``completed`` the number of activities that survived from the attempt —
+    the observed state the next planning round restarts from.
+    """
+
+    kind: ClassVar[str] = "replan"
+    round_index: int
+    at: float
+    completed: int
+    reason: str
+
+
+@dataclass(frozen=True, kw_only=True)
 class SchedulerGeneration(RunEvent):
     """One generation of the GA task mapper (makespan objective)."""
 
@@ -179,8 +254,13 @@ EVENT_KINDS: Dict[str, Type[RunEvent]] = {
         EvaluationBatch,
         DecodeCacheSnapshot,
         CheckpointWrite,
+        CheckpointRecovered,
         SchedulerGeneration,
         SimulationComplete,
+        FaultInjected,
+        RetryAttempt,
+        EvaluatorDegraded,
+        ReplanTriggered,
     )
 }
 

@@ -1,0 +1,158 @@
+"""Checkpoint hardening: atomic writes, checksums, corrupt-file recovery."""
+
+import pickle
+
+import pytest
+
+from repro.core import GAConfig, GARun, make_rng
+from repro.core.checkpoint import (
+    CheckpointError,
+    capture,
+    checkpoint_path,
+    load_checkpoint,
+    load_latest_checkpoint,
+    save_checkpoint,
+)
+from repro.domains import HanoiDomain
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.sinks import MemoryRecorder
+
+
+def _fresh_run(seed=0, steps=2):
+    run = GARun(
+        HanoiDomain(3),
+        GAConfig(population_size=10, generations=20, max_len=35, init_length=7),
+        make_rng(seed),
+    )
+    for _ in range(steps):
+        run.step()
+    return run
+
+
+class TestIntegrity:
+    def test_new_format_has_magic_header(self, tmp_path):
+        run = _fresh_run()
+        path = tmp_path / "ckpt.pkl"
+        save_checkpoint(run, path)
+        assert path.read_bytes().startswith(b"RGACKPT")
+        assert load_checkpoint(path).generation == run.generation
+
+    def test_truncated_file_rejected(self, tmp_path):
+        run = _fresh_run()
+        path = tmp_path / "ckpt.pkl"
+        save_checkpoint(run, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="truncated|checksum"):
+            load_checkpoint(path)
+
+    def test_bitflip_rejected_by_checksum(self, tmp_path):
+        run = _fresh_run()
+        path = tmp_path / "ckpt.pkl"
+        save_checkpoint(run, path)
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_header_only_file_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.pkl"
+        path.write_bytes(b"RGACKPT\x01\x00\x00")
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_checkpoint(path)
+
+    def test_legacy_bare_pickle_still_loads(self, tmp_path):
+        ckpt = capture(_fresh_run())
+        path = tmp_path / "legacy.pkl"
+        path.write_bytes(pickle.dumps(ckpt))
+        loaded = load_checkpoint(path)
+        assert loaded.generation == ckpt.generation
+
+    def test_wrong_version_rejected(self, tmp_path):
+        ckpt = capture(_fresh_run())
+        ckpt.version = 999
+        path = tmp_path / "old.pkl"
+        path.write_bytes(pickle.dumps(ckpt))
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+    def test_random_garbage_rejected(self, tmp_path):
+        path = tmp_path / "noise.pkl"
+        path.write_bytes(b"\x00\x01\x02 definitely not a pickle")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+
+class TestAtomicity:
+    def test_failed_save_leaves_no_partial_file(self, tmp_path, monkeypatch):
+        run = _fresh_run()
+        path = tmp_path / "ckpt.pkl"
+        save_checkpoint(run, path)
+        good = path.read_bytes()
+
+        import repro.core.checkpoint as cp
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cp.os, "replace", boom)
+        with pytest.raises(OSError):
+            save_checkpoint(run, path)
+        monkeypatch.undo()
+        # The original file is intact and no temp litter remains.
+        assert path.read_bytes() == good
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_checkpoint_path_orders_lexically(self, tmp_path):
+        paths = [checkpoint_path(tmp_path, g) for g in (2, 10, 100, 99)]
+        assert sorted(str(p) for p in paths) == [
+            str(checkpoint_path(tmp_path, g)) for g in (2, 10, 99, 100)
+        ]
+
+
+class TestLatestRecovery:
+    def test_empty_directory_returns_none(self, tmp_path):
+        assert load_latest_checkpoint(tmp_path) is None
+        assert load_latest_checkpoint(tmp_path / "missing") is None
+
+    def test_picks_newest_good_checkpoint(self, tmp_path):
+        for steps in (1, 2, 3):
+            run = _fresh_run(steps=steps)
+            save_checkpoint(run, checkpoint_path(tmp_path, run.generation))
+        ckpt, path = load_latest_checkpoint(tmp_path)
+        assert ckpt.generation == 3
+        assert path == checkpoint_path(tmp_path, 3)
+
+    def test_recovers_past_corrupt_latest(self, tmp_path):
+        run = _fresh_run(steps=2)
+        good = checkpoint_path(tmp_path, 2)
+        save_checkpoint(run, good)
+        # Newest file is a torn write.
+        corrupt = checkpoint_path(tmp_path, 3)
+        corrupt.write_bytes(good.read_bytes()[:20])
+
+        rec = MemoryRecorder()
+        metrics = MetricsRegistry()
+        ckpt, path = load_latest_checkpoint(tmp_path, tracer=Tracer([rec]), metrics=metrics)
+        assert path == good
+        assert ckpt.generation == 2
+        events = [e for e in rec.events if e.kind == "checkpoint-recovered"]
+        assert len(events) == 1
+        assert events[0].skipped == 1
+        assert events[0].path == str(good)
+        assert metrics.counter("checkpoints_recovered").value == 1
+
+    def test_no_recovery_event_when_latest_is_good(self, tmp_path):
+        run = _fresh_run(steps=2)
+        save_checkpoint(run, checkpoint_path(tmp_path, 2))
+        rec = MemoryRecorder()
+        ckpt, _ = load_latest_checkpoint(tmp_path, tracer=Tracer([rec]))
+        assert ckpt.generation == 2
+        assert [e for e in rec.events if e.kind == "checkpoint-recovered"] == []
+
+    def test_all_corrupt_raises_with_details(self, tmp_path):
+        for g in (1, 2):
+            checkpoint_path(tmp_path, g).write_bytes(b"RGACKPT\x01 torn")
+        with pytest.raises(CheckpointError, match="all 2 candidate"):
+            load_latest_checkpoint(tmp_path)

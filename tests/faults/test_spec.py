@@ -1,0 +1,92 @@
+"""Tests for the fault-spec grammar."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultClause, FaultSpec, parse_fault_spec
+
+
+class TestParsing:
+    def test_full_spec_round_trips(self):
+        spec = parse_fault_spec(
+            "machine-crash:p=0.02;slowdown:factor=4;worker-crash:n=2;eval-timeout:s=5"
+        )
+        assert len(spec.clauses) == 4
+        assert str(spec) == "machine-crash:p=0.02;slowdown:factor=4;worker-crash:n=2;eval-timeout:s=5"
+        # canonical form re-parses to an equal spec
+        assert parse_fault_spec(str(spec)) == spec
+
+    def test_whitespace_and_empty_clauses_tolerated(self):
+        spec = parse_fault_spec(" machine-crash: p=0.5 ; ; slowdown : factor=2 ")
+        assert [c.fault for c in spec] == ["machine-crash", "slowdown"]
+
+    def test_optional_params_defaulted(self):
+        (clause,) = parse_fault_spec("slowdown:factor=3").clauses
+        assert clause["p"] == 1.0
+        assert clause["duration"] == 0.0
+
+    def test_canonical_form_drops_defaults(self):
+        assert str(parse_fault_spec("slowdown:factor=3,p=1.0")) == "slowdown:factor=3"
+        assert str(parse_fault_spec("slowdown:factor=3,p=0.5")) == "slowdown:factor=3,p=0.5"
+
+    def test_typed_views(self):
+        spec = parse_fault_spec(
+            "worker-crash:n=2;worker-crash:n=1;worker-hang:n=1,s=4;eval-timeout:s=9;eval-timeout:s=5"
+        )
+        assert spec.worker_crashes == 3
+        assert spec.worker_hangs == 1
+        assert spec.hang_seconds == 4.0
+        assert spec.eval_timeout_s == 5.0  # strictest wins
+        assert spec.grid_clauses == ()
+
+    def test_grid_clauses_view(self):
+        spec = parse_fault_spec("machine-crash:p=0.1;worker-crash:n=1;partition:p=0.2")
+        assert [c.fault for c in spec.grid_clauses] == ["machine-crash", "partition"]
+
+
+class TestStrictness:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",  # no clauses
+            "  ;  ",  # only empty clauses
+            "meteor-strike:p=1",  # unknown kind
+            "machine-crash",  # missing required p
+            "machine-crash:q=0.5",  # unknown parameter
+            "machine-crash:p",  # not key=value
+            "machine-crash:p=often",  # not a number
+            "machine-crash:p=1.5",  # p out of range
+            "slowdown:factor=1",  # factor must be > 1
+            "slowdown:factor=0.5",
+            "worker-crash:n=-1",  # negative count
+            "worker-crash:n=1.5",  # non-integer count
+            "eval-timeout:s=0",  # non-positive timeout
+            "machine-crash:p=0.1,restore=-2",  # negative restore
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_spec(bad)
+
+    def test_error_names_offending_clause(self):
+        with pytest.raises(ValueError, match="meteor-strike"):
+            parse_fault_spec("machine-crash:p=0.1;meteor-strike:p=1")
+
+    def test_every_registered_kind_parses(self):
+        for kind, (required, _) in FAULT_KINDS.items():
+            args = ",".join(f"{name}=2" for name in required)
+            clause = f"{kind}:{args}" if args else kind
+            if "p" in required:
+                clause = clause.replace("p=2", "p=0.5")
+            spec = parse_fault_spec(clause)
+            assert spec.clauses[0].fault == kind
+
+    def test_clause_constructor_validates_too(self):
+        with pytest.raises(ValueError, match="missing required"):
+            FaultClause(fault="machine-crash", params={})
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultClause(fault="nope", params={})
+
+    def test_spec_is_iterable(self):
+        spec = parse_fault_spec("partition:p=0.5")
+        assert list(spec) == list(spec.clauses)
+        assert isinstance(spec, FaultSpec)

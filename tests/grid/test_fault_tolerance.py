@@ -1,0 +1,205 @@
+"""Fault tolerance in the grid layer: broker retry, link faults, replanning."""
+
+import pytest
+
+from repro.grid import (
+    CoordinationService,
+    GridEvent,
+    GridSimulator,
+    PlacementError,
+    ResourceBroker,
+    RetryPolicy,
+    Transfer,
+    greedy_grid_planner,
+    imaging_pipeline,
+    plan_to_activity_graph,
+)
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.sinks import MemoryRecorder
+from repro.planning.search import goal_gap, greedy_best_first
+
+
+@pytest.fixture
+def onto_domain():
+    return imaging_pipeline()
+
+
+def _solved_plan(domain):
+    r = greedy_best_first(domain, goal_gap(domain, scale=100.0), max_expansions=100_000)
+    assert r.solved
+    return r.plan
+
+
+class TestBrokerErrors:
+    def test_unknown_program_is_a_clear_value_error(self, onto_domain):
+        onto, _ = onto_domain
+        broker = ResourceBroker(onto)
+        with pytest.raises(ValueError, match="unknown program 'warp-drive'"):
+            broker.offers("warp-drive")
+        # The message lists the known programs so typos are self-diagnosing.
+        with pytest.raises(ValueError, match="fft"):
+            broker.offers("warp-drive")
+
+
+class TestPlaceWithRetry:
+    def test_first_offer_success(self, onto_domain):
+        onto, _ = onto_domain
+        broker = ResourceBroker(onto)
+        best = broker.best_offer("fft")
+        placement = broker.place_with_retry("fft", attempt=lambda offer: True)
+        assert placement.offer.machine == best.machine
+        assert placement.attempts == 1
+        assert placement.backoff_s == 0.0
+
+    def test_falls_back_to_next_best_offer(self, onto_domain):
+        onto, _ = onto_domain
+        broker = ResourceBroker(onto)
+        ranked = broker.offers("fft")
+        dead = ranked[0].machine
+        rec = MemoryRecorder()
+        metrics = MetricsRegistry()
+        placement = broker.place_with_retry(
+            "fft",
+            attempt=lambda offer: offer.machine != dead,
+            tracer=Tracer([rec]),
+            metrics=metrics,
+        )
+        assert placement.offer.machine == ranked[1].machine
+        assert placement.attempts == 2
+        assert placement.backoff_s > 0.0
+        retries = [e for e in rec.events if e.kind == "retry"]
+        assert len(retries) == 1
+        assert retries[0].component == "broker"
+        assert dead in retries[0].reason
+        assert metrics.counter("retries").value == 1
+
+    def test_attempt_exceptions_count_as_failures(self, onto_domain):
+        onto, _ = onto_domain
+        broker = ResourceBroker(onto)
+        calls = []
+
+        def flaky(offer):
+            calls.append(offer.machine)
+            if len(calls) == 1:
+                raise ConnectionError("machine went away")
+            return True
+
+        placement = broker.place_with_retry("fft", attempt=flaky)
+        assert placement.attempts == 2
+        assert "went away" not in placement.offer.machine
+
+    def test_exhaustion_raises_placement_error(self, onto_domain):
+        onto, _ = onto_domain
+        broker = ResourceBroker(onto)
+        policy = RetryPolicy(max_attempts=2)
+        with pytest.raises(PlacementError, match="2 attempt"):
+            broker.place_with_retry("fft", attempt=lambda offer: False, policy=policy)
+
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=4.0)
+        assert [policy.backoff_s(i) for i in range(4)] == [1.0, 2.0, 4.0, 4.0]
+
+
+class TestLinkFaults:
+    def test_degrade_slows_transfers(self, onto_domain):
+        onto, _ = onto_domain
+        topo = onto.topology
+        before = topo.transfer_time("lab-ws", "campus-a", 1000.0)
+        topo.degrade_link("lab", "campus", 4.0)
+        assert topo.transfer_time("lab-ws", "campus-a", 1000.0) > before
+        topo.restore_link("lab", "campus")
+        assert topo.transfer_time("lab-ws", "campus-a", 1000.0) == pytest.approx(before)
+
+    def test_partition_and_restore(self, onto_domain):
+        onto, _ = onto_domain
+        topo = onto.topology
+        direct = topo.bandwidth("lab-ws", "campus-a")
+        topo.partition_link("lab", "campus")
+        rerouted = topo.bandwidth("lab-ws", "campus-a")
+        # Traffic reroutes over the slow lab--hpc path instead of vanishing.
+        assert rerouted is None or rerouted < direct
+        topo.restore_link("lab", "campus")
+        assert topo.bandwidth("lab-ws", "campus-a") == pytest.approx(direct)
+
+    def test_degrade_validates_factor(self, onto_domain):
+        onto, _ = onto_domain
+        with pytest.raises(ValueError, match="factor"):
+            onto.topology.degrade_link("lab", "campus", 0.5)
+
+    def test_link_pairs_include_partitioned_links(self, onto_domain):
+        onto, _ = onto_domain
+        topo = onto.topology
+        pairs = set(topo.link_pairs())
+        topo.partition_link("lab", "campus")
+        assert set(topo.link_pairs()) == pairs  # restorable, so still listed
+
+
+class TestSimulatorFaultEvents:
+    def test_link_degrade_mid_run_emits_fault_event(self, onto_domain):
+        onto, domain = onto_domain
+        plan = _solved_plan(domain)
+        graph = plan_to_activity_graph(domain, plan)
+        rec = MemoryRecorder()
+        metrics = MetricsRegistry()
+        sim = GridSimulator(
+            onto,
+            events=[GridEvent(0.5, "link-degrade", "lab", 8.0, "campus")],
+            tracer=Tracer([rec]),
+            metrics=metrics,
+        )
+        result = sim.execute(graph, domain.initial_state)
+        assert result.success
+        faults = [e for e in rec.events if e.kind == "fault-injected"]
+        assert len(faults) == 1
+        assert faults[0].fault == "link-degrade"
+        assert faults[0].target == "lab--campus"
+        assert metrics.counter("faults_injected").value == 1
+
+    def test_partition_between_enqueue_and_start_fails_cleanly(self, onto_domain):
+        onto, domain = onto_domain
+        raw = next(iter(domain.initial_state))[0]
+        # The second hop only becomes ready once the first completes; by
+        # then the partitions below have isolated the campus site entirely.
+        plan = (
+            Transfer(raw, "lab-ws", "campus-a"),
+            Transfer(raw, "campus-a", "hpc-1"),
+        )
+        graph = plan_to_activity_graph(domain, plan)
+        sim = GridSimulator(
+            onto,
+            events=[
+                GridEvent(1e-6, "partition", "campus", peer="lab"),
+                GridEvent(1e-6, "partition", "campus", peer="hpc"),
+            ],
+        )
+        result = sim.execute(graph, domain.initial_state)
+        assert not result.success
+        assert result.failed  # marked failed, not a simulator crash
+
+    def test_machine_event_kinds_unchanged(self, onto_domain):
+        # Back-compat: positional GridEvent construction still works.
+        ev = GridEvent(2.0, "fail", "hpc-1")
+        assert ev.target == "hpc-1"
+        with pytest.raises(ValueError, match="peer"):
+            GridEvent(2.0, "partition", "lab")
+
+
+class TestCoordinationReplan:
+    def test_replan_emits_event_and_counter(self, onto_domain):
+        onto, domain = onto_domain
+        rec = MemoryRecorder()
+        metrics = MetricsRegistry()
+        service = CoordinationService(
+            onto,
+            greedy_grid_planner(),
+            max_replans=3,
+            tracer=Tracer([rec]),
+            metrics=metrics,
+        )
+        report = service.run(domain, events=[GridEvent(2.0, "fail", "hpc-1")])
+        assert report.success
+        assert report.replans >= 1
+        replan_events = [e for e in rec.events if e.kind == "replan"]
+        assert len(replan_events) == metrics.counter("replans").value >= 1
+        assert replan_events[0].reason == "grid event aborted execution"
+        assert replan_events[0].completed >= 0

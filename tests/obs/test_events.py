@@ -6,13 +6,18 @@ from repro.core import GAConfig, GARun, make_rng
 from repro.core.stats import GenerationStats
 from repro.obs import (
     EVENT_KINDS,
+    CheckpointRecovered,
     CheckpointWrite,
     DecodeCacheSnapshot,
     EvaluationBatch,
+    EvaluatorDegraded,
+    FaultInjected,
     GenerationComplete,
     IslandMigration,
     PhaseEnd,
     PhaseStart,
+    ReplanTriggered,
+    RetryAttempt,
     SchedulerGeneration,
     SimulationComplete,
     event_from_dict,
@@ -29,6 +34,11 @@ SAMPLES = [
     EvaluationBatch(n_evaluated=200, seconds=0.5, mode="process", chunks=13, cache_hits=10, cache_misses=3),
     DecodeCacheSnapshot(hits=100, misses=25),
     CheckpointWrite(path="/tmp/c.pkl", generation=50),
+    CheckpointRecovered(path="/tmp/c.pkl", generation=40, skipped=2),
+    FaultInjected(scope="sim", at=7.5, fault="link-degrade", target="lab--campus", value=4.0),
+    RetryAttempt(scope="b", component="broker", attempt=2, backoff_s=1.0, reason="refused"),
+    EvaluatorDegraded(failures=2, reason="2 consecutive batches failed"),
+    ReplanTriggered(scope="coordination", round_index=1, at=14.2, completed=3, reason="abort"),
     SchedulerGeneration(scope="scheduler", generation=7, best_makespan=120.5, mean_objective=150.0),
     SimulationComplete(makespan=42.0, tasks_done=10, tasks_failed=0, success=True, seconds=0.01),
 ]
