@@ -16,6 +16,7 @@ from repro.core import (
     GARun,
     Individual,
     SerialEvaluator,
+    TransitionCache,
     decode,
     make_rng,
     mixed_crossover,
@@ -45,6 +46,49 @@ def test_decode_tile4(benchmark):
     decode(genes, domain, domain.initial_state, cache=cache)
     result = benchmark(decode, genes, domain, domain.initial_state, True, cache)
     assert len(result.operations) == 512
+
+
+def test_decode_hanoi7_warm_transitions(benchmark):
+    """Same walk as test_decode_hanoi7, but through a warm TransitionCache —
+    one int-keyed dict lookup per gene instead of the domain calls."""
+    domain = HanoiDomain(7)
+    rng = make_rng(0)
+    genes = rng.random(635)
+    cache = TransitionCache(domain)
+    cache.decode(genes, domain.initial_state)  # warm valid + transition tables
+
+    def warm_decode():
+        plan, _ = cache.decode(genes, domain.initial_state)
+        return plan
+
+    result = benchmark(warm_decode)
+    assert len(result.operations) > 0
+    assert cache.trans_hits > 0
+
+
+def test_decode_hanoi7_dirty_prefix(benchmark):
+    """Prefix-resumed decode: a child differing from its parent only in the
+    last ~5% of genes re-walks just that dirty tail."""
+    domain = HanoiDomain(7)
+    rng = make_rng(0)
+    parent = rng.random(635)
+    child = parent.copy()
+    dirty_from = 600
+    child[dirty_from:] = rng.random(635 - dirty_from)
+    cache = TransitionCache(domain)
+    parent_plan, _ = cache.decode(parent, domain.initial_state)
+    cache.decode(child, domain.initial_state)  # warm the tail's tables too
+
+    def resumed_decode():
+        plan, reused = cache.decode(
+            child, domain.initial_state,
+            prefix_plan=parent_plan, dirty_from=dirty_from,
+        )
+        return plan, reused
+
+    plan, reused = benchmark(resumed_decode)
+    assert reused == dirty_from
+    assert plan.state_keys[:dirty_from] == parent_plan.state_keys[:dirty_from]
 
 
 @pytest.mark.parametrize("operator", [random_crossover, state_aware_crossover, mixed_crossover])

@@ -17,6 +17,7 @@ from repro.core.crossover import (
     random_crossover,
     state_aware_crossover,
 )
+from repro.core.decode_engine import DecodeEngine, TransitionCache
 from repro.core.encoding import DecodeCache, DecodedPlan, decode, encode_operations, gene_to_index
 from repro.core.fitness import FitnessFunction, FitnessResult, cost_fitness
 from repro.core.ga import GAResult, GARun, initial_population, run_ga
@@ -45,6 +46,7 @@ __all__ = [
     "CROSSOVER_KINDS",
     "CROSSOVER_OPERATORS",
     "DecodeCache",
+    "DecodeEngine",
     "DecodedPlan",
     "EvaluationContext",
     "Evaluator",
@@ -67,6 +69,7 @@ __all__ = [
     "RunHistory",
     "SELECTION_SCHEMES",
     "SerialEvaluator",
+    "TransitionCache",
     "WorkerPoolError",
     "cost_fitness",
     "decode",

@@ -56,6 +56,11 @@ class GAConfig:
     elitism:
         Number of best individuals copied unchanged into the next
         generation.  The paper uses none (0); exposed for ablations.
+    decode_engine:
+        Evaluate through the incremental decode engine (transition
+        memoisation, dirty-prefix re-decode, phenotype dedup — DESIGN.md
+        §9).  Bit-identical results either way; the naive path exists so
+        ablations can measure the engine itself.
     """
 
     population_size: int = 200
@@ -71,6 +76,7 @@ class GAConfig:
     truncate_at_goal: bool = True
     stop_on_goal: bool = True
     elitism: int = 0
+    decode_engine: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 2:

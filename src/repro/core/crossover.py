@@ -46,11 +46,22 @@ def _one_point_children(
     g1 = np.concatenate([p1.genes[:cut1], p2.genes[cut2:]])
     g2 = np.concatenate([p2.genes[:cut2], p1.genes[cut1:]])
     children = []
-    for g, fallback in ((g1, p1), (g2, p2)):
+    for g, fallback, cut in ((g1, p1, cut1), (g2, p2, cut2)):
         g = _clip(g, max_len)
         # A cut at an extreme end of both parents can yield an empty child;
         # genomes must be non-empty, so fall back to the parent copy.
-        children.append(Individual(genes=g) if g.size > 0 else fallback.copy())
+        if g.size == 0:
+            children.append(fallback.copy())
+            continue
+        # The child's first ``cut`` genes are the parent's own prefix, so
+        # the decode engine can resume from the parent's retained walk.
+        prefix = fallback.decoded
+        if prefix is not None and cut > 0:
+            children.append(
+                Individual(genes=g, dirty_from=min(cut, int(g.size)), prefix_plan=prefix)
+            )
+        else:
+            children.append(Individual(genes=g))
     return children[0], children[1]
 
 

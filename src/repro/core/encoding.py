@@ -86,14 +86,24 @@ class DecodeCache:
     expensive for grounded STRIPS problems; a plain dict keyed on
     ``domain.state_key`` removes that cost.  Bounded to ``max_entries`` with
     wholesale reset — an LRU would cost more bookkeeping than the recompute.
+    Keys registered via :meth:`pin` (the start state, the hottest key of
+    all) survive resets, and ``evictions`` counts the entries each reset
+    actually dropped, so a thrashing cache is visible in the metrics instead
+    of silently zeroing its working set mid-run.
     """
 
     def __init__(self, domain: PlanningDomain, max_entries: int = 200_000) -> None:
         self.domain = domain
         self.max_entries = max_entries
         self._valid: dict = {}
+        self._pinned: set = set()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def pin(self, key: Hashable) -> None:
+        """Protect *key*'s entry from wholesale resets."""
+        self._pinned.add(key)
 
     def valid_operations(self, state, key: Hashable) -> Sequence:
         ops = self._valid.get(key)
@@ -101,7 +111,10 @@ class DecodeCache:
             self.misses += 1
             ops = tuple(self.domain.valid_operations(state))
             if len(self._valid) >= self.max_entries:
+                keep = {k: self._valid[k] for k in self._pinned if k in self._valid}
+                self.evictions += len(self._valid) - len(keep)
                 self._valid.clear()
+                self._valid.update(keep)
             self._valid[key] = ops
         else:
             self.hits += 1
@@ -123,32 +136,43 @@ def decode(
         cache = DecodeCache(domain)
     state = start_state
     key = domain.state_key(state)
+    cache.pin(key)
+    # Domains that don't override decode_key get their match_keys as an
+    # alias of state_keys — no duplicate list, no per-gene decode_key call.
+    has_dkey = type(domain).decode_key is not PlanningDomain.decode_key
     keys = [key]
-    match_keys = [domain.decode_key(state)]
+    match_keys = [domain.decode_key(state)] if has_dkey else None
     ops = []
     cost = 0.0
     goal = domain.is_goal(state)
     used = 0
     if not (truncate_at_goal and goal):
-        for gene in genes:
+        # tolist() hoists the whole genome to Python floats in one C call,
+        # instead of boxing one np.float64 per gene in the loop.
+        gene_list = genes.tolist() if hasattr(genes, "tolist") else list(genes)
+        for gene in gene_list:
             valid = cache.valid_operations(state, key)
-            if not valid:
+            k = len(valid)
+            if not k:
                 break  # dead end: remaining genes are inert
-            op = valid[gene_to_index(float(gene), len(valid))]
+            idx = int(gene * k)
+            op = valid[idx if idx < k else k - 1]
             state = domain.apply(state, op)
             key = domain.state_key(state)
             ops.append(op)
             keys.append(key)
-            match_keys.append(domain.decode_key(state))
+            if has_dkey:
+                match_keys.append(domain.decode_key(state))
             cost += domain.operation_cost(op)
             used += 1
             goal = domain.is_goal(state)
             if truncate_at_goal and goal:
                 break
+    keys_t = tuple(keys)
     return DecodedPlan(
         operations=tuple(ops),
-        state_keys=tuple(keys),
-        match_keys=tuple(match_keys),
+        state_keys=keys_t,
+        match_keys=tuple(match_keys) if has_dkey else keys_t,
         final_state=state,
         used_genes=used,
         goal_reached=goal,

@@ -25,11 +25,21 @@ class Individual:
 
     ``decoded`` and ``fitness`` are filled by the evaluator; they are
     ``None`` for freshly created offspring.
+
+    ``dirty_from`` / ``prefix_plan`` carry incremental-decode lineage for
+    unevaluated offspring: genes before ``dirty_from`` are byte-identical
+    to the prefix of the parent genome that produced ``prefix_plan``, so
+    the decode engine can resume from the parent's retained walk instead of
+    the start state.  Both are conservative hints — the evaluator falls
+    back to a full decode whenever they are absent — and are cleared once
+    the individual has been evaluated.
     """
 
     genes: np.ndarray
     decoded: Optional[DecodedPlan] = None
     fitness: Optional[FitnessResult] = None
+    dirty_from: Optional[int] = None
+    prefix_plan: Optional[DecodedPlan] = None
 
     def __post_init__(self) -> None:
         genes = np.asarray(self.genes, dtype=np.float64)
@@ -67,7 +77,13 @@ class Individual:
 
     def copy(self) -> "Individual":
         """A copy sharing the (immutable) genome and evaluation results."""
-        return Individual(genes=self.genes, decoded=self.decoded, fitness=self.fitness)
+        return Individual(
+            genes=self.genes,
+            decoded=self.decoded,
+            fitness=self.fitness,
+            dirty_from=self.dirty_from,
+            prefix_plan=self.prefix_plan,
+        )
 
     def with_genes(self, genes: np.ndarray) -> "Individual":
         """A new, unevaluated individual with a different genome."""

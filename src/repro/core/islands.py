@@ -27,7 +27,8 @@ from repro.core import rng as rng_mod
 from repro.core.config import GAConfig
 from repro.core.ga import GAResult, GARun
 from repro.core.individual import Individual
-from repro.core.parallel import Evaluator
+from repro.core.decode_engine import DecodeEngine
+from repro.core.parallel import Evaluator, SerialEvaluator
 from repro.core.stats import RunHistory
 from repro.obs.events import IslandMigration
 from repro.obs.metrics import MetricsRegistry
@@ -122,7 +123,17 @@ def run_islands(
     tracer = tracer if tracer is not None else default_tracer()
     metrics = metrics if metrics is not None else default_metrics()
     rngs = rng_mod.spawn_many(rng, config.n_islands)
-    evaluators = [evaluator_factory() if evaluator_factory else None for _ in range(config.n_islands)]
+    if evaluator_factory is not None:
+        evaluators: List[Optional[Evaluator]] = [
+            evaluator_factory() for _ in range(config.n_islands)
+        ]
+    else:
+        # Serial islands keep per-island evaluators (events stay scoped per
+        # island) but share one decode engine: all islands search the same
+        # domain from the same start state, so transition tables and the
+        # fitness memo are valid — and much hotter — when shared.
+        engine = DecodeEngine()
+        evaluators = [SerialEvaluator(engine=engine) for _ in range(config.n_islands)]
     try:
         islands = [
             GARun(

@@ -26,7 +26,7 @@ from repro.core.config import GAConfig, MultiPhaseConfig
 from repro.core.fitness import FitnessResult
 from repro.core.ga import GAResult, GARun
 from repro.core.individual import Individual
-from repro.core.parallel import Evaluator
+from repro.core.parallel import Evaluator, SerialEvaluator
 from repro.obs.events import PhaseEnd, PhaseStart
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, default_metrics, default_tracer
@@ -91,7 +91,10 @@ def run_multiphase(
     evaluator_factory:
         Called once per phase to build an evaluator (process pools are bound
         to a start state, so they cannot be reused across phases).  ``None``
-        means serial evaluation.
+        means serial evaluation through one shared :class:`~repro.core.
+        parallel.SerialEvaluator`, whose decode engine keeps its transition
+        tables warm across phase boundaries (phases share a domain, so
+        state transitions memoised in phase *n* pay off in phase *n+1*).
     tracer / metrics:
         Observability: phase-start/end events bracket each phase's
         generation stream (phase events and the phase's generation events
@@ -113,57 +116,66 @@ def run_multiphase(
     solved_in_phase: Optional[int] = None
     total_generations = 0
 
-    for phase_index in range(1, config.max_phases + 1):
-        scope = f"phase-{phase_index}"
-        if tracer.enabled:
-            tracer.emit(PhaseStart(scope=scope, phase=phase_index))
-        evaluator = evaluator_factory() if evaluator_factory is not None else None
-        run = GARun(
-            domain,
-            phase_cfg,
-            phase_rngs[phase_index - 1],
-            start_state=state,
-            evaluator=evaluator,
-            tracer=tracer,
-            metrics=metrics,
-            scope=scope,
-        )
-        try:
-            result = run.run()
-        finally:
-            if evaluator is not None:
-                evaluator.close()
-        total_generations += result.generations_run
-        best = result.best
-        assert best.decoded is not None and best.fitness is not None
-        record = PhaseRecord(
-            index=phase_index,
-            result=result,
-            start_state=state,
-            final_state=best.decoded.final_state,
-            plan=best.decoded.operations,
-            goal_fitness=best.fitness.goal,
-            solved=best.fitness.goal_reached,
-        )
-        phases.append(record)
-        if tracer.enabled:
-            tracer.emit(
-                PhaseEnd(
-                    scope=scope,
-                    phase=phase_index,
-                    generations=result.generations_run,
-                    plan_length=len(record.plan),
-                    goal_fitness=record.goal_fitness,
-                    solved=record.solved,
-                )
+    # With no factory, one serial evaluator spans every phase: its decode
+    # engine's transition tables are keyed on state identity, so they stay
+    # valid (and warm) across phase boundaries; only the per-start-state
+    # fitness memo is invalidated when the phase's start state changes.
+    shared = SerialEvaluator() if evaluator_factory is None else None
+    try:
+        for phase_index in range(1, config.max_phases + 1):
+            scope = f"phase-{phase_index}"
+            if tracer.enabled:
+                tracer.emit(PhaseStart(scope=scope, phase=phase_index))
+            evaluator = evaluator_factory() if evaluator_factory is not None else shared
+            run = GARun(
+                domain,
+                phase_cfg,
+                phase_rngs[phase_index - 1],
+                start_state=state,
+                evaluator=evaluator,
+                tracer=tracer,
+                metrics=metrics,
+                scope=scope,
             )
-        if on_phase is not None:
-            on_phase(record)
-        plan = plan + record.plan
-        state = record.final_state
-        if record.solved:
-            solved_in_phase = phase_index
-            break
+            try:
+                result = run.run()
+            finally:
+                if evaluator_factory is not None and evaluator is not None:
+                    evaluator.close()
+            total_generations += result.generations_run
+            best = result.best
+            assert best.decoded is not None and best.fitness is not None
+            record = PhaseRecord(
+                index=phase_index,
+                result=result,
+                start_state=state,
+                final_state=best.decoded.final_state,
+                plan=best.decoded.operations,
+                goal_fitness=best.fitness.goal,
+                solved=best.fitness.goal_reached,
+            )
+            phases.append(record)
+            if tracer.enabled:
+                tracer.emit(
+                    PhaseEnd(
+                        scope=scope,
+                        phase=phase_index,
+                        generations=result.generations_run,
+                        plan_length=len(record.plan),
+                        goal_fitness=record.goal_fitness,
+                        solved=record.solved,
+                    )
+                )
+            if on_phase is not None:
+                on_phase(record)
+            plan = plan + record.plan
+            state = record.final_state
+            if record.solved:
+                solved_in_phase = phase_index
+                break
+    finally:
+        if shared is not None:
+            shared.close()
 
     final_goal = float(domain.goal_fitness(state))
     return MultiPhaseResult(

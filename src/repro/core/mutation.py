@@ -17,6 +17,25 @@ from repro.core.individual import Individual
 __all__ = ["uniform_reset_mutation", "insertion_mutation", "deletion_mutation"]
 
 
+def _mutated_child(ind: Individual, genes: np.ndarray, first_changed: int) -> Individual:
+    """Build the post-mutation child, carrying incremental-decode lineage.
+
+    Genes before *first_changed* are untouched, so the child keeps the best
+    prefix it can: the input's own pending prefix (tightened to the first
+    change) when it was an unevaluated offspring, or the input's decoded
+    plan when it was an evaluated parent copy.
+    """
+    if ind.prefix_plan is not None and ind.dirty_from is not None:
+        prefix, dirty = ind.prefix_plan, min(ind.dirty_from, first_changed)
+    elif ind.decoded is not None:
+        prefix, dirty = ind.decoded, first_changed
+    else:
+        prefix, dirty = None, 0
+    if prefix is None or dirty <= 0:
+        return Individual(genes=genes)
+    return Individual(genes=genes, dirty_from=min(dirty, int(genes.size)), prefix_plan=prefix)
+
+
 def uniform_reset_mutation(
     ind: Individual, rate: float, rng: np.random.Generator
 ) -> Individual:
@@ -34,7 +53,7 @@ def uniform_reset_mutation(
         return ind
     genes = ind.genes.copy()
     genes[mask] = rng.random(int(mask.sum()))
-    return Individual(genes=genes)
+    return _mutated_child(ind, genes, int(np.flatnonzero(mask)[0]))
 
 
 def insertion_mutation(
@@ -50,7 +69,7 @@ def insertion_mutation(
         return ind
     pos = int(rng.integers(0, len(ind) + 1))
     genes = np.insert(ind.genes, pos, rng.random())
-    return Individual(genes=genes)
+    return _mutated_child(ind, genes, pos)
 
 
 def deletion_mutation(ind: Individual, rng: np.random.Generator) -> Individual:
@@ -59,4 +78,4 @@ def deletion_mutation(ind: Individual, rng: np.random.Generator) -> Individual:
         return ind
     pos = int(rng.integers(0, len(ind)))
     genes = np.delete(ind.genes, pos)
-    return Individual(genes=genes)
+    return _mutated_child(ind, genes, pos)

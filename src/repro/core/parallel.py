@@ -32,6 +32,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.decode_engine import DecodeEngine
 from repro.core.encoding import DecodeCache, decode
 from repro.core.fitness import FitnessFunction
 from repro.obs.events import EvaluationBatch
@@ -60,7 +61,12 @@ class WorkerPoolError(RuntimeError):
 
 
 class EvaluationContext:
-    """Everything needed to evaluate a genome: domain, start state, options."""
+    """Everything needed to evaluate a genome: domain, start state, options.
+
+    ``memoize`` selects the incremental decode engine (DESIGN.md §9) over
+    the naive per-genome decode; results are bit-identical either way.  It
+    is wired from ``GAConfig.decode_engine`` and defaults to on.
+    """
 
     def __init__(
         self,
@@ -68,11 +74,13 @@ class EvaluationContext:
         start_state: object,
         fitness: FitnessFunction,
         truncate_at_goal: bool = True,
+        memoize: bool = True,
     ) -> None:
         self.domain = domain
         self.start_state = start_state
         self.fitness = fitness
         self.truncate_at_goal = truncate_at_goal
+        self.memoize = memoize
 
     def decode_genes(self, genes: np.ndarray, cache: Optional[DecodeCache] = None):
         return decode(
@@ -130,18 +138,54 @@ class Evaluator:
 
 
 class SerialEvaluator(Evaluator):
-    """Evaluate the population in-process, sharing one decode cache."""
+    """Evaluate the population in-process, sharing one decode engine.
 
-    def __init__(self) -> None:
+    With ``context.memoize`` (the default) evaluation goes through a
+    persistent :class:`~repro.core.decode_engine.DecodeEngine` — transition
+    memoisation, dirty-prefix re-decode and fingerprint dedup, bit-identical
+    to the naive path.  A pre-built engine can be injected to share caches
+    across evaluators (the island model does this); otherwise one is created
+    lazily and kept for the evaluator's lifetime.  With ``memoize`` off the
+    legacy per-domain :class:`~repro.core.encoding.DecodeCache` path runs.
+    """
+
+    def __init__(self, engine: Optional[DecodeEngine] = None) -> None:
         self._cache: Optional[DecodeCache] = None
         self._cache_domain: Optional[PlanningDomain] = None
+        self._engine = engine
 
     def cache_info(self) -> Optional[Tuple[int, int]]:
+        if self._engine is not None and self._engine.active:
+            return self._engine.cache_info()
         if self._cache is None:
             return None
         return self._cache.hits, self._cache.misses
 
+    def engine_counters(self) -> Optional[dict]:
+        """Cumulative decode-engine counters, or ``None`` on the naive path."""
+        if self._engine is None or not self._engine.active:
+            return None
+        return self._engine.counters()
+
     def evaluate(self, population: Sequence[Individual], context: EvaluationContext) -> None:
+        if getattr(context, "memoize", True):
+            engine = self._engine
+            if engine is None:
+                engine = self._engine = DecodeEngine()
+            engine.bind(context)
+            if not self.instrumented:
+                fitness_fn = context.fitness
+                for ind in population:
+                    if ind.is_evaluated:
+                        continue
+                    ind.decoded, ind.fitness = engine.evaluate_genes(
+                        ind.genes, fitness_fn, ind.prefix_plan, ind.dirty_from
+                    )
+                    ind.prefix_plan = None
+                    ind.dirty_from = None
+                return
+            self._evaluate_engine_instrumented(population, context, engine)
+            return
         if self._cache is None or self._cache_domain is not context.domain:
             self._cache = DecodeCache(context.domain)
             self._cache_domain = context.domain
@@ -153,16 +197,89 @@ class SerialEvaluator(Evaluator):
             return
         self._evaluate_instrumented(population, context)
 
+    def _evaluate_engine_instrumented(
+        self,
+        population: Sequence[Individual],
+        context: EvaluationContext,
+        engine: DecodeEngine,
+    ) -> None:
+        """The engine path with decode/fitness split timing and counters."""
+        pending = [ind for ind in population if not ind.is_evaluated]
+        if not pending:
+            return
+        before = engine.counters()
+        fitness_fn = context.fitness
+        decode_s = 0.0
+        fitness_s = 0.0
+        n_decoded = 0
+        t0 = time.perf_counter()
+        for ind in pending:
+            fp = ind.genes.tobytes()
+            hit = engine.lookup(fp)
+            if hit is not None:
+                ind.decoded, ind.fitness = hit
+            else:
+                t1 = time.perf_counter()
+                decoded = engine.decode(ind.genes, ind.prefix_plan, ind.dirty_from)
+                t2 = time.perf_counter()
+                fitness = fitness_fn(decoded)
+                t3 = time.perf_counter()
+                engine.store(fp, decoded, fitness)
+                ind.decoded, ind.fitness = decoded, fitness
+                decode_s += t2 - t1
+                fitness_s += t3 - t2
+                n_decoded += 1
+            ind.prefix_plan = None
+            ind.dirty_from = None
+        seconds = time.perf_counter() - t0
+        after = engine.counters()
+        delta = {k: after[k] - before[k] for k in after}
+        if self._metrics is not None:
+            m = self._metrics
+            m.counter("evals").add(len(pending))
+            m.timer("eval_batch").record(seconds)
+            if n_decoded:
+                m.timer("decode").record(decode_s, count=n_decoded)
+                m.timer("fitness").record(fitness_s, count=n_decoded)
+            m.counter("decode_cache_hits").add(delta["decode_cache_hits"])
+            m.counter("decode_cache_misses").add(delta["decode_cache_misses"])
+            m.counter("transition_cache_hits").add(delta["transition_cache_hits"])
+            m.counter("transition_cache_misses").add(delta["transition_cache_misses"])
+            m.counter("evals_skipped").add(delta["evals_skipped"])
+            m.counter("genes_reused").add(delta["genes_reused"])
+            for name in (
+                "decode_cache_evictions",
+                "transition_cache_evictions",
+                "decode_fallbacks",
+                "memo_evictions",
+            ):
+                if delta[name]:
+                    m.counter(name).add(delta[name])
+        if self._tracer.enabled:
+            self._tracer.emit(
+                EvaluationBatch(
+                    scope=self._scope,
+                    n_evaluated=len(pending),
+                    seconds=seconds,
+                    mode="serial",
+                    chunks=1,
+                    cache_hits=delta["decode_cache_hits"],
+                    cache_misses=delta["decode_cache_misses"],
+                    evals_skipped=delta["evals_skipped"],
+                    genes_reused=delta["genes_reused"],
+                )
+            )
+
     def _evaluate_instrumented(
         self, population: Sequence[Individual], context: EvaluationContext
     ) -> None:
-        """Same work as :meth:`evaluate`, with decode/fitness split timing."""
+        """Same work as the naive :meth:`evaluate` path, with split timing."""
         cache = self._cache
         assert cache is not None
         pending = [ind for ind in population if not ind.is_evaluated]
         if not pending:
             return
-        hits0, misses0 = cache.hits, cache.misses
+        hits0, misses0, evict0 = cache.hits, cache.misses, cache.evictions
         decode_s = 0.0
         fitness_s = 0.0
         t0 = time.perf_counter()
@@ -184,6 +301,8 @@ class SerialEvaluator(Evaluator):
             m.timer("fitness").record(fitness_s, count=len(pending))
             m.counter("decode_cache_hits").add(hits)
             m.counter("decode_cache_misses").add(misses)
+            if cache.evictions > evict0:
+                m.counter("decode_cache_evictions").add(cache.evictions - evict0)
         if self._tracer.enabled:
             self._tracer.emit(
                 EvaluationBatch(
@@ -201,36 +320,68 @@ class SerialEvaluator(Evaluator):
 # -- process-pool machinery ---------------------------------------------------
 #
 # Worker state is installed once per process via the pool initializer, so the
-# domain is pickled once, not once per task.
+# domain is pickled once, not once per task.  Workers keep their decode
+# engine / cache for the life of the process, so the transition tables stay
+# warm across batches; a pool restart rebuilds them through the same
+# initializer (cold but correct).
 
 _WORKER_CONTEXT: Optional[EvaluationContext] = None
 _WORKER_CACHE: Optional[DecodeCache] = None
+_WORKER_ENGINE: Optional[DecodeEngine] = None
 
 
 def _init_worker(context: EvaluationContext) -> None:
-    global _WORKER_CONTEXT, _WORKER_CACHE
+    global _WORKER_CONTEXT, _WORKER_CACHE, _WORKER_ENGINE
     _WORKER_CONTEXT = context
-    _WORKER_CACHE = DecodeCache(context.domain)
+    if getattr(context, "memoize", True):
+        # Transition memoisation only: prefix plans live with the parent
+        # (shipping them per task would dwarf the savings), and dedup runs
+        # parent-side where the memo sees the whole population.
+        _WORKER_ENGINE = DecodeEngine(prefix=False, dedup=False)
+        _WORKER_ENGINE.bind(context)
+        _WORKER_CACHE = None
+    else:
+        _WORKER_CACHE = DecodeCache(context.domain)
+        _WORKER_ENGINE = None
 
 
 def _evaluate_chunk(chunk: List[np.ndarray]):
     """Evaluate one chunk in a worker.
 
-    Returns ``(results, seconds, cache_hits, cache_misses)`` — the per-chunk
-    wall time and decode-cache deltas measured inside the worker, so the
-    parent can aggregate true in-worker cost separately from dispatch
+    Returns ``(results, seconds, stats)`` — the per-chunk wall time and a
+    ``(decode_cache_hits, decode_cache_misses, transition_cache_hits,
+    transition_cache_misses)`` delta tuple measured inside the worker, so
+    the parent can aggregate true in-worker cost separately from dispatch
     overhead.
     """
     assert _WORKER_CONTEXT is not None, "worker not initialised"
+    context = _WORKER_CONTEXT
+    engine = _WORKER_ENGINE
+    t0 = time.perf_counter()
+    if engine is not None:
+        c0 = engine.counters()
+        fitness_fn = context.fitness
+        results = []
+        for genes in chunk:
+            decoded = engine.decode(genes)
+            results.append((decoded, fitness_fn(decoded)))
+        seconds = time.perf_counter() - t0
+        c1 = engine.counters()
+        stats = (
+            c1["decode_cache_hits"] - c0["decode_cache_hits"],
+            c1["decode_cache_misses"] - c0["decode_cache_misses"],
+            c1["transition_cache_hits"] - c0["transition_cache_hits"],
+            c1["transition_cache_misses"] - c0["transition_cache_misses"],
+        )
+        return results, seconds, stats
     cache = _WORKER_CACHE
     hits0 = cache.hits if cache is not None else 0
     misses0 = cache.misses if cache is not None else 0
-    t0 = time.perf_counter()
-    results = [_WORKER_CONTEXT.evaluate_genes(genes, cache=cache) for genes in chunk]
+    results = [context.evaluate_genes(genes, cache=cache) for genes in chunk]
     seconds = time.perf_counter() - t0
     hits = (cache.hits - hits0) if cache is not None else 0
     misses = (cache.misses - misses0) if cache is not None else 0
-    return results, seconds, hits, misses
+    return results, seconds, (hits, misses, 0, 0)
 
 
 class ProcessPoolEvaluator(Evaluator):
@@ -265,6 +416,14 @@ class ProcessPoolEvaluator(Evaluator):
         self._pool: Optional[ProcessPoolExecutor] = None
         self._cache_hits = 0
         self._cache_misses = 0
+        # Parent-side fingerprint memo (layer 3): duplicates within and
+        # across batches are never dispatched.  The pool is bound to one
+        # context for its whole life, so the memo never goes stale — it
+        # deliberately survives restart(), when the workers' transition
+        # tables are rebuilt cold.
+        self._memo: dict = {}
+        self._memo_max = 100_000
+        self._evals_skipped = 0
         if context is not None:
             self._start_pool(context)
 
@@ -333,10 +492,36 @@ class ProcessPoolEvaluator(Evaluator):
         pending = [ind for ind in population if not ind.is_evaluated]
         if not pending:
             return
-        chunks = [
-            [ind.genes for ind in pending[i : i + self.chunk_size]]
-            for i in range(0, len(pending), self.chunk_size)
-        ]
+        memoize = getattr(context, "memoize", True)
+        if memoize:
+            # Dedup the batch before dispatch: each distinct genome crosses
+            # the process boundary (and is decoded) exactly once; memo hits
+            # from earlier batches are not dispatched at all.
+            fingerprints: List[bytes] = []
+            resolved: dict = {}
+            dispatch_fps: List[bytes] = []
+            dispatch_genes: List[np.ndarray] = []
+            for ind in pending:
+                fp = ind.genes.tobytes()
+                fingerprints.append(fp)
+                hit = self._memo.get(fp)
+                if hit is not None:
+                    resolved[fp] = hit
+                elif fp not in resolved:
+                    resolved[fp] = None  # claimed; filled after dispatch
+                    dispatch_fps.append(fp)
+                    dispatch_genes.append(ind.genes)
+            skipped = len(pending) - len(dispatch_genes)
+            chunks = [
+                dispatch_genes[i : i + self.chunk_size]
+                for i in range(0, len(dispatch_genes), self.chunk_size)
+            ]
+        else:
+            skipped = 0
+            chunks = [
+                [ind.genes for ind in pending[i : i + self.chunk_size]]
+                for i in range(0, len(pending), self.chunk_size)
+            ]
         t0 = time.perf_counter()
         try:
             # ``timeout_s`` bounds the whole batch: map's iterator raises
@@ -356,14 +541,28 @@ class ProcessPoolEvaluator(Evaluator):
         # No partial writes: individuals are only mutated after every chunk
         # returned, so a failed batch leaves the population un-evaluated and
         # safe to retry.
-        flat = [item for chunk_results, _, _, _ in outputs for item in chunk_results]
-        for ind, (decoded, fitness) in zip(pending, flat):
-            ind.decoded = decoded
-            ind.fitness = fitness
+        flat = [item for chunk_results, _, _ in outputs for item in chunk_results]
+        if memoize:
+            if len(self._memo) >= self._memo_max:
+                self._memo.clear()
+            for fp, result in zip(dispatch_fps, flat):
+                resolved[fp] = result
+                self._memo[fp] = result
+            self._evals_skipped += skipped
+            for ind, fp in zip(pending, fingerprints):
+                ind.decoded, ind.fitness = resolved[fp]
+                ind.prefix_plan = None
+                ind.dirty_from = None
+        else:
+            for ind, (decoded, fitness) in zip(pending, flat):
+                ind.decoded = decoded
+                ind.fitness = fitness
         if self.instrumented:
-            worker_s = sum(s for _, s, _, _ in outputs)
-            hits = sum(h for _, _, h, _ in outputs)
-            misses = sum(m for _, _, _, m in outputs)
+            worker_s = sum(s for _, s, _ in outputs)
+            hits = sum(st[0] for _, _, st in outputs)
+            misses = sum(st[1] for _, _, st in outputs)
+            trans_hits = sum(st[2] for _, _, st in outputs)
+            trans_misses = sum(st[3] for _, _, st in outputs)
             self._cache_hits += hits
             self._cache_misses += misses
             if self._metrics is not None:
@@ -374,6 +573,10 @@ class ProcessPoolEvaluator(Evaluator):
                 m.timer("worker_eval").record(worker_s, count=len(chunks))
                 m.counter("decode_cache_hits").add(hits)
                 m.counter("decode_cache_misses").add(misses)
+                if memoize:
+                    m.counter("transition_cache_hits").add(trans_hits)
+                    m.counter("transition_cache_misses").add(trans_misses)
+                    m.counter("evals_skipped").add(skipped)
             if self._tracer.enabled:
                 self._tracer.emit(
                     EvaluationBatch(
@@ -384,6 +587,7 @@ class ProcessPoolEvaluator(Evaluator):
                         chunks=len(chunks),
                         cache_hits=hits,
                         cache_misses=misses,
+                        evals_skipped=skipped,
                     )
                 )
 

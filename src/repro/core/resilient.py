@@ -146,7 +146,18 @@ class ResilientEvaluator(Evaluator):
         self.fallback.bind_observability(tracer, metrics, scope)
 
     def cache_info(self) -> Optional[Tuple[int, int]]:
-        return self.inner.cache_info() if not self._degraded else self.fallback.cache_info()
+        """Combined decode-cache traffic of the pool and the serial fallback.
+
+        Both sides can contribute within one run (per-batch fallbacks before
+        degradation), so the totals are summed rather than switched.  Pool
+        restarts rebuild worker caches through the pool initializer; the
+        inner evaluator's parent-side aggregates (and its fitness memo)
+        survive the restart.
+        """
+        infos = [info for info in (self.inner.cache_info(), self.fallback.cache_info()) if info]
+        if not infos:
+            return None
+        return sum(h for h, _ in infos), sum(m for _, m in infos)
 
     @property
     def degraded(self) -> bool:

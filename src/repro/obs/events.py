@@ -127,6 +127,8 @@ class EvaluationBatch(RunEvent):
     chunks: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    evals_skipped: int = 0  # fitness-memo / batch-dedup hits (no decode ran)
+    genes_reused: int = 0  # genes satisfied from a retained parent prefix
 
 
 @dataclass(frozen=True, kw_only=True)

@@ -21,7 +21,15 @@ name               instrument meaning
 ``selection``      timer      parent selection per generation
 ``variation``      timer      crossover + mutation per generation
 ``decode_cache_hits`` /
-``decode_cache_misses`` counter decode-cache outcomes
+``decode_cache_misses`` counter valid-operation decode-cache outcomes
+``decode_cache_evictions`` counter entries dropped by decode-cache resets
+``transition_cache_hits`` /
+``transition_cache_misses`` counter transition-table outcomes (decode engine)
+``transition_cache_evictions`` counter transition entries dropped by resets
+``evals_skipped``  counter    evaluations satisfied by the fitness memo / dedup
+``genes_reused``   counter    genes satisfied from retained parent prefixes
+``decode_fallbacks`` counter  prefix resumes abandoned for a full decode
+``memo_evictions`` counter    fitness-memo entries dropped by resets
 ================== ========== ==================================================
 """
 
@@ -194,8 +202,9 @@ def planner_summary(metrics: Optional[MetricsRegistry]) -> dict:
     """Headline planner numbers derived from the canonical instruments.
 
     Returns ``evals_per_sec`` (individuals scored per second of evaluation
-    wall time) and ``decode_cache_hit_rate`` when the underlying instruments
-    recorded anything; an empty dict otherwise.
+    wall time) plus ``decode_cache_hit_rate`` / ``transition_cache_hit_rate``
+    when the underlying instruments recorded anything; an empty dict
+    otherwise.
     """
     if metrics is None:
         return {}
@@ -204,11 +213,15 @@ def planner_summary(metrics: Optional[MetricsRegistry]) -> dict:
     batch = metrics.timers.get("eval_batch")
     if evals is not None and batch is not None and batch.total > 0:
         out["evals_per_sec"] = round(evals.value / batch.total, 1)
-    hits = metrics.counters.get("decode_cache_hits")
-    misses = metrics.counters.get("decode_cache_misses")
-    if hits is not None or misses is not None:
-        h = hits.value if hits else 0
-        m = misses.value if misses else 0
-        if h + m:
-            out["decode_cache_hit_rate"] = round(h / (h + m), 4)
+    for rate_name, hit_name, miss_name in (
+        ("decode_cache_hit_rate", "decode_cache_hits", "decode_cache_misses"),
+        ("transition_cache_hit_rate", "transition_cache_hits", "transition_cache_misses"),
+    ):
+        hits = metrics.counters.get(hit_name)
+        misses = metrics.counters.get(miss_name)
+        if hits is not None or misses is not None:
+            h = hits.value if hits else 0
+            m = misses.value if misses else 0
+            if h + m:
+                out[rate_name] = round(h / (h + m), 4)
     return out

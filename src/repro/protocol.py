@@ -74,7 +74,18 @@ class PlanningDomain(abc.ABC, Generic[S, O]):
         return 1.0
 
     def state_key(self, state: S) -> Hashable:
-        """Hashable identity of a state (used by caches and visited sets)."""
+        """Hashable identity of a state (used by caches and visited sets).
+
+        Contract: keys must be cheap to build, hashable, and *injective* —
+        two states may share a key only if they are interchangeable for
+        planning (same valid operations, same transitions, same goal
+        fitness).  The decode engine relies on this: it memoises
+        ``(state_key, gene index) → successor`` transitions and resumes
+        partial decodes from a *representative* concrete state it stored
+        under the same key, so a key collision between genuinely different
+        states would silently corrupt every cached evaluation.  The default
+        (the state itself) is always correct for hashable immutable states.
+        """
         return state
 
     def decode_key(self, state: S) -> Hashable:

@@ -2,7 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core import make_rng
 from repro.core.encoding import DecodeCache, decode, encode_operations, gene_to_index
 from repro.domains import HanoiDomain, SlidingTileDomain, optimal_hanoi_moves
 
@@ -150,3 +153,88 @@ class TestEncodeOperations:
     def test_empty_sequence(self, hanoi3):
         genes = encode_operations(hanoi3, hanoi3.initial_state, [])
         assert genes.shape == (0,)
+
+
+def _random_walk_ops(domain, rng, length):
+    """A random valid operation sequence of up to *length* steps."""
+    state = domain.initial_state
+    ops = []
+    for _ in range(length):
+        valid = list(domain.valid_operations(state))
+        if not valid:
+            break
+        op = valid[int(rng.integers(0, len(valid)))]
+        ops.append(op)
+        state = domain.apply(state, op)
+    return ops
+
+
+class TestRoundTripProperties:
+    """encode_operations ↔ decode round trips under jitter and at bin edges.
+
+    The encoding's invertibility claim: any valid operation sequence has a
+    genome decoding back to it, and every gene anywhere inside its bin —
+    including the exact left edge and the largest float below the right
+    edge — selects the same operation.
+    """
+
+    @given(
+        st.sampled_from(["hanoi3", "hanoi5", "tile3"]),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=1, max_value=25),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_jittered_round_trip(self, domain_name, seed, length):
+        domain = {
+            "hanoi3": HanoiDomain(3),
+            "hanoi5": HanoiDomain(5),
+            "tile3": SlidingTileDomain(3),
+        }[domain_name]
+        rng = make_rng(seed)
+        ops = _random_walk_ops(domain, rng, length)
+        genes = encode_operations(domain, domain.initial_state, ops, rng=rng)
+        d = decode(genes, domain, domain.initial_state, truncate_at_goal=False)
+        assert list(d.operations) == ops
+        assert d.used_genes == len(ops)
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=1, max_value=20),
+        st.sampled_from(["left", "right", "centre"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bin_boundary_round_trip(self, seed, length, edge):
+        # Genes pinned to bin boundaries: the exact left edge idx/k and the
+        # largest representable float below the right edge (idx+1)/k.
+        domain = HanoiDomain(4)
+        rng = make_rng(seed)
+        ops = _random_walk_ops(domain, rng, length)
+        state = domain.initial_state
+        genes = []
+        for op in ops:
+            valid = list(domain.valid_operations(state))
+            idx = valid.index(op)
+            k = len(valid)
+            if edge == "left":
+                # Smallest representable float that still truncates into bin
+                # idx (idx/k itself can round a hair below the edge).
+                gene = idx / k
+                while int(gene * k) < idx:
+                    gene = np.nextafter(gene, 1.0)
+            elif edge == "right":
+                # Largest representable float below the right edge.
+                gene = np.nextafter((idx + 1) / k, 0.0)
+                while int(gene * k) > idx:
+                    gene = np.nextafter(gene, 0.0)
+            else:
+                gene = (idx + 0.5) / k
+            assert gene_to_index(gene, k) == idx
+            genes.append(gene)
+            state = domain.apply(state, op)
+        d = decode(
+            np.asarray(genes, dtype=np.float64),
+            domain,
+            domain.initial_state,
+            truncate_at_goal=False,
+        )
+        assert list(d.operations) == ops
