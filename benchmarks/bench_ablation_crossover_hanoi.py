@@ -6,12 +6,14 @@ crossovers on the tile puzzle (Table 4); this fills in the missing cell.
 
 from conftest import emit
 
+from repro.exp.defaults import ABLATION_SEEDS
+
 from repro.analysis import crossover_on_hanoi
 
 
 def test_crossover_ablation_hanoi(benchmark, scale, results_dir):
     table = benchmark.pedantic(
-        crossover_on_hanoi, args=(scale,), kwargs={"seed": 7}, rounds=1, iterations=1
+        crossover_on_hanoi, args=(scale,), kwargs={"seed": ABLATION_SEEDS["crossover"]}, rounds=1, iterations=1
     )
     emit(table, results_dir, "ablation_crossover_hanoi")
     fits = table.column("Avg Goal Fitness")

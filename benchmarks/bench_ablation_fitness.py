@@ -8,6 +8,8 @@ fitness functions.
 
 from conftest import emit
 
+from repro.exp.defaults import ABLATION_SEEDS
+
 from repro.analysis import fitness_accuracy_study
 
 
@@ -15,7 +17,7 @@ def test_fitness_accuracy(benchmark, scale, results_dir):
     table = benchmark.pedantic(
         fitness_accuracy_study,
         args=(scale,),
-        kwargs={"seed": 29, "n_disks": 6},
+        kwargs={"seed": ABLATION_SEEDS["fitness"], "n_disks": 6},
         rounds=1,
         iterations=1,
     )

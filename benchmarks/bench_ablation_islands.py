@@ -2,12 +2,14 @@
 
 from conftest import emit
 
+from repro.exp.defaults import ABLATION_SEEDS
+
 from repro.analysis import island_study
 
 
 def test_island_ablation(benchmark, scale, results_dir):
     table = benchmark.pedantic(
-        island_study, args=(scale,), kwargs={"seed": 23}, rounds=1, iterations=1
+        island_study, args=(scale,), kwargs={"seed": ABLATION_SEEDS["islands"]}, rounds=1, iterations=1
     )
     emit(table, results_dir, "ablation_islands")
     assert len(table.rows) == 2

@@ -8,12 +8,14 @@ caps solve reliably at higher cost.
 
 from conftest import emit
 
+from repro.exp.defaults import ABLATION_SEEDS
+
 from repro.analysis import maxlen_sweep
 
 
 def test_maxlen_ablation(benchmark, scale, results_dir):
     table = benchmark.pedantic(
-        maxlen_sweep, args=(scale,), kwargs={"seed": 11}, rounds=1, iterations=1
+        maxlen_sweep, args=(scale,), kwargs={"seed": ABLATION_SEEDS["maxlen"]}, rounds=1, iterations=1
     )
     emit(table, results_dir, "ablation_maxlen")
     rows = table.rows

@@ -6,12 +6,14 @@ state beat spending the same generations in one run?
 
 from conftest import emit
 
+from repro.exp.defaults import ABLATION_SEEDS
+
 from repro.analysis import phase_budget_sweep
 
 
 def test_phase_budget_ablation(benchmark, scale, results_dir):
     table = benchmark.pedantic(
-        phase_budget_sweep, args=(scale,), kwargs={"seed": 17}, rounds=1, iterations=1
+        phase_budget_sweep, args=(scale,), kwargs={"seed": ABLATION_SEEDS["phases"]}, rounds=1, iterations=1
     )
     emit(table, results_dir, "ablation_phases")
     assert table.column("Phases") == [1, 2, 5, 10]

@@ -2,12 +2,14 @@
 
 from conftest import emit
 
+from repro.exp.defaults import ABLATION_SEEDS
+
 from repro.analysis import seeding_study
 
 
 def test_seeding_ablation(benchmark, scale, results_dir):
     table = benchmark.pedantic(
-        seeding_study, args=(scale,), kwargs={"seed": 19}, rounds=1, iterations=1
+        seeding_study, args=(scale,), kwargs={"seed": ABLATION_SEEDS["seeding"]}, rounds=1, iterations=1
     )
     emit(table, results_dir, "ablation_seeding")
     assert table.column("Seed Fraction") == [0.0, 0.05, 0.25]

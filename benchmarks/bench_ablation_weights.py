@@ -2,12 +2,14 @@
 
 from conftest import emit
 
+from repro.exp.defaults import ABLATION_SEEDS
+
 from repro.analysis import weight_sweep
 
 
 def test_weight_ablation(benchmark, scale, results_dir):
     table = benchmark.pedantic(
-        weight_sweep, args=(scale,), kwargs={"seed": 13}, rounds=1, iterations=1
+        weight_sweep, args=(scale,), kwargs={"seed": ABLATION_SEEDS["weights"]}, rounds=1, iterations=1
     )
     emit(table, results_dir, "ablation_weights")
     assert all(0.0 <= f <= 1.0 for f in table.column("Avg Goal Fitness"))

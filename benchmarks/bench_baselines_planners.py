@@ -7,12 +7,14 @@ heuristic and evolutionary search stay tractable.
 
 from conftest import emit
 
+from repro.exp.defaults import ABLATION_SEEDS
+
 from repro.analysis import planner_comparison
 
 
 def test_planner_comparison(benchmark, scale, results_dir):
     table = benchmark.pedantic(
-        planner_comparison, args=(scale,), kwargs={"seed": 23}, rounds=1, iterations=1
+        planner_comparison, args=(scale,), kwargs={"seed": ABLATION_SEEDS["baselines"]}, rounds=1, iterations=1
     )
     emit(table, results_dir, "baselines_planners")
     rows = {(r[0], r[1]): r for r in table.rows}

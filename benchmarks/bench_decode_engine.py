@@ -32,6 +32,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.exp.defaults import DECODE_BENCH_SEED
 from repro.core import DecodeEngine, GAConfig, GARun, SerialEvaluator, make_rng
 from repro.domains import HanoiDomain, SlidingTileDomain
 from repro.obs import MetricsRegistry
@@ -118,7 +119,7 @@ def measure_variant(domain, config: GAConfig, seed: int, variant: str,
     return row, trajectory
 
 
-def run_bench(quick: bool = False, seed: int = 20030422) -> dict:
+def run_bench(quick: bool = False, seed: int = DECODE_BENCH_SEED) -> dict:
     warmup, measured = (2, 3) if quick else (4, 8)
     report = {
         "bench": "decode-engine ablation",
@@ -172,7 +173,7 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="small populations / few generations (CI smoke)",
     )
-    parser.add_argument("--seed", type=int, default=20030422)
+    parser.add_argument("--seed", type=int, default=DECODE_BENCH_SEED)
     args = parser.parse_args(argv)
     report = run_bench(quick=args.quick, seed=args.seed)
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -12,17 +12,23 @@ Paper's reported values (10 runs, pop 200, 500 gens / 5x100 gens):
 
 The shape asserted here: multi-phase goal fitness >= single-phase per size,
 fitness falls with disk count, multi-phase solutions are longer.
+
+The trial grid, per-trial seeds and aggregation are the declarative
+``table2-hanoi`` spec (:mod:`repro.exp.paper`); this bench is a thin
+wrapper that runs the sweep in memory and asserts the shape.
 """
 
 from conftest import emit
 
-from repro.analysis import run_hanoi_table2
+from repro.exp import run_inline
 
 
 def test_table2_hanoi(benchmark, scale, results_dir):
-    table = benchmark.pedantic(
-        run_hanoi_table2, args=(scale,), kwargs={"seed": 2003}, rounds=1, iterations=1
+    result = benchmark.pedantic(
+        run_inline, args=("table2-hanoi",), kwargs={"scale": scale}, rounds=1, iterations=1
     )
+    assert not result.failed
+    table = result.table()
     emit(table, results_dir, "table2_hanoi")
 
     rows = {(r[0], r[1]): r for r in table.rows}

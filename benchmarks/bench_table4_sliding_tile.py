@@ -13,17 +13,23 @@ Paper's reported values (50 runs/cell):
 Shape asserted: the three crossovers score closely; where both board sizes
 run, 9-tile beats 16-tile on fitness and solve rate, and 16-tile solutions
 are much longer.
+
+The trial grid, per-trial seeds and aggregation are the declarative
+``table4-tile`` spec (:mod:`repro.exp.paper`); this bench is a thin
+wrapper that runs the sweep in memory and asserts the shape.
 """
 
 from conftest import emit
 
-from repro.analysis import run_tile_table4
+from repro.exp import run_inline
 
 
 def test_table4_sliding_tile(benchmark, scale, results_dir):
-    table = benchmark.pedantic(
-        run_tile_table4, args=(scale,), kwargs={"seed": 2003}, rounds=1, iterations=1
+    result = benchmark.pedantic(
+        run_inline, args=("table4-tile",), kwargs={"scale": scale}, rounds=1, iterations=1
     )
+    assert not result.failed
+    table = result.table()
     emit(table, results_dir, "table4_sliding_tile")
 
     by_cell = {(r[0], r[1]): r for r in table.rows}

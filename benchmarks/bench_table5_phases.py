@@ -11,17 +11,23 @@ Paper's reported counts over 50 runs:
 
 Shape asserted: nearly all solutions arrive within the first two phases,
 and state-aware/mixed reach phase-1 solutions at least as often as random.
+
+The trial grid, per-trial seeds and aggregation are the declarative
+``table5-phases`` spec (:mod:`repro.exp.paper`); this bench is a thin
+wrapper that runs the sweep in memory and asserts the shape.
 """
 
 from conftest import emit
 
-from repro.analysis import run_tile_table5
+from repro.exp import run_inline
 
 
 def test_table5_phase_distribution(benchmark, scale, results_dir):
-    table = benchmark.pedantic(
-        run_tile_table5, args=(scale,), kwargs={"seed": 2003}, rounds=1, iterations=1
+    result = benchmark.pedantic(
+        run_inline, args=("table5-phases",), kwargs={"scale": scale}, rounds=1, iterations=1
     )
+    assert not result.failed
+    table = result.table()
     emit(table, results_dir, "table5_phases")
 
     # Aggregated across crossovers (robust at small run counts): most

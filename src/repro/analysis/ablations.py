@@ -14,10 +14,10 @@ import numpy as np
 
 from repro.analysis.experiments import (
     ExperimentScale,
-    _multiphase_config,
-    _run_multi,
-    _run_single,
-    _single_phase_config,
+    multiphase_config,
+    run_multi_record,
+    run_single_record,
+    single_phase_config,
     hanoi_max_len,
     scale_from_env,
 )
@@ -57,8 +57,8 @@ def crossover_on_hanoi(
         ["Crossover", "Avg Goal Fitness", "Solved Runs", "Total Runs", "Avg Size"],
     )
     for crossover in ("random", "state-aware", "mixed"):
-        cfg = _multiphase_config(s, hanoi_max_len(n_disks), domain.optimal_length, crossover)
-        records = [_run_multi(domain, cfg, rng) for rng in spawn_many(root, s.runs_hanoi)]
+        cfg = multiphase_config(s, hanoi_max_len(n_disks), domain.optimal_length, crossover)
+        records = [run_multi_record(domain, cfg, rng) for rng in spawn_many(root, s.runs_hanoi)]
         solved = sum(r.solved for r in records)
         table.add_row(
             crossover,
@@ -88,8 +88,8 @@ def maxlen_sweep(
     )
     for mult in multipliers:
         max_len = max(optimal, int(mult * optimal))
-        cfg = _single_phase_config(s, max_len, optimal, "random")
-        records = [_run_single(domain, cfg, rng) for rng in spawn_many(root, s.runs_hanoi)]
+        cfg = single_phase_config(s, max_len, optimal, "random")
+        records = [run_single_record(domain, cfg, rng) for rng in spawn_many(root, s.runs_hanoi)]
         table.add_row(
             mult,
             max_len,
@@ -116,9 +116,9 @@ def weight_sweep(
         ["w_goal", "w_cost", "Avg Goal Fitness", "Solved Runs", "Total Runs", "Avg Size"],
     )
     for wg in goal_weights:
-        cfg = _single_phase_config(s, hanoi_max_len(n_disks), domain.optimal_length, "random")
+        cfg = single_phase_config(s, hanoi_max_len(n_disks), domain.optimal_length, "random")
         cfg = cfg.replace(goal_weight=wg, cost_weight=round(1.0 - wg, 10))
-        records = [_run_single(domain, cfg, rng) for rng in spawn_many(root, s.runs_hanoi)]
+        records = [run_single_record(domain, cfg, rng) for rng in spawn_many(root, s.runs_hanoi)]
         table.add_row(
             wg,
             round(1.0 - wg, 3),
@@ -151,13 +151,13 @@ def phase_budget_sweep(
     )
     for n_phases in splits:
         per_phase = max(1, total // n_phases)
-        phase_cfg = _single_phase_config(
+        phase_cfg = single_phase_config(
             s, hanoi_max_len(n_disks), domain.optimal_length, "random"
         ).replace(generations=per_phase, stop_on_goal=False)
         mp = MultiPhaseConfig(
             max_phases=n_phases, phase=phase_cfg, early_stop_in_phase=s.early_stop_in_phase
         )
-        records = [_run_multi(domain, mp, rng) for rng in spawn_many(root, s.runs_hanoi)]
+        records = [run_multi_record(domain, mp, rng) for rng in spawn_many(root, s.runs_hanoi)]
         table.add_row(
             n_phases,
             per_phase,
@@ -186,7 +186,7 @@ def seeding_study(
         ["Seed Fraction", "Avg Goal Fitness", "Solved Runs", "Total Runs", "Avg Gens"],
     )
     for frac in seed_fractions:
-        cfg = _single_phase_config(s, hanoi_max_len(n_disks), domain.optimal_length, "random")
+        cfg = single_phase_config(s, hanoi_max_len(n_disks), domain.optimal_length, "random")
         n_seeds = int(frac * cfg.population_size)
         records = []
         for rng in spawn_many(root, s.runs_hanoi):
@@ -241,8 +241,8 @@ def island_study(
         ["Structure", "Avg Goal Fitness", "Solved Runs", "Total Runs"],
     )
 
-    single_cfg = _single_phase_config(s, max_len, domain.optimal_length, "random")
-    records = [_run_single(domain, single_cfg, rng) for rng in spawn_many(root, s.runs_hanoi)]
+    single_cfg = single_phase_config(s, max_len, domain.optimal_length, "random")
+    records = [run_single_record(domain, single_cfg, rng) for rng in spawn_many(root, s.runs_hanoi)]
     table.add_row(
         "1 population",
         round(sum(r.goal_fitness for r in records) / len(records), 3),

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.analysis.experiments import (
     ExperimentScale,
-    _multiphase_config,
+    multiphase_config,
     hanoi_max_len,
     scale_from_env,
     tile_init_length,
@@ -79,7 +79,7 @@ def planner_comparison(
         r = random_walk_planner(domain, spawn(root), walk_length=max_len, max_walks=200)
         table.add_row(name, "Random walk (Stocplan)", r.solved, r.plan_length, r.expanded, round(r.elapsed_seconds, 3))
 
-        cfg = _multiphase_config(s, max_len, init, "random")
+        cfg = multiphase_config(s, max_len, init, "random")
         t0 = time.perf_counter()
         mp = run_multiphase(domain, cfg, spawn(root))
         genomes = mp.total_generations * s.population_size

@@ -54,6 +54,11 @@ __all__ = [
     "run_hanoi_table2",
     "run_tile_table4",
     "run_tile_table5",
+    "RunRecord",
+    "single_phase_config",
+    "multiphase_config",
+    "run_single_record",
+    "run_multi_record",
 ]
 
 
@@ -175,7 +180,8 @@ class RunRecord:
     elapsed_seconds: float
 
 
-def _single_phase_config(scale: ExperimentScale, max_len: int, init_length: int, crossover: str) -> GAConfig:
+def single_phase_config(scale: ExperimentScale, max_len: int, init_length: int, crossover: str) -> GAConfig:
+    """Paper-parameter single-phase :class:`GAConfig` at the given scale."""
     return GAConfig(
         population_size=scale.population_size,
         generations=scale.generations_single,
@@ -191,7 +197,8 @@ def _single_phase_config(scale: ExperimentScale, max_len: int, init_length: int,
     )
 
 
-def _multiphase_config(scale: ExperimentScale, max_len: int, init_length: int, crossover: str) -> MultiPhaseConfig:
+def multiphase_config(scale: ExperimentScale, max_len: int, init_length: int, crossover: str) -> MultiPhaseConfig:
+    """Paper-parameter :class:`MultiPhaseConfig` at the given scale."""
     phase = GAConfig(
         population_size=scale.population_size,
         generations=scale.generations_phase,
@@ -210,7 +217,8 @@ def _multiphase_config(scale: ExperimentScale, max_len: int, init_length: int, c
     )
 
 
-def _run_single(domain, config: GAConfig, rng) -> RunRecord:
+def run_single_record(domain, config: GAConfig, rng) -> RunRecord:
+    """Run one single-phase GA trial and fold the result into a :class:`RunRecord`."""
     result = run_ga(domain, config, rng)
     decoded = result.best.decoded
     assert decoded is not None and result.best.fitness is not None
@@ -224,7 +232,8 @@ def _run_single(domain, config: GAConfig, rng) -> RunRecord:
     )
 
 
-def _run_multi(domain, config: MultiPhaseConfig, rng) -> RunRecord:
+def run_multi_record(domain, config: MultiPhaseConfig, rng) -> RunRecord:
+    """Run one multi-phase GA trial and fold the result into a :class:`RunRecord`."""
     result = run_multiphase(domain, config, rng)
     return RunRecord(
         goal_fitness=result.goal_fitness,
@@ -283,11 +292,11 @@ def run_hanoi_table2(
             records = []
             for rng in rngs:
                 if ga_type == "single-phase":
-                    cfg = _single_phase_config(s, max_len, init, crossover)
-                    records.append(_run_single(domain, cfg, rng))
+                    cfg = single_phase_config(s, max_len, init, crossover)
+                    records.append(run_single_record(domain, cfg, rng))
                 else:
-                    cfg = _multiphase_config(s, max_len, init, crossover)
-                    records.append(_run_multi(domain, cfg, rng))
+                    cfg = multiphase_config(s, max_len, init, crossover)
+                    records.append(run_multi_record(domain, cfg, rng))
             avg_goal, avg_size, avg_gens, n_solved, _t = _aggregate(records)
             table.add_row(
                 ga_type, n_disks, round(avg_goal, 3), round(avg_size, 1),
@@ -303,10 +312,10 @@ def _tile_records(
     scale: ExperimentScale, n: int, crossover: str, root_rng
 ) -> List[RunRecord]:
     domain = SlidingTileDomain(n)
-    cfg = _multiphase_config(scale, tile_max_len(n), tile_init_length(n), crossover)
+    cfg = multiphase_config(scale, tile_max_len(n), tile_init_length(n), crossover)
     records = []
     for rng in spawn_many(root_rng, scale.runs_tile):
-        records.append(_run_multi(domain, cfg, rng))
+        records.append(run_multi_record(domain, cfg, rng))
     return records
 
 

@@ -16,8 +16,8 @@ from typing import Optional
 
 from repro.analysis.experiments import (
     ExperimentScale,
-    _multiphase_config,
-    _run_multi,
+    multiphase_config,
+    run_multi_record,
     hanoi_max_len,
     scale_from_env,
     tile_init_length,
@@ -60,8 +60,8 @@ def fitness_accuracy_study(
          tile_max_len(tile_n), tile_init_length(tile_n)),
     ]
     for name, label, domain, max_len, init in cells:
-        cfg = _multiphase_config(s, max_len, init, "random")
-        records = [_run_multi(domain, cfg, rng) for rng in spawn_many(root, s.runs_hanoi)]
+        cfg = multiphase_config(s, max_len, init, "random")
+        records = [run_multi_record(domain, cfg, rng) for rng in spawn_many(root, s.runs_hanoi)]
         solved = [r for r in records if r.solved]
         gens = [r.generations for r in solved if r.generations is not None]
         table.add_row(

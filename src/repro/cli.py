@@ -9,6 +9,7 @@ Commands
 - ``compare``     — the planner comparison table
 - ``schedule``    — the scheduling-heuristics table
 - ``chaos``       — grid workflow under an injected fault plan
+- ``exp``         — declarative experiment sweeps: list/run/status/resume/report
 
 Examples
 --------
@@ -20,6 +21,9 @@ Examples
     python -m repro figure 3
     python -m repro ablation fitness
     python -m repro chaos --faults "machine-crash:p=0.5;slowdown:factor=4" --seed 11
+    python -m repro exp run table2-hanoi --trials 5 --workers 4
+    python -m repro exp resume table2-hanoi
+    python -m repro exp report --check
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ from repro.analysis import (
 )
 from repro.core import GAConfig, GAPlanner
 from repro.domains import HanoiDomain, SlidingTileDomain
+from repro.exp.defaults import ABLATION_SEEDS, PAPER_SEED, SCHEDULE_SEED
 from repro.obs import JsonlSink, MetricsRegistry, ProgressSink, Tracer, observe
 
 __all__ = ["main"]
@@ -196,13 +201,14 @@ def _cmd_figure(args) -> int:
 
 def _cmd_ablation(args) -> int:
     scale = _scale(args)
+    seed = args.seed if args.seed is not None else ABLATION_SEEDS[args.study]
     drivers = {
-        "crossover": lambda: crossover_on_hanoi(scale, seed=args.seed),
-        "maxlen": lambda: maxlen_sweep(scale, seed=args.seed),
-        "weights": lambda: weight_sweep(scale, seed=args.seed),
-        "phases": lambda: phase_budget_sweep(scale, seed=args.seed),
-        "seeding": lambda: seeding_study(scale, seed=args.seed),
-        "fitness": lambda: fitness_accuracy_study(scale, seed=args.seed),
+        "crossover": lambda: crossover_on_hanoi(scale, seed=seed),
+        "maxlen": lambda: maxlen_sweep(scale, seed=seed),
+        "weights": lambda: weight_sweep(scale, seed=seed),
+        "phases": lambda: phase_budget_sweep(scale, seed=seed),
+        "seeding": lambda: seeding_study(scale, seed=seed),
+        "fitness": lambda: fitness_accuracy_study(scale, seed=seed),
     }
     print(drivers[args.study]())
     return 0
@@ -281,6 +287,152 @@ def _cmd_chaos(args) -> int:
     return 0 if report.success else 1
 
 
+def _exp_scale(args) -> ExperimentScale:
+    """Scale for ``exp`` commands: flags win, else ``REPRO_FULL`` decides."""
+    from repro.analysis.experiments import scale_from_env
+
+    if getattr(args, "full", False):
+        return ExperimentScale.paper()
+    if getattr(args, "scaled", False):
+        return ExperimentScale.scaled()
+    return scale_from_env()
+
+
+def _exp_out_dir(args, name: str):
+    from pathlib import Path
+
+    from repro.exp import default_out_dir
+
+    return Path(args.out) if getattr(args, "out", None) else default_out_dir(name)
+
+
+def _cmd_exp_list(args) -> int:
+    from repro.exp import list_specs
+
+    scale = _exp_scale(args)
+    for spec in list_specs():
+        n_cells = len(spec.cells(scale))
+        n_trials = spec.trials_for(scale)
+        print(f"{spec.name:16s} {spec.title}")
+        print(
+            f"{'':16s} {n_cells} cells x {n_trials} trials = "
+            f"{n_cells * n_trials} runs at {scale.label} scale"
+        )
+    return 0
+
+
+def _cmd_exp_run(args, resume: bool = False) -> int:
+    from repro.exp import SweepRunner
+
+    runner = SweepRunner(
+        args.experiment,
+        _exp_out_dir(args, args.experiment),
+        scale=_exp_scale(args),
+        trials=args.trials,
+        workers=args.workers,
+    )
+    result = runner.run(
+        resume=resume or getattr(args, "resume", False),
+        limit=getattr(args, "limit", None),
+        force=getattr(args, "force", False),
+    )
+    print(
+        f"{result.spec.name}: {len(result.new_records)} trial(s) run, "
+        f"{result.skipped} skipped, {len(result.failed)} failed "
+        f"-> {runner.records_path}"
+    )
+    if result.complete:
+        print()
+        print(result.table())
+    else:
+        print(f"{result.total - len(result.records)} trial(s) still pending; "
+              f"re-run with `repro exp resume {result.spec.name}`")
+    return 1 if result.failed else 0
+
+
+def _cmd_exp_resume(args) -> int:
+    return _cmd_exp_run(args, resume=True)
+
+
+def _cmd_exp_status(args) -> int:
+    from repro.exp import get_spec, sweep_status
+
+    spec = get_spec(args.experiment)
+    status = sweep_status(
+        spec, _exp_out_dir(args, args.experiment),
+        scale=_exp_scale(args), trials=args.trials,
+    )
+    print(f"{spec.name}: {status.done}/{status.total} trials recorded, "
+          f"{status.failed} failed, {status.stale} stale")
+    print("complete" if status.complete else f"{status.pending} pending")
+    return 0 if status.complete else 1
+
+
+def _cmd_exp_report(args) -> int:
+    from pathlib import Path
+
+    from repro.exp import (
+        default_out_dir,
+        experiment_report,
+        get_spec,
+        load_records,
+        read_manifest,
+        spec_names,
+        update_experiments_md,
+    )
+    from repro.exp.records import RECORDS_NAME
+    from repro.exp.report import REPORT_NAME
+    from repro.exp.runner import scale_from_dict
+
+    names = args.experiments or spec_names()
+    reports = {}
+    for name in names:
+        spec = get_spec(name)
+        out_dir = Path(args.out) / name if args.out else default_out_dir(name)
+        records_path = out_dir / RECORDS_NAME
+        if not records_path.exists():
+            if args.experiments:
+                print(f"error: no records at {records_path}", file=sys.stderr)
+                return 2
+            continue
+        records, skipped = load_records(records_path)
+        if skipped:
+            print(f"warning: {name}: skipped {skipped} torn record line(s)",
+                  file=sys.stderr)
+        manifest = read_manifest(out_dir)
+        scale = (
+            scale_from_dict(manifest["scale"])
+            if manifest and "scale" in manifest
+            else _exp_scale(args)
+        )
+        report = experiment_report(spec, records, scale, manifest)
+        reports[spec.doc_section] = report
+        report_path = out_dir / REPORT_NAME
+        if args.check:
+            if not report_path.exists() or report_path.read_text(encoding="utf-8") != report:
+                print(f"stale: {report_path}", file=sys.stderr)
+                return 1
+        else:
+            report_path.write_text(report, encoding="utf-8")
+            print(f"wrote {report_path}")
+    if not reports:
+        print("no recorded sweeps found; run `repro exp run <name>` first",
+              file=sys.stderr)
+        return 2
+    stale = update_experiments_md(Path(args.experiments_md), reports, check=args.check)
+    if args.check:
+        if stale:
+            print(f"stale sections in {args.experiments_md}: {', '.join(stale)}",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.experiments_md} is in sync with recorded results")
+    elif stale:
+        print(f"updated sections in {args.experiments_md}: {', '.join(stale)}")
+    else:
+        print(f"{args.experiments_md} already up to date")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -295,7 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--generations", type=int, default=100, help="per phase")
     p.add_argument("--phases", type=int, default=5, help="1 = single-phase")
     p.add_argument("--crossover", choices=("random", "state-aware", "mixed"), default="random")
-    p.add_argument("--seed", type=int, default=2003)
+    p.add_argument("--seed", type=int, default=PAPER_SEED)
     p.add_argument("--show-plan", action="store_true")
     p.add_argument(
         "--mode", choices=("single", "multiphase", "islands"), default=None,
@@ -326,7 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
     p.add_argument("--scaled", action="store_true", help="fast scaled-down parameters")
-    p.add_argument("--seed", type=int, default=2003)
+    p.add_argument("--seed", type=int, default=PAPER_SEED)
     p.set_defaults(func=_cmd_table)
 
     p = sub.add_parser("figure", help="print a paper figure")
@@ -339,19 +491,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("crossover", "maxlen", "weights", "phases", "seeding", "fitness"),
     )
     p.add_argument("--scaled", action="store_true")
-    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--seed", type=int, default=None,
+                   help="RNG seed (default: the study's seed from repro.exp.defaults)")
     p.set_defaults(func=_cmd_ablation)
 
     p = sub.add_parser("compare", help="GA vs classical planners")
     p.add_argument("--scaled", action="store_true")
-    p.add_argument("--seed", type=int, default=23)
+    p.add_argument("--seed", type=int, default=ABLATION_SEEDS["baselines"])
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("schedule", help="heterogeneous scheduling heuristics")
     p.add_argument("--tasks", type=int, default=128)
     p.add_argument("--machines", type=int, default=8)
     p.add_argument("--generations", type=int, default=100)
-    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--seed", type=int, default=SCHEDULE_SEED)
     p.set_defaults(func=_cmd_schedule)
 
     p = sub.add_parser("chaos", help="grid workflow under an injected fault plan")
@@ -368,6 +521,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="replanner used after each fault (ga = the paper's multi-phase GA)",
     )
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("exp", help="declarative experiment sweeps")
+    exp_sub = p.add_subparsers(dest="exp_command", required=True)
+
+    def _exp_scale_flags(sp):
+        group = sp.add_mutually_exclusive_group()
+        group.add_argument(
+            "--full", action="store_true",
+            help="paper-scale parameters (default: REPRO_FULL env decides)",
+        )
+        group.add_argument("--scaled", action="store_true", help="fast scaled-down parameters")
+
+    sp = exp_sub.add_parser("list", help="registered experiments and their grids")
+    _exp_scale_flags(sp)
+    sp.set_defaults(func=_cmd_exp_list)
+
+    sp = exp_sub.add_parser("run", help="run a sweep, recording JSONL trials")
+    sp.add_argument("experiment", help="registered experiment name (see `exp list`)")
+    sp.add_argument("--trials", type=int, default=None, help="per-cell trial count override")
+    sp.add_argument("--out", default=None, metavar="DIR",
+                    help="output directory (default benchmarks/results/exp/<name>)")
+    sp.add_argument("--workers", type=int, default=1, help="worker processes")
+    sp.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="run at most N trials this invocation")
+    sp.add_argument("--resume", action="store_true", help="continue a previous sweep")
+    sp.add_argument("--force", action="store_true", help="discard existing records first")
+    _exp_scale_flags(sp)
+    sp.set_defaults(func=_cmd_exp_run)
+
+    sp = exp_sub.add_parser("resume", help="continue a previously started sweep")
+    sp.add_argument("experiment")
+    sp.add_argument("--trials", type=int, default=None)
+    sp.add_argument("--out", default=None, metavar="DIR")
+    sp.add_argument("--workers", type=int, default=1)
+    sp.add_argument("--limit", type=int, default=None, metavar="N")
+    _exp_scale_flags(sp)
+    sp.set_defaults(func=_cmd_exp_resume)
+
+    sp = exp_sub.add_parser("status", help="progress of a recorded sweep")
+    sp.add_argument("experiment")
+    sp.add_argument("--trials", type=int, default=None)
+    sp.add_argument("--out", default=None, metavar="DIR")
+    _exp_scale_flags(sp)
+    sp.set_defaults(func=_cmd_exp_status)
+
+    sp = exp_sub.add_parser(
+        "report", help="regenerate reports + EXPERIMENTS.md from recorded sweeps"
+    )
+    sp.add_argument("experiments", nargs="*", help="experiment names (default: all recorded)")
+    sp.add_argument("--out", default=None, metavar="DIR",
+                    help="results root holding <name>/records.jsonl subdirectories")
+    sp.add_argument("--experiments-md", default="EXPERIMENTS.md", metavar="PATH",
+                    help="Markdown file whose marked sections to regenerate")
+    sp.add_argument("--check", action="store_true",
+                    help="verify reports are in sync; exit 1 when stale, write nothing")
+    _exp_scale_flags(sp)
+    sp.set_defaults(func=_cmd_exp_report)
 
     for subparser in sub.choices.values():
         _add_obs_flags(subparser)

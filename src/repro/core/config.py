@@ -79,6 +79,7 @@ class GAConfig:
     decode_engine: bool = True
 
     def __post_init__(self) -> None:
+        """Validate field ranges and cross-field invariants."""
         if self.population_size < 2:
             raise ValueError(f"population_size must be >= 2, got {self.population_size}")
         if self.generations < 1:
@@ -146,8 +147,10 @@ class MultiPhaseConfig:
     early_stop_in_phase: bool = False
 
     def __post_init__(self) -> None:
+        """Validate the phase budget."""
         if self.max_phases < 1:
             raise ValueError(f"max_phases must be >= 1, got {self.max_phases}")
 
     def replace(self, **changes) -> "MultiPhaseConfig":
+        """Copy of this config with the given fields replaced."""
         return dataclasses.replace(self, **changes)

@@ -1,0 +1,77 @@
+"""repro.exp — declarative experiment orchestration.
+
+Every paper table/figure and ablation is *data*: an
+:class:`ExperimentSpec` names the axes (GA type, disk count, crossover,
+…), the per-trial function, the trial count and the aggregation that
+turns recorded trials back into the paper-shaped table.  The
+:class:`SweepRunner` fans trials out over a worker pool, appends one
+JSONL :class:`TrialRecord` per trial (config-hash + git-revision
+provenance) and resumes a killed sweep from the completed records.  The
+report layer (:mod:`repro.exp.report`) aggregates records into tables,
+mean ± CI summaries and Wilcoxon comparisons, and regenerates the marked
+sections of ``EXPERIMENTS.md`` — documentation as a build artifact.
+
+The CLI surface is ``python -m repro exp {list,run,status,resume,report}``.
+"""
+
+from repro.exp.defaults import (
+    ABLATION_SEEDS,
+    DEFAULT_RESULTS_ROOT,
+    GRID_SEED,
+    PAPER_SEED,
+    SCHEDULE_SEED,
+    default_out_dir,
+)
+from repro.exp.records import (
+    TrialRecord,
+    append_record,
+    git_revision,
+    load_records,
+    read_manifest,
+    write_manifest,
+)
+from repro.exp.registry import get_spec, list_specs, register, spec_names
+from repro.exp.report import (
+    experiment_report,
+    markdown_table,
+    render_sections,
+    update_experiments_md,
+)
+from repro.exp.runner import SweepResult, SweepRunner, SweepStatus, run_inline, sweep_status
+from repro.exp.spec import Comparison, ExperimentSpec, TrialSpec, config_hash, derive_seed
+
+# Built-in paper/table specs self-register on import.
+from repro.exp import paper as _paper  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "ABLATION_SEEDS",
+    "Comparison",
+    "DEFAULT_RESULTS_ROOT",
+    "ExperimentSpec",
+    "GRID_SEED",
+    "PAPER_SEED",
+    "SCHEDULE_SEED",
+    "SweepResult",
+    "SweepRunner",
+    "SweepStatus",
+    "TrialRecord",
+    "TrialSpec",
+    "append_record",
+    "config_hash",
+    "default_out_dir",
+    "derive_seed",
+    "experiment_report",
+    "get_spec",
+    "git_revision",
+    "list_specs",
+    "load_records",
+    "markdown_table",
+    "read_manifest",
+    "register",
+    "render_sections",
+    "run_inline",
+    "spec_names",
+    "sweep_status",
+    "update_experiments_md",
+    "write_manifest",
+]

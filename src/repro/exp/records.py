@@ -1,0 +1,192 @@
+"""Trial records: append-only JSONL results with provenance.
+
+One completed trial is one JSON line.  Appends are flushed and fsynced
+per line, so a killed sweep loses at most the line being written;
+:func:`load_records` tolerates a torn trailing line (the same durability
+discipline as ``repro.core.checkpoint``, minus the CRC header — a JSON
+parse failure is the integrity check for line-oriented text).  The sweep
+manifest is written atomically via temp-file + ``os.replace``, exactly
+like checkpoints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "RECORDS_NAME",
+    "MANIFEST_NAME",
+    "TrialRecord",
+    "append_record",
+    "load_records",
+    "git_revision",
+    "write_manifest",
+    "read_manifest",
+]
+
+#: Canonical file names inside a sweep's output directory.
+RECORDS_NAME = "records.jsonl"
+MANIFEST_NAME = "manifest.json"
+
+_RECORD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One completed (or failed) trial with full provenance.
+
+    Attributes
+    ----------
+    experiment / trial_id / trial_index / seed / config_hash:
+        Identity, copied from the :class:`~repro.exp.spec.TrialSpec`.
+    cell:
+        Axis-name → value mapping of the grid cell.
+    status:
+        ``"ok"`` or ``"failed"``.
+    metrics:
+        The trial function's returned measurements (empty when failed).
+    elapsed_seconds:
+        Wall clock of the trial function.
+    git_rev:
+        Repository revision the trial ran at (``"unknown"`` outside git).
+    started_at:
+        UTC ISO-8601 timestamp (provenance only — reports never include
+        it, so regenerated docs stay byte-stable).
+    attempt:
+        1-based attempt number that produced this record (> 1 after
+        retries).
+    error:
+        Exception summary for failed trials.
+    """
+
+    experiment: str
+    trial_id: str
+    cell: Dict[str, object]
+    trial_index: int
+    seed: int
+    config_hash: str
+    status: str
+    metrics: Dict[str, object] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    git_rev: str = "unknown"
+    started_at: str = ""
+    attempt: int = 1
+    error: Optional[str] = None
+    version: int = _RECORD_VERSION
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trial completed successfully."""
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable payload (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrialRecord":
+        """Rebuild a record from a parsed JSON line.
+
+        Unknown keys are dropped so newer records stay readable by older
+        code (same forward-compatibility contract as ``repro.obs`` traces).
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def git_revision(cwd: Optional[Path] = None) -> str:
+    """Current git revision (short hash, ``+dirty`` suffix when modified).
+
+    Returns ``"unknown"`` when git is unavailable or *cwd* is not a
+    repository — provenance degrades, it never raises.
+    """
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if rev.returncode != 0:
+            return "unknown"
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        suffix = "+dirty" if dirty.returncode == 0 and dirty.stdout.strip() else ""
+        return rev.stdout.strip() + suffix
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_record(path: Path | str, record: TrialRecord) -> None:
+    """Append one record as a JSON line, flushed and fsynced.
+
+    The parent directory is created on demand.  A crash mid-append can
+    tear only the final line, which :func:`load_records` skips.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record.to_dict(), sort_keys=True, separators=(",", ":"))
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def load_records(path: Path | str) -> Tuple[List[TrialRecord], int]:
+    """Parse a records file, skipping corrupt or torn lines.
+
+    Returns
+    -------
+    (records, skipped):
+        Parsed records in file order, and the number of unparseable
+        lines that were skipped (0 on a clean file).  A missing file
+        yields ``([], 0)``.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    records: List[TrialRecord] = []
+    skipped = 0
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            records.append(TrialRecord.from_dict(payload))
+        except (ValueError, TypeError):
+            skipped += 1
+    return records, skipped
+
+
+def write_manifest(directory: Path | str, manifest: dict) -> Path:
+    """Atomically persist the sweep manifest (temp file + ``os.replace``)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / MANIFEST_NAME
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # only on failure — os.replace consumed it otherwise
+            tmp.unlink()
+    return path
+
+
+def read_manifest(directory: Path | str) -> Optional[dict]:
+    """Load the sweep manifest from *directory*, or ``None`` if absent."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))

@@ -1,0 +1,278 @@
+"""Aggregation and rendering: recorded trials → Markdown documentation.
+
+The report layer is a pure function of the recorded trials (plus the
+sweep manifest): aggregated paper-shaped tables, per-cell mean ± 95 % CI
+summaries (:func:`repro.analysis.stats_util.mean_ci`) and Wilcoxon
+rank-sum comparisons (:func:`repro.analysis.stats_util.mann_whitney`).
+Nothing time- or machine-dependent enters the output, so regenerating a
+report from the same records is byte-identical — which is what lets CI
+fail when ``EXPERIMENTS.md`` drifts from the committed results
+(``repro exp report --check``).
+
+``EXPERIMENTS.md`` integration uses marker comments::
+
+    <!-- exp:table2-hanoi:begin -->
+    ... generated, do not edit ...
+    <!-- exp:table2-hanoi:end -->
+
+Only the text between markers is owned by the generator; the surrounding
+prose stays hand-written.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import ExperimentScale
+from repro.analysis.stats_util import mann_whitney, mean_ci
+from repro.analysis.tables import Table, _fmt
+from repro.exp.records import TrialRecord
+from repro.exp.spec import ExperimentSpec
+
+__all__ = [
+    "markdown_table",
+    "experiment_report",
+    "render_sections",
+    "update_experiments_md",
+    "MarkerError",
+]
+
+REPORT_NAME = "report.md"
+
+
+class MarkerError(ValueError):
+    """``EXPERIMENTS.md`` is missing (or has malformed) section markers."""
+
+
+def markdown_table(table: Table) -> str:
+    """Render a :class:`~repro.analysis.tables.Table` as a GFM pipe table."""
+    lines = ["| " + " | ".join(table.columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def _numeric(values: Sequence[object]) -> List[float]:
+    """Keep finite numeric values only (drops None and NaN metrics)."""
+    out = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            continue
+        if math.isnan(v) or math.isinf(v):
+            continue
+        out.append(float(v))
+    return out
+
+
+def _cell_label(cell: Mapping[str, object]) -> str:
+    return ", ".join(f"{k}={v}" for k, v in cell.items())
+
+
+def _provenance_line(
+    spec: ExperimentSpec,
+    records: Sequence[TrialRecord],
+    scale: ExperimentScale,
+    manifest: Optional[dict],
+) -> str:
+    ok = [r for r in records if r.ok]
+    revs = sorted({r.git_rev for r in ok}) or ["unknown"]
+    sweep_hash = (
+        manifest.get("sweep_hash") if manifest else spec.sweep_hash(scale)
+    )
+    return (
+        f"*{len(ok)} recorded trials · base seed {spec.base_seed} · scale "
+        f"`{scale.label}` · sweep config `{sweep_hash}` · "
+        f"git {', '.join(f'`{r}`' for r in revs)}*"
+    )
+
+
+def _ci_section(
+    spec: ExperimentSpec, records: Sequence[TrialRecord], scale: ExperimentScale
+) -> str:
+    if not spec.ci_metrics:
+        return ""
+    groups: Dict[Tuple, List[TrialRecord]] = {}
+    for rec in records:
+        if rec.ok:
+            groups.setdefault(tuple(sorted(rec.cell.items())), []).append(rec)
+    lines = [
+        "| Cell | Metric | Mean | 95% CI | n |",
+        "|---|---|---|---|---|",
+    ]
+    for key in sorted(groups):
+        cell_records = groups[key]
+        label = _cell_label(dict(key))
+        for metric in spec.ci_metrics:
+            values = _numeric([r.metrics.get(metric) for r in cell_records])
+            if not values:
+                lines.append(f"| {label} | {metric} | - | - | 0 |")
+                continue
+            ci = mean_ci(values)
+            lines.append(
+                f"| {label} | {metric} | {ci.mean:.3f} | "
+                f"[{ci.low:.3f}, {ci.high:.3f}] | {ci.n} |"
+            )
+    return "**Per-cell mean ± 95% CI**\n\n" + "\n".join(lines)
+
+
+def _comparison_section(
+    spec: ExperimentSpec, records: Sequence[TrialRecord]
+) -> str:
+    if not spec.comparisons:
+        return ""
+    lines = [
+        "| Metric | Stratum | A | B | U | p |",
+        "|---|---|---|---|---|---|",
+    ]
+    ok = [r for r in records if r.ok]
+    for cmp_ in spec.comparisons:
+        strata = sorted({tuple((g, r.cell[g]) for g in cmp_.groupby) for r in ok})
+        for stratum in strata:
+            stratum_dict = dict(stratum)
+            pool = [
+                r for r in ok
+                if all(r.cell.get(g) == v for g, v in stratum_dict.items())
+            ]
+            a = _numeric(
+                [r.metrics.get(cmp_.metric) for r in pool if r.cell.get(cmp_.axis) == cmp_.a]
+            )
+            b = _numeric(
+                [r.metrics.get(cmp_.metric) for r in pool if r.cell.get(cmp_.axis) == cmp_.b]
+            )
+            label = _cell_label(stratum_dict) or "all"
+            if not a or not b:
+                lines.append(
+                    f"| {cmp_.metric} | {label} | {cmp_.a} | {cmp_.b} | - | - |"
+                )
+                continue
+            u, p = mann_whitney(a, b)
+            lines.append(
+                f"| {cmp_.metric} | {label} | {cmp_.a} (n={len(a)}) | "
+                f"{cmp_.b} (n={len(b)}) | {u:.1f} | {p:.4f} |"
+            )
+    return (
+        "**Wilcoxon rank-sum comparisons** (Mann-Whitney U, two-sided)\n\n"
+        + "\n".join(lines)
+    )
+
+
+def experiment_report(
+    spec: ExperimentSpec,
+    records: Sequence[TrialRecord],
+    scale: ExperimentScale,
+    manifest: Optional[dict] = None,
+    heading_level: int = 3,
+) -> str:
+    """Full Markdown report for one experiment's recorded trials.
+
+    Parameters
+    ----------
+    spec / records / scale:
+        The experiment, its trial records, and the scale the sweep ran at
+        (normally reconstructed from the manifest).
+    manifest:
+        The sweep manifest, used for provenance; optional.
+    heading_level:
+        Markdown heading depth of the report title.
+
+    Returns
+    -------
+    str
+        Deterministic Markdown (no timestamps, no machine identifiers):
+        regenerating from the same records is byte-identical.
+
+    Raises
+    ------
+    ValueError
+        When *records* contains no successful trials — an empty report
+        would silently mask a broken sweep.
+    """
+    ok = [r for r in records if r.ok]
+    if not ok:
+        raise ValueError(
+            f"experiment {spec.name!r} has no successful trial records to report"
+        )
+    failed = len(records) - len(ok)
+    table = spec.aggregate_fn(spec, ok, scale)
+    parts = [
+        f"{'#' * heading_level} {spec.title}",
+        _provenance_line(spec, records, scale, manifest),
+        spec.description,
+        markdown_table(table),
+    ]
+    if failed:
+        parts.append(f"*{failed} failed trial record(s) excluded from aggregation.*")
+    ci = _ci_section(spec, ok, scale)
+    if ci:
+        parts.append(ci)
+    cmp_section = _comparison_section(spec, records)
+    if cmp_section:
+        parts.append(cmp_section)
+    return "\n\n".join(parts) + "\n"
+
+
+def render_sections(
+    reports: Mapping[str, str],
+) -> Dict[str, str]:
+    """Wrap per-experiment reports in their ``EXPERIMENTS.md`` marker lines."""
+    return {
+        name: (
+            f"<!-- exp:{name}:begin -->\n"
+            "<!-- generated by `repro exp report` from the recorded sweep; do not edit -->\n"
+            f"{body}"
+            f"<!-- exp:{name}:end -->"
+        )
+        for name, body in reports.items()
+    }
+
+
+def update_experiments_md(
+    path: Path | str,
+    reports: Mapping[str, str],
+    check: bool = False,
+) -> List[str]:
+    """Regenerate the marked sections of ``EXPERIMENTS.md``.
+
+    Parameters
+    ----------
+    path:
+        The Markdown file containing ``<!-- exp:<name>:begin/end -->``
+        marker pairs.
+    reports:
+        Experiment name → report body (from :func:`experiment_report`).
+    check:
+        Compare only: never write, just report which sections are stale.
+
+    Returns
+    -------
+    list[str]
+        Names whose sections differed (and were rewritten unless *check*).
+
+    Raises
+    ------
+    MarkerError
+        When the file lacks a marker pair for a report it should hold.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    changed: List[str] = []
+    for name, section in render_sections(reports).items():
+        begin = f"<!-- exp:{name}:begin -->"
+        end = f"<!-- exp:{name}:end -->"
+        i = text.find(begin)
+        j = text.find(end)
+        if i == -1 or j == -1 or j < i:
+            raise MarkerError(
+                f"{path} has no '{begin}' / '{end}' marker pair; add the markers "
+                f"where the generated section should live"
+            )
+        current = text[i : j + len(end)]
+        if current != section:
+            changed.append(name)
+            text = text[:i] + section + text[j + len(end):]
+    if changed and not check:
+        path.write_text(text, encoding="utf-8")
+    return changed

@@ -1,0 +1,520 @@
+"""The process-parallel sweep runner with atomic resume.
+
+A sweep is the full trial enumeration of one :class:`~repro.exp.spec.
+ExperimentSpec` at one scale.  The runner fans pending trials out over a
+``ProcessPoolExecutor`` (trials are independent processes-worth of GA
+work, the same SPMD shape as :mod:`repro.core.parallel`), retries failed
+trials with the capped-backoff ladder of :class:`~repro.core.resilient.
+ResiliencePolicy`, and appends one durable JSONL record per completed
+trial.  Killing a sweep at any point loses at most the in-flight trials:
+a later ``resume`` re-enumerates the spec, skips every recorded trial
+whose config hash still matches, and runs only the remainder.
+
+Observability: the runner emits ``trial-started`` / ``trial-finished`` /
+``sweep-progress`` events through the ambient (or injected) tracer and
+ticks ``trials_completed`` / ``trials_failed`` / ``trials_skipped``
+counters plus a ``trial`` timer.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.experiments import ExperimentScale, scale_from_env
+from repro.core.resilient import ResiliencePolicy
+from repro.exp.records import (
+    RECORDS_NAME,
+    TrialRecord,
+    append_record,
+    git_revision,
+    load_records,
+    read_manifest,
+    write_manifest,
+)
+from repro.exp.registry import get_spec
+from repro.exp.spec import ExperimentSpec, TrialSpec
+from repro.obs.events import SweepProgress, TrialFinished, TrialStarted
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, default_metrics, default_tracer
+
+__all__ = [
+    "SweepError",
+    "SweepResult",
+    "SweepRunner",
+    "SweepStatus",
+    "run_inline",
+    "scale_from_dict",
+    "sweep_status",
+]
+
+#: Default retry ladder for trials: one retry, fast capped backoff, no
+#: timeout (a GA trial's runtime is legitimately unbounded-ish; pass a
+#: policy with ``eval_timeout_s`` to bound it).
+DEFAULT_POLICY = ResiliencePolicy(retry_max=1, backoff_base_s=0.1, backoff_cap_s=2.0)
+
+
+class SweepError(RuntimeError):
+    """A sweep could not start or resume (conflicting records, bad manifest)."""
+
+
+def scale_from_dict(payload: dict) -> ExperimentScale:
+    """Rebuild an :class:`ExperimentScale` from its manifest JSON form.
+
+    JSON turns the tuple-valued fields into lists; coerce them back so
+    the reconstructed scale hashes identically to the original.
+    """
+    coerced = {
+        k: tuple(v) if isinstance(v, list) else v for k, v in payload.items()
+    }
+    return ExperimentScale(**coerced)
+
+
+@dataclass(frozen=True)
+class SweepStatus:
+    """Progress summary of a sweep directory against its spec enumeration."""
+
+    experiment: str
+    total: int
+    done: int
+    failed: int
+    stale: int  # records whose config hash no longer matches the spec
+
+    @property
+    def pending(self) -> int:
+        """Trials still to run."""
+        return self.total - self.done
+
+    @property
+    def complete(self) -> bool:
+        """Whether every enumerated trial has a matching ok record."""
+        return self.done >= self.total
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished (or partial) sweep invocation produced.
+
+    ``records`` is the complete ok-record set for the sweep (prior +
+    new), which is what aggregation wants; ``new_records`` is what this
+    invocation actually ran.
+    """
+
+    spec: ExperimentSpec
+    scale: ExperimentScale
+    records: List[TrialRecord]
+    new_records: List[TrialRecord] = field(default_factory=list)
+    failed: List[TrialRecord] = field(default_factory=list)
+    skipped: int = 0  # previously recorded trials not re-run
+    total: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every enumerated trial now has an ok record."""
+        return len(self.records) >= self.total
+
+    def table(self):
+        """Aggregate the ok records into the paper-shaped table."""
+        return self.spec.aggregate_fn(self.spec, self.records, self.scale)
+
+
+def _execute_trial(trial_fn, cell: dict, seed: int, scale: ExperimentScale):
+    """Run one trial (in a worker or inline) and time it."""
+    t0 = time.perf_counter()
+    metrics = trial_fn(cell, seed, scale)
+    return dict(metrics), time.perf_counter() - t0
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+class SweepRunner:
+    """Run one experiment sweep: enumerate, skip done, fan out, record.
+
+    Parameters
+    ----------
+    spec:
+        The experiment, or a registered experiment name.
+    out_dir:
+        Directory for ``records.jsonl`` + ``manifest.json``.  ``None``
+        keeps records in memory only (the benches use this).
+    scale:
+        Experiment scale; defaults to the environment's
+        (:func:`~repro.analysis.experiments.scale_from_env`).
+    trials:
+        Per-cell trial count override.
+    workers:
+        Worker processes; ``<= 1`` runs trials inline in this process
+        (deterministic record order, no pool overhead).
+    policy:
+        Retry/backoff/timeout ladder (:class:`~repro.core.resilient.
+        ResiliencePolicy`); ``eval_timeout_s`` bounds one trial attempt.
+    tracer / metrics:
+        Observability wiring; defaults to the ambient pair.
+    """
+
+    def __init__(
+        self,
+        spec: Union[ExperimentSpec, str],
+        out_dir: Optional[Path | str] = None,
+        *,
+        scale: Optional[ExperimentScale] = None,
+        trials: Optional[int] = None,
+        workers: int = 1,
+        policy: Optional[ResiliencePolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.spec = get_spec(spec) if isinstance(spec, str) else spec
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.scale = scale or scale_from_env()
+        self.trials = trials
+        self.workers = max(1, workers)
+        self.policy = policy or DEFAULT_POLICY
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.metrics = metrics if metrics is not None else default_metrics()
+        self._git_rev = git_revision()
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def records_path(self) -> Optional[Path]:
+        """Path of the sweep's JSONL record file (``None`` in-memory)."""
+        return self.out_dir / RECORDS_NAME if self.out_dir is not None else None
+
+    def _manifest(self, trial_specs: List[TrialSpec]) -> dict:
+        import dataclasses
+
+        return {
+            "experiment": self.spec.name,
+            "base_seed": self.spec.base_seed,
+            "trials_per_cell": self.trials
+            if self.trials is not None
+            else self.spec.trials_for(self.scale),
+            "scale": dataclasses.asdict(self.scale),
+            "sweep_hash": self.spec.sweep_hash(self.scale, self.trials),
+            "total_trials": len(trial_specs),
+        }
+
+    def _load_completed(self, trial_specs: List[TrialSpec]):
+        """Map trial_id → ok record for records matching the current spec."""
+        if self.records_path is None:
+            return {}, 0
+        records, torn = load_records(self.records_path)
+        by_id = {t.trial_id: t for t in trial_specs}
+        completed: Dict[str, TrialRecord] = {}
+        stale = 0
+        for rec in records:
+            spec = by_id.get(rec.trial_id)
+            if spec is None or rec.config_hash != spec.config_hash:
+                stale += 1
+                continue
+            if rec.ok:
+                completed[rec.trial_id] = rec
+        return completed, stale + torn
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        resume: bool = False,
+        limit: Optional[int] = None,
+        force: bool = False,
+    ) -> SweepResult:
+        """Execute the sweep (or its remainder) and return the result.
+
+        Parameters
+        ----------
+        resume:
+            Continue a previous invocation: recorded trials whose config
+            hash still matches are skipped, everything else runs.
+        limit:
+            Run at most this many trials this invocation (tests use it to
+            simulate a killed sweep; ``repro exp run --limit`` exposes it).
+        force:
+            Start over — discard existing records instead of refusing.
+
+        Raises
+        ------
+        SweepError
+            When records already exist and neither *resume* nor *force*
+            was given, or a manifest disagrees with the current sweep
+            configuration on resume.
+        """
+        trial_specs = self.spec.trial_specs(self.scale, self.trials)
+        completed: Dict[str, TrialRecord] = {}
+        if self.records_path is not None and self.records_path.exists():
+            if force:
+                self.records_path.unlink()
+            elif not resume:
+                raise SweepError(
+                    f"{self.records_path} already holds records; use resume to "
+                    f"continue the sweep or force to start over"
+                )
+            else:
+                manifest = read_manifest(self.out_dir)
+                expected = self.spec.sweep_hash(self.scale, self.trials)
+                if manifest is not None and manifest.get("sweep_hash") != expected:
+                    raise SweepError(
+                        f"sweep manifest in {self.out_dir} was written by a different "
+                        f"configuration (hash {manifest.get('sweep_hash')} != {expected}); "
+                        f"rerun with the original scale/trials or start over with force"
+                    )
+                completed, _stale = self._load_completed(trial_specs)
+        if self.out_dir is not None:
+            write_manifest(self.out_dir, self._manifest(trial_specs))
+
+        pending = [t for t in trial_specs if t.trial_id not in completed]
+        if limit is not None:
+            pending = pending[:limit]
+        result = SweepResult(
+            spec=self.spec,
+            scale=self.scale,
+            records=list(completed.values()),
+            skipped=len(completed),
+            total=len(trial_specs),
+        )
+        if self.metrics is not None and completed:
+            self.metrics.counter("trials_skipped").add(len(completed))
+        if not pending:
+            self._emit_progress(len(completed), 0, len(trial_specs))
+            result.records.sort(key=lambda r: r.trial_id)
+            return result
+
+        if self.workers <= 1:
+            self._run_serial(pending, completed, result)
+        else:
+            self._run_pool(pending, completed, result)
+        # Deterministic order for aggregation regardless of completion order.
+        result.records.sort(key=lambda r: r.trial_id)
+        return result
+
+    def _run_serial(self, pending, completed, result: SweepResult) -> None:
+        done = len(completed)
+        failed = 0
+        for trial in pending:
+            record = self._run_one_with_retry(trial)
+            self._commit(record, result)
+            if record.ok:
+                done += 1
+            else:
+                failed += 1
+            self._emit_progress(done, failed, result.total)
+
+    def _run_pool(self, pending, completed, result: SweepResult) -> None:
+        done = len(completed)
+        failed = 0
+        attempts: Dict[str, int] = {t.trial_id: 1 for t in pending}
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {}
+            for trial in pending:
+                self._emit_started(trial)
+                futures[self._submit(pool, trial)] = trial
+            while futures:
+                done_set, _ = wait(
+                    futures, timeout=self.policy.eval_timeout_s, return_when=FIRST_COMPLETED
+                )
+                if not done_set:
+                    # Whole-pool quiescence past the timeout: fail one
+                    # in-flight trial per wait round so the sweep cannot
+                    # wedge forever on a hung worker.
+                    fut, trial = next(iter(futures.items()))
+                    futures.pop(fut)
+                    fut.cancel()
+                    record = self._failure_record(
+                        trial, attempts[trial.trial_id], "trial timed out"
+                    )
+                    self._commit(record, result)
+                    failed += 1
+                    self._emit_finished(trial, record)
+                    self._emit_progress(done, failed, result.total)
+                    continue
+                for fut in done_set:
+                    trial = futures.pop(fut)
+                    attempt = attempts[trial.trial_id]
+                    try:
+                        metrics, elapsed = fut.result()
+                        record = self._success_record(trial, metrics, elapsed, attempt)
+                    except Exception as exc:  # worker raised or died
+                        if attempt <= self.policy.retry_max:
+                            attempts[trial.trial_id] = attempt + 1
+                            self.policy.sleep(self.policy.backoff_s(attempt - 1))
+                            futures[self._submit(pool, trial)] = trial
+                            continue
+                        record = self._failure_record(trial, attempt, repr(exc))
+                    self._commit(record, result)
+                    if record.ok:
+                        done += 1
+                    else:
+                        failed += 1
+                    self._emit_finished(trial, record)
+                    self._emit_progress(done, failed, result.total)
+
+    def _submit(self, pool: ProcessPoolExecutor, trial: TrialSpec):
+        return pool.submit(
+            _execute_trial, self.spec.trial_fn, trial.cell_dict, trial.seed, self.scale
+        )
+
+    def _run_one_with_retry(self, trial: TrialSpec) -> TrialRecord:
+        """Inline execution with the same retry ladder as the pool path."""
+        self._emit_started(trial)
+        last_error = "unknown"
+        for attempt in range(1, self.policy.retry_max + 2):
+            try:
+                metrics, elapsed = _execute_trial(
+                    self.spec.trial_fn, trial.cell_dict, trial.seed, self.scale
+                )
+                record = self._success_record(trial, metrics, elapsed, attempt)
+                self._emit_finished(trial, record)
+                return record
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                last_error = repr(exc)
+                if attempt <= self.policy.retry_max:
+                    self.policy.sleep(self.policy.backoff_s(attempt - 1))
+        record = self._failure_record(trial, self.policy.retry_max + 1, last_error)
+        self._emit_finished(trial, record)
+        return record
+
+    # -- record construction / commit -----------------------------------------
+
+    def _success_record(
+        self, trial: TrialSpec, metrics: dict, elapsed: float, attempt: int
+    ) -> TrialRecord:
+        return TrialRecord(
+            experiment=self.spec.name,
+            trial_id=trial.trial_id,
+            cell=trial.cell_dict,
+            trial_index=trial.trial_index,
+            seed=trial.seed,
+            config_hash=trial.config_hash,
+            status="ok",
+            metrics=metrics,
+            elapsed_seconds=round(elapsed, 6),
+            git_rev=self._git_rev,
+            started_at=_utc_now(),
+            attempt=attempt,
+        )
+
+    def _failure_record(self, trial: TrialSpec, attempt: int, error: str) -> TrialRecord:
+        return TrialRecord(
+            experiment=self.spec.name,
+            trial_id=trial.trial_id,
+            cell=trial.cell_dict,
+            trial_index=trial.trial_index,
+            seed=trial.seed,
+            config_hash=trial.config_hash,
+            status="failed",
+            git_rev=self._git_rev,
+            started_at=_utc_now(),
+            attempt=attempt,
+            error=error,
+        )
+
+    def _commit(self, record: TrialRecord, result: SweepResult) -> None:
+        if self.records_path is not None:
+            append_record(self.records_path, record)
+        if record.ok:
+            result.records.append(record)
+            result.new_records.append(record)
+            if self.metrics is not None:
+                self.metrics.counter("trials_completed").add(1)
+                self.metrics.timer("trial").record(record.elapsed_seconds)
+        else:
+            result.failed.append(record)
+            if self.metrics is not None:
+                self.metrics.counter("trials_failed").add(1)
+
+    # -- observability ---------------------------------------------------------
+
+    def _emit_started(self, trial: TrialSpec) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TrialStarted(
+                    scope=self.spec.name,
+                    experiment=self.spec.name,
+                    trial_id=trial.trial_id,
+                    seed=trial.seed,
+                )
+            )
+
+    def _emit_finished(self, trial: TrialSpec, record: TrialRecord) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TrialFinished(
+                    scope=self.spec.name,
+                    experiment=self.spec.name,
+                    trial_id=trial.trial_id,
+                    seed=trial.seed,
+                    status=record.status,
+                    seconds=record.elapsed_seconds,
+                    attempt=record.attempt,
+                )
+            )
+
+    def _emit_progress(self, done: int, failed: int, total: int) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SweepProgress(
+                    scope=self.spec.name,
+                    experiment=self.spec.name,
+                    done=done,
+                    failed=failed,
+                    total=total,
+                )
+            )
+
+
+def sweep_status(
+    spec: Union[ExperimentSpec, str],
+    out_dir: Path | str,
+    scale: Optional[ExperimentScale] = None,
+    trials: Optional[int] = None,
+) -> SweepStatus:
+    """Summarise a sweep directory against the spec's trial enumeration.
+
+    Uses the manifest's recorded scale/trial count when present (so
+    ``repro exp status`` agrees with what ``run`` started), falling back
+    to the given or environment scale.
+    """
+    spec = get_spec(spec) if isinstance(spec, str) else spec
+    manifest = read_manifest(out_dir)
+    if manifest is not None:
+        scale = scale_from_dict(manifest["scale"])
+        trials = manifest.get("trials_per_cell", trials)
+    runner = SweepRunner(spec, out_dir, scale=scale, trials=trials)
+    trial_specs = spec.trial_specs(runner.scale, trials)
+    completed, stale = runner._load_completed(trial_specs)
+    records, _ = load_records(runner.records_path)
+    failed_ids = {
+        r.trial_id
+        for r in records
+        if not r.ok and r.trial_id not in completed
+    }
+    return SweepStatus(
+        experiment=spec.name,
+        total=len(trial_specs),
+        done=len(completed),
+        failed=len(failed_ids),
+        stale=stale,
+    )
+
+
+def run_inline(
+    spec: Union[ExperimentSpec, str],
+    scale: Optional[ExperimentScale] = None,
+    trials: Optional[int] = None,
+) -> SweepResult:
+    """Run a whole sweep serially in-process with in-memory records.
+
+    The bench suite's entry point: no disk, deterministic record order,
+    returns a :class:`SweepResult` whose :meth:`~SweepResult.table` is
+    the paper-shaped table.
+    """
+    return SweepRunner(spec, None, scale=scale, trials=trials, workers=1).run()

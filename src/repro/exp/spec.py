@@ -1,0 +1,270 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` turns one paper table (or ablation) into data:
+named axes whose cross product enumerates the cells, a picklable
+per-trial function, a trial count, and the aggregation that folds
+recorded trials back into the paper-shaped table.  Everything downstream
+— the sweep runner, resume, reporting — works off the deterministic
+enumeration this module produces: the same spec, scale and base seed
+always yield the same trial ids, per-trial seeds and config hashes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.experiments import ExperimentScale, scale_from_env
+from repro.exp.defaults import PAPER_SEED
+
+__all__ = [
+    "Comparison",
+    "ExperimentSpec",
+    "TrialSpec",
+    "config_hash",
+    "derive_seed",
+]
+
+#: Axes may be a static mapping or depend on the scale (e.g. Table 4's board
+#: sizes shrink in the scaled regime).
+AxesSpec = Union[
+    Mapping[str, Sequence[object]],
+    Callable[[ExperimentScale], Mapping[str, Sequence[object]]],
+]
+
+#: Trial counts likewise: a constant or a function of the scale.
+TrialsSpec = Union[int, Callable[[ExperimentScale], int]]
+
+
+def config_hash(payload: Mapping[str, object]) -> str:
+    """Short stable hash of a JSON-serialisable configuration payload.
+
+    Parameters
+    ----------
+    payload:
+        The configuration to fingerprint; keys are sorted so dict order
+        never changes the hash.
+
+    Returns
+    -------
+    str
+        First 12 hex digits of the SHA-256 of the canonical JSON.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def derive_seed(base_seed: int, trial_id: str) -> int:
+    """Deterministic per-trial seed from the sweep's base seed and trial id.
+
+    Stable across processes and Python versions (SHA-256, not ``hash()``),
+    so a resumed sweep reruns a pending trial with exactly the seed the
+    original invocation would have used.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{trial_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One concrete trial: a cell of the experiment grid at one seed.
+
+    Attributes
+    ----------
+    experiment:
+        Name of the owning :class:`ExperimentSpec`.
+    trial_id:
+        Stable identifier, ``"<axis>=<value>,...#t<index>"``; the resume
+        key.
+    cell:
+        Axis-name → value mapping for this grid cell.
+    trial_index:
+        0-based repeat index within the cell.
+    seed:
+        Derived RNG seed for this trial (see :func:`derive_seed`).
+    config_hash:
+        Provenance fingerprint of (experiment, trial, seed, scale).
+    """
+
+    experiment: str
+    trial_id: str
+    cell: Tuple[Tuple[str, object], ...]
+    trial_index: int
+    seed: int
+    config_hash: str
+
+    @property
+    def cell_dict(self) -> Dict[str, object]:
+        """The cell as a plain dict (axis name → value)."""
+        return dict(self.cell)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A two-sample statistical comparison the report should run.
+
+    The report collects ``metric`` from all trials where ``cell[axis] == a``
+    versus ``cell[axis] == b`` (stratified by the ``groupby`` axes) and
+    applies the Wilcoxon rank-sum / Mann-Whitney U test.
+    """
+
+    metric: str
+    axis: str
+    a: object
+    b: object
+    groupby: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative experiment: grid, trial function, aggregation.
+
+    Attributes
+    ----------
+    name:
+        Registry key and CLI name (e.g. ``"table2-hanoi"``).
+    title:
+        Human-readable one-liner shown by ``repro exp list``.
+    description:
+        What the experiment measures and the shape it should reproduce.
+    axes:
+        Mapping of axis name → values, or a callable of the
+        :class:`~repro.analysis.experiments.ExperimentScale` returning one.
+        The cell enumeration is the cross product in axis order.
+    trial_fn:
+        ``f(cell: dict, seed: int, scale) -> dict`` returning the trial's
+        metrics.  Must be a module-level (picklable) function so the
+        process-parallel runner can ship it to workers.
+    trials:
+        Trials per cell: an int or a callable of the scale (e.g.
+        ``lambda s: s.runs_hanoi``).
+    aggregate_fn:
+        ``f(spec, records, scale) -> Table`` folding trial records into
+        the paper-shaped table.
+    base_seed:
+        Root seed; per-trial seeds derive from it and the trial id.
+    ci_metrics:
+        Numeric metric keys the report summarises as mean ± 95 % CI per
+        cell.
+    comparisons:
+        Statistical comparisons the report should include.
+    doc_section:
+        Marker name of this experiment's generated section in
+        ``EXPERIMENTS.md``; ``None`` (the default) means "use ``name``".
+    """
+
+    name: str
+    title: str
+    description: str
+    axes: AxesSpec
+    trial_fn: Callable[[Dict[str, object], int, ExperimentScale], Mapping[str, object]]
+    trials: TrialsSpec
+    aggregate_fn: Callable[..., object]
+    base_seed: int = PAPER_SEED
+    ci_metrics: Tuple[str, ...] = field(default_factory=tuple)
+    comparisons: Tuple[Comparison, ...] = field(default_factory=tuple)
+    doc_section: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        """Validate the name slug and default ``doc_section`` to ``name``."""
+        if not self.name or "/" in self.name or " " in self.name:
+            raise ValueError(f"experiment name must be a simple slug, got {self.name!r}")
+        if self.doc_section is None:
+            object.__setattr__(self, "doc_section", self.name)
+
+    # -- enumeration -----------------------------------------------------------
+
+    def axes_for(self, scale: Optional[ExperimentScale] = None) -> Dict[str, List[object]]:
+        """Resolve the (possibly scale-dependent) axes to a concrete mapping."""
+        s = scale or scale_from_env()
+        axes = self.axes(s) if callable(self.axes) else self.axes
+        resolved = {name: list(values) for name, values in axes.items()}
+        if not resolved or any(not vals for vals in resolved.values()):
+            raise ValueError(f"experiment {self.name!r} has an empty axis: {resolved}")
+        return resolved
+
+    def trials_for(self, scale: Optional[ExperimentScale] = None) -> int:
+        """Resolve the per-cell trial count for *scale*."""
+        s = scale or scale_from_env()
+        n = self.trials(s) if callable(self.trials) else self.trials
+        if n < 1:
+            raise ValueError(f"experiment {self.name!r} resolved to {n} trials per cell")
+        return n
+
+    def cells(self, scale: Optional[ExperimentScale] = None) -> List[Dict[str, object]]:
+        """Every grid cell, in deterministic cross-product order."""
+        axes = self.axes_for(scale)
+        names = list(axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(axes[n] for n in names))
+        ]
+
+    def trial_specs(
+        self,
+        scale: Optional[ExperimentScale] = None,
+        trials: Optional[int] = None,
+    ) -> List[TrialSpec]:
+        """Enumerate every trial of the sweep, with seeds and hashes.
+
+        Parameters
+        ----------
+        scale:
+            Experiment scale; defaults to
+            :func:`~repro.analysis.experiments.scale_from_env`.
+        trials:
+            Override of the per-cell trial count.
+
+        Returns
+        -------
+        list[TrialSpec]
+            Cells in cross-product order, trial indices innermost.
+        """
+        s = scale or scale_from_env()
+        n_trials = trials if trials is not None else self.trials_for(s)
+        scale_fields = dataclasses.asdict(s)
+        specs: List[TrialSpec] = []
+        for cell in self.cells(s):
+            slug = ",".join(f"{k}={v}" for k, v in cell.items())
+            for index in range(n_trials):
+                trial_id = f"{slug}#t{index}"
+                seed = derive_seed(self.base_seed, trial_id)
+                digest = config_hash(
+                    {
+                        "experiment": self.name,
+                        "trial_id": trial_id,
+                        "cell": cell,
+                        "seed": seed,
+                        "scale": scale_fields,
+                    }
+                )
+                specs.append(
+                    TrialSpec(
+                        experiment=self.name,
+                        trial_id=trial_id,
+                        cell=tuple(cell.items()),
+                        trial_index=index,
+                        seed=seed,
+                        config_hash=digest,
+                    )
+                )
+        return specs
+
+    def sweep_hash(
+        self, scale: Optional[ExperimentScale] = None, trials: Optional[int] = None
+    ) -> str:
+        """Fingerprint of the whole sweep configuration (for the manifest)."""
+        s = scale or scale_from_env()
+        return config_hash(
+            {
+                "experiment": self.name,
+                "base_seed": self.base_seed,
+                "axes": self.axes_for(s),
+                "trials": trials if trials is not None else self.trials_for(s),
+                "scale": dataclasses.asdict(s),
+            }
+        )

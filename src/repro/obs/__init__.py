@@ -40,6 +40,9 @@ from repro.obs.events import (
     RunEvent,
     SchedulerGeneration,
     SimulationComplete,
+    SweepProgress,
+    TrialFinished,
+    TrialStarted,
     event_from_dict,
 )
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, Timer, planner_summary
@@ -87,8 +90,11 @@ __all__ = [
     "SchedulerGeneration",
     "SimulationComplete",
     "Sink",
+    "SweepProgress",
     "Timer",
     "Tracer",
+    "TrialFinished",
+    "TrialStarted",
     "default_metrics",
     "default_tracer",
     "event_from_dict",

@@ -37,6 +37,9 @@ __all__ = [
     "RetryAttempt",
     "EvaluatorDegraded",
     "ReplanTriggered",
+    "TrialStarted",
+    "TrialFinished",
+    "SweepProgress",
     "EVENT_KINDS",
     "event_from_dict",
 ]
@@ -246,6 +249,44 @@ class SimulationComplete(RunEvent):
     seconds: float
 
 
+@dataclass(frozen=True, kw_only=True)
+class TrialStarted(RunEvent):
+    """A sweep runner dispatched one experiment trial."""
+
+    kind: ClassVar[str] = "trial-started"
+    experiment: str
+    trial_id: str
+    seed: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class TrialFinished(RunEvent):
+    """One experiment trial completed (``status`` is ``ok`` or ``failed``).
+
+    ``attempt`` is the 1-based attempt that produced the result (> 1 when
+    the runner's retry ladder re-dispatched the trial).
+    """
+
+    kind: ClassVar[str] = "trial-finished"
+    experiment: str
+    trial_id: str
+    seed: int
+    status: str
+    seconds: float
+    attempt: int = 1
+
+
+@dataclass(frozen=True, kw_only=True)
+class SweepProgress(RunEvent):
+    """Sweep-level progress: counts over the full trial enumeration."""
+
+    kind: ClassVar[str] = "sweep-progress"
+    experiment: str
+    done: int
+    failed: int
+    total: int
+
+
 EVENT_KINDS: Dict[str, Type[RunEvent]] = {
     cls.kind: cls
     for cls in (
@@ -263,6 +304,9 @@ EVENT_KINDS: Dict[str, Type[RunEvent]] = {
         RetryAttempt,
         EvaluatorDegraded,
         ReplanTriggered,
+        TrialStarted,
+        TrialFinished,
+        SweepProgress,
     )
 }
 

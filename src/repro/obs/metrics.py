@@ -53,6 +53,7 @@ class Counter:
         self.value = 0
 
     def add(self, n=1) -> None:
+        """Increment the count by *n* (default 1)."""
         self.value += n
 
 
@@ -69,6 +70,7 @@ class Timer:
         self.max = 0.0
 
     def record(self, seconds: float, count: int = 1) -> None:
+        """Add one measurement of *seconds* covering *count* calls."""
         self.count += count
         self.total += seconds
         if seconds < self.min:
@@ -78,6 +80,7 @@ class Timer:
 
     @contextmanager
     def time(self):
+        """Context manager recording the wall-clock time of its block."""
         t0 = time.perf_counter()
         try:
             yield self
@@ -86,6 +89,7 @@ class Timer:
 
     @property
     def mean(self) -> float:
+        """Mean seconds per recorded call (0.0 before any record)."""
         return self.total / self.count if self.count else 0.0
 
 
@@ -108,6 +112,7 @@ class Histogram:
         self._sample: List[float] = []
 
     def observe(self, value: float) -> None:
+        """Record one *value* into the distribution."""
         self.count += 1
         self.total += value
         if value < self.min:
@@ -119,6 +124,7 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Mean of all observed values (0.0 before any observation)."""
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
@@ -139,18 +145,21 @@ class MetricsRegistry:
         self.histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
+        """The counter called *name*, created on first use."""
         c = self.counters.get(name)
         if c is None:
             c = self.counters[name] = Counter(name)
         return c
 
     def timer(self, name: str) -> Timer:
+        """The timer called *name*, created on first use."""
         t = self.timers.get(name)
         if t is None:
             t = self.timers[name] = Timer(name)
         return t
 
     def histogram(self, name: str, sample_size: int = 1024) -> Histogram:
+        """The histogram called *name*, created on first use."""
         h = self.histograms.get(name)
         if h is None:
             h = self.histograms[name] = Histogram(name, sample_size)

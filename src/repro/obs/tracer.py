@@ -40,13 +40,14 @@ class Sink:
     """Receives events from a tracer.  Subclasses override :meth:`write`."""
 
     def write(self, event: RunEvent) -> None:  # pragma: no cover - interface
+        """Handle one emitted event."""
         raise NotImplementedError
 
     def flush(self) -> None:
-        pass
+        """Push buffered output downstream (no-op by default)."""
 
     def close(self) -> None:
-        pass
+        """Release resources; the sink must not be written to afterwards."""
 
 
 class Tracer:
@@ -63,27 +64,34 @@ class Tracer:
 
     @property
     def enabled(self) -> bool:
+        """Whether any sink is attached (guard event construction on this)."""
         return bool(self.sinks)
 
     def emit(self, event: RunEvent) -> None:
+        """Forward *event* to every attached sink, in order."""
         for sink in self.sinks:
             sink.write(event)
 
     def add_sink(self, sink: Sink) -> None:
+        """Attach another sink; subsequent emits include it."""
         self.sinks.append(sink)
 
     def flush(self) -> None:
+        """Flush every attached sink."""
         for sink in self.sinks:
             sink.flush()
 
     def close(self) -> None:
+        """Close every attached sink."""
         for sink in self.sinks:
             sink.close()
 
     def __enter__(self) -> "Tracer":
+        """Support ``with Tracer(...) as tracer`` for scoped sink lifetime."""
         return self
 
     def __exit__(self, *exc) -> None:
+        """Close every sink when the ``with`` block exits."""
         self.close()
 
 

@@ -1,0 +1,91 @@
+"""Edge cases of the table/report rendering path.
+
+Empty trial sets, NaN metric columns and degenerate (single-seed)
+confidence intervals all occur in practice — a killed sweep, a failed
+cell, a `--trials 1` smoke run — and must degrade readably instead of
+raising mid-report.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.stats_util import mean_ci
+from repro.analysis.tables import Table, _fmt
+
+
+class TestEmptyTable:
+    def test_render_with_no_rows(self):
+        table = Table(title="Empty", columns=["a", "bb"])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Empty"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 4  # title, rule, header, separator — no data rows
+
+    def test_csv_with_no_rows_is_header_only(self, tmp_path):
+        table = Table(title="Empty", columns=["a", "bb"])
+        out = tmp_path / "empty.csv"
+        text = table.to_csv(out)
+        assert text.splitlines() == ["a,bb"]
+        assert out.read_text().splitlines() == ["a,bb"]
+
+    def test_column_lookup_on_empty_table(self):
+        table = Table(title="Empty", columns=["a"])
+        assert table.column("a") == []
+        with pytest.raises(KeyError, match="no column"):
+            table.column("missing")
+
+
+class TestNaNColumns:
+    def test_fmt_nan_and_inf(self):
+        assert _fmt(float("nan")) == "nan"
+        assert _fmt(1.0) == "1"
+        assert _fmt(1.25) == "1.25"
+        assert _fmt("text") == "text"
+
+    def test_render_nan_cells(self):
+        table = Table(title="T", columns=["metric", "value"])
+        table.add_row("solved", float("nan"))
+        table.add_row("cost", 3.5)
+        text = table.render()
+        assert "nan" in text
+        assert "3.5" in text
+
+    def test_csv_preserves_nan(self):
+        table = Table(title="T", columns=["v"]).add_row(float("nan"))
+        assert "nan" in table.to_csv()
+
+
+class TestRowValidation:
+    def test_wrong_width_rejected(self):
+        table = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ValueError, match="2 columns"):
+            table.add_row(1)
+
+    def test_add_row_chains(self):
+        table = Table(title="T", columns=["a"]).add_row(1).add_row(2)
+        assert table.column("a") == [1, 2]
+
+
+class TestDegenerateCI:
+    """Single-seed sweeps must report a point interval, not crash."""
+
+    def test_single_value(self):
+        ci = mean_ci([4.25])
+        assert (ci.mean, ci.low, ci.high, ci.n) == (4.25, 4.25, 4.25, 1)
+
+    def test_zero_variance_many_values(self):
+        ci = mean_ci([2.0] * 10)
+        assert ci.low == ci.high == ci.mean == 2.0
+        assert ci.n == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_nan_propagates_not_raises(self):
+        # NaN metrics are filtered upstream (repro.exp.report._numeric);
+        # mean_ci itself just propagates them, documented here.
+        ci = mean_ci([1.0, float("nan")])
+        assert math.isnan(ci.mean)

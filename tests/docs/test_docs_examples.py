@@ -1,0 +1,76 @@
+"""The documentation is executable: every fenced ``python`` block runs.
+
+Blocks within one Markdown file execute in order in a shared namespace
+(later blocks may build on names the quickstart block defined, exactly as
+a reader pasting them into one session would experience).  The working
+directory is a temp dir so doc snippets that write files (JSONL traces)
+never dirty the repo.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def python_blocks(path: Path):
+    """Yield (start_line, source) for each fenced ```python block."""
+    blocks = []
+    lang = None
+    buf = []
+    start = 0
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        fence = _FENCE.match(line)
+        if fence and lang is None:
+            lang = fence.group(1)
+            buf = []
+            start = lineno + 1
+        elif line.strip() == "```" and lang is not None:
+            if lang == "python":
+                blocks.append((start, "\n".join(buf)))
+            lang = None
+        elif lang is not None:
+            buf.append(line)
+    return blocks
+
+
+DOC_FILES = [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("**/*.md"))
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_python_blocks_execute(doc, tmp_path, monkeypatch):
+    blocks = python_blocks(doc)
+    if not blocks:
+        pytest.skip(f"{doc.name} has no fenced python blocks")
+    monkeypatch.chdir(tmp_path)  # snippets may write trace files
+    namespace = {"__name__": "__docs__"}
+    for start, source in blocks:
+        code = compile(source, f"{doc.name}:{start}", "exec")
+        try:
+            exec(code, namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(f"{doc.name} block at line {start} raised {exc!r}")
+
+
+def test_readme_has_executable_blocks():
+    assert len(python_blocks(REPO_ROOT / "README.md")) >= 3
+
+
+def test_quickstart_example_runs(tmp_path):
+    env = {"PYTHONPATH": str(REPO_ROOT / "src")}
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,
+        env={**env, "PATH": "/usr/bin:/bin"},
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "quickstart should print its outcome"

@@ -1,0 +1,84 @@
+"""Intra-repo Markdown links resolve: files exist, heading anchors match.
+
+External (http/https/mailto) links are out of scope — CI must not depend
+on the network — but every relative path and ``#fragment`` in the core
+documents is checked against the working tree.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DOC_FILES = [
+    REPO_ROOT / name
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md")
+    if (REPO_ROOT / name).exists()
+] + sorted((REPO_ROOT / "docs").glob("**/*.md"))
+
+# [text](target) — excluding images' srcsets and code spans is handled by
+# only matching inline-link syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (sufficient approximation)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(github_slug(match.group(1)))
+    return anchors
+
+
+def links_in(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_intra_repo_links_resolve(doc):
+    problems = []
+    for lineno, target in links_in(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        dest = doc if not path_part else (doc.parent / path_part).resolve()
+        if not dest.exists():
+            problems.append(f"{doc.name}:{lineno} -> {target}: file not found")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in heading_anchors(dest):
+                problems.append(
+                    f"{doc.name}:{lineno} -> {target}: no heading with anchor "
+                    f"#{fragment} in {dest.name}"
+                )
+    assert not problems, "\n".join(problems)
+
+
+def test_readme_links_to_architecture_doc():
+    targets = [t for _, t in links_in(REPO_ROOT / "README.md")]
+    assert any("docs/architecture.md" in t for t in targets)

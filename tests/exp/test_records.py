@@ -1,0 +1,111 @@
+"""Durable trial records: JSONL round-trip, torn lines, manifests."""
+
+import json
+
+from repro.exp import (
+    TrialRecord,
+    append_record,
+    git_revision,
+    load_records,
+    read_manifest,
+    write_manifest,
+)
+from repro.exp.records import MANIFEST_NAME, RECORDS_NAME
+
+
+def _record(i=0, status="ok"):
+    return TrialRecord(
+        experiment="toy",
+        trial_id=f"x={i}#t0",
+        cell={"x": i},
+        trial_index=0,
+        seed=1000 + i,
+        config_hash="abc123def456",
+        status=status,
+        metrics={"value": float(i)} if status == "ok" else {},
+        elapsed_seconds=0.5,
+        git_rev="deadbee",
+        started_at="2026-01-01T00:00:00+00:00",
+        error=None if status == "ok" else "RuntimeError('boom')",
+    )
+
+
+class TestTrialRecord:
+    def test_dict_round_trip(self):
+        rec = _record()
+        assert TrialRecord.from_dict(rec.to_dict()) == rec
+
+    def test_unknown_keys_dropped(self):
+        payload = _record().to_dict()
+        payload["future_field"] = "ignored"
+        assert TrialRecord.from_dict(payload) == _record()
+
+    def test_ok_property(self):
+        assert _record(status="ok").ok
+        assert not _record(status="failed").ok
+
+
+class TestRecordsFile:
+    def test_append_and_load(self, tmp_path):
+        path = tmp_path / RECORDS_NAME
+        for i in range(3):
+            append_record(path, _record(i))
+        records, skipped = load_records(path)
+        assert skipped == 0
+        assert [r.trial_id for r in records] == ["x=0#t0", "x=1#t0", "x=2#t0"]
+
+    def test_missing_file(self, tmp_path):
+        assert load_records(tmp_path / "absent.jsonl") == ([], 0)
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / RECORDS_NAME
+        append_record(path, _record(0))
+        append_record(path, _record(1))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"experiment": "toy", "trial_id": "x=2#')  # torn mid-write
+        records, skipped = load_records(path)
+        assert len(records) == 2
+        assert skipped == 1
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / RECORDS_NAME
+        append_record(path, _record(0))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n\n")
+        records, skipped = load_records(path)
+        assert len(records) == 1
+        assert skipped == 0
+
+    def test_lines_are_compact_sorted_json(self, tmp_path):
+        path = tmp_path / RECORDS_NAME
+        append_record(path, _record(0))
+        line = path.read_text(encoding="utf-8").splitlines()[0]
+        payload = json.loads(line)
+        assert list(payload) == sorted(payload)
+        assert payload["config_hash"] == "abc123def456"
+        assert payload["seed"] == 1000
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = {"experiment": "toy", "sweep_hash": "ff00", "total_trials": 8}
+        write_manifest(tmp_path, manifest)
+        assert read_manifest(tmp_path) == manifest
+
+    def test_missing_manifest(self, tmp_path):
+        assert read_manifest(tmp_path) is None
+
+    def test_atomic_no_temp_left_behind(self, tmp_path):
+        write_manifest(tmp_path, {"a": 1})
+        write_manifest(tmp_path, {"a": 2})  # overwrite via os.replace
+        assert [p.name for p in tmp_path.iterdir()] == [MANIFEST_NAME]
+        assert read_manifest(tmp_path) == {"a": 2}
+
+
+class TestGitRevision:
+    def test_in_repo(self):
+        rev = git_revision()
+        assert rev == "unknown" or len(rev.replace("+dirty", "")) >= 7
+
+    def test_outside_repo_degrades(self, tmp_path):
+        assert git_revision(cwd=tmp_path) == "unknown"

@@ -1,0 +1,239 @@
+"""Report layer: byte-stable Markdown, marker-section regeneration."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import ExperimentScale
+from repro.analysis.tables import Table
+from repro.exp import (
+    SweepRunner,
+    TrialRecord,
+    experiment_report,
+    load_records,
+    markdown_table,
+    read_manifest,
+    render_sections,
+    run_inline,
+    update_experiments_md,
+)
+from repro.exp.records import RECORDS_NAME
+from repro.exp.report import MarkerError
+from tests.exp.toyexp import make_toy_spec
+
+SCALE = ExperimentScale.scaled()
+
+
+def _toy_records(spec, metrics_fn=None):
+    out = []
+    for t in spec.trial_specs(SCALE):
+        metrics = (
+            metrics_fn(t) if metrics_fn else {"value": float(t.seed % 97)}
+        )
+        out.append(
+            TrialRecord(
+                experiment=spec.name,
+                trial_id=t.trial_id,
+                cell=t.cell_dict,
+                trial_index=t.trial_index,
+                seed=t.seed,
+                config_hash=t.config_hash,
+                status="ok",
+                metrics=metrics,
+                elapsed_seconds=0.01,
+                git_rev="deadbee",
+                started_at="2026-01-01T00:00:00+00:00",
+            )
+        )
+    return out
+
+
+class TestMarkdownTable:
+    def test_pipe_layout(self):
+        table = Table(title="T", columns=["a", "b"]).add_row(1, 2.5).add_row(3, 4)
+        text = markdown_table(table)
+        assert text.splitlines() == [
+            "| a | b |",
+            "|---|---|",
+            "| 1 | 2.5 |",
+            "| 3 | 4 |",
+        ]
+
+    def test_nan_cell_rendered(self):
+        table = Table(title="T", columns=["a"]).add_row(float("nan"))
+        assert "| nan |" in markdown_table(table)
+
+
+class TestExperimentReport:
+    def test_byte_stable(self):
+        spec = make_toy_spec()
+        records = _toy_records(spec)
+        first = experiment_report(spec, records, SCALE)
+        second = experiment_report(spec, list(records), SCALE)
+        assert first == second
+
+    def test_no_timestamps_or_machine_state(self):
+        spec = make_toy_spec()
+        report = experiment_report(spec, _toy_records(spec), SCALE)
+        assert "2026-01-01" not in report  # started_at never leaks
+        assert "elapsed" not in report
+
+    def test_contains_provenance_and_sections(self):
+        spec = make_toy_spec()
+        report = experiment_report(spec, _toy_records(spec), SCALE)
+        assert "### Toy experiment" in report
+        assert "8 recorded trials" in report
+        assert "base seed 99" in report
+        assert "`scaled`" in report
+        assert "`deadbee`" in report
+        assert "Per-cell mean ± 95% CI" in report
+        assert "Wilcoxon rank-sum comparisons" in report
+
+    def test_no_ok_records_raises(self):
+        spec = make_toy_spec()
+        bad = [
+            TrialRecord(
+                experiment=spec.name,
+                trial_id="x=1,mode=a#t0",
+                cell={"x": 1, "mode": "a"},
+                trial_index=0,
+                seed=1,
+                config_hash="0" * 12,
+                status="failed",
+                error="boom",
+            )
+        ]
+        with pytest.raises(ValueError, match="no successful"):
+            experiment_report(spec, bad, SCALE)
+        with pytest.raises(ValueError, match="no successful"):
+            experiment_report(spec, [], SCALE)
+
+    def test_failed_records_noted_but_excluded(self):
+        spec = make_toy_spec()
+        records = _toy_records(spec)
+        records[0] = TrialRecord(
+            experiment=spec.name,
+            trial_id="x=9,mode=z#t0",
+            cell={"x": 9, "mode": "z"},
+            trial_index=0,
+            seed=9,
+            config_hash="f" * 12,
+            status="failed",
+            error="boom",
+        )
+        report = experiment_report(spec, records, SCALE)
+        assert "1 failed trial record(s) excluded" in report
+
+    def test_nan_and_none_metrics_degrade_to_empty_ci_row(self):
+        spec = make_toy_spec(ci_metrics=("value", "missing"))
+        records = _toy_records(
+            spec, metrics_fn=lambda t: {"value": float("nan"), "missing": None}
+        )
+        report = experiment_report(spec, records, SCALE)
+        assert "| value | - | - | 0 |" in report
+        assert "| missing | - | - | 0 |" in report
+
+    def test_single_trial_ci_degenerates_to_point(self):
+        spec = make_toy_spec(trials=1, comparisons=())
+        records = [r for r in _toy_records(spec) if r.trial_index == 0]
+        report = experiment_report(spec, records, SCALE)
+        for line in report.splitlines():
+            if "| value |" in line:
+                cells = [c.strip() for c in line.split("|")]
+                mean, ci, n = cells[3], cells[4], cells[5]
+                assert n == "1"
+                assert ci == f"[{mean}, {mean}]"
+
+    def test_comparison_with_missing_side_degrades(self):
+        spec = make_toy_spec(trials=1)
+        records = [r for r in _toy_records(spec) if r.cell["x"] == 1]
+        report = experiment_report(spec, records, SCALE)
+        assert "| - | - |" in report  # U/p dashes when one sample is empty
+
+    def test_inf_metric_excluded_from_ci(self):
+        spec = make_toy_spec(trials=2, comparisons=(), ci_metrics=("score",))
+        records = _toy_records(
+            spec,
+            metrics_fn=lambda t: {
+                "value": 1.0,
+                "score": math.inf if t.trial_index == 0 else 1.0,
+            },
+        )
+        report = experiment_report(spec, records, SCALE)
+        assert "inf" not in report
+        assert "| score | 1.000 | [1.000, 1.000] | 1 |" in report
+
+
+class TestMarkerUpdate:
+    DOC = (
+        "# Results\n\nprose before\n\n"
+        "<!-- exp:toy-exp:begin -->\nstale\n<!-- exp:toy-exp:end -->\n\n"
+        "prose after\n"
+    )
+
+    def _reports(self):
+        spec = make_toy_spec()
+        return {spec.name: experiment_report(spec, _toy_records(spec), SCALE)}
+
+    def test_update_then_stable(self, tmp_path):
+        doc = tmp_path / "EXPERIMENTS.md"
+        doc.write_text(self.DOC, encoding="utf-8")
+        reports = self._reports()
+
+        assert update_experiments_md(doc, reports) == ["toy-exp"]
+        first = doc.read_bytes()
+        assert b"stale" not in first
+        assert b"prose before" in first and b"prose after" in first
+        assert b"do not edit" in first
+
+        # Regenerating from the same records changes nothing, byte-for-byte.
+        assert update_experiments_md(doc, reports) == []
+        assert doc.read_bytes() == first
+
+    def test_check_mode_never_writes(self, tmp_path):
+        doc = tmp_path / "EXPERIMENTS.md"
+        doc.write_text(self.DOC, encoding="utf-8")
+        assert update_experiments_md(doc, self._reports(), check=True) == ["toy-exp"]
+        assert doc.read_text(encoding="utf-8") == self.DOC
+
+    def test_missing_markers_raise(self, tmp_path):
+        doc = tmp_path / "EXPERIMENTS.md"
+        doc.write_text("# Results\n\nno markers here\n", encoding="utf-8")
+        with pytest.raises(MarkerError, match="toy-exp"):
+            update_experiments_md(doc, self._reports())
+
+    def test_render_sections_wraps_with_markers(self):
+        sections = render_sections({"abc": "body\n"})
+        assert sections["abc"].startswith("<!-- exp:abc:begin -->\n")
+        assert sections["abc"].endswith("<!-- exp:abc:end -->")
+
+
+class TestRoundTrip:
+    """Spec -> runner -> records on disk -> report, with a kill in the middle."""
+
+    def test_sweep_records_report_round_trip(self, tmp_path):
+        spec = make_toy_spec()
+        out = tmp_path / "sweep"
+        doc = tmp_path / "EXPERIMENTS.md"
+        doc.write_text(
+            "# Results\n\n<!-- exp:toy-exp:begin -->\n<!-- exp:toy-exp:end -->\n",
+            encoding="utf-8",
+        )
+
+        # Kill the sweep partway, then resume to completion.
+        SweepRunner(spec, out, scale=SCALE).run(limit=5)
+        resumed = SweepRunner(spec, out, scale=SCALE).run(resume=True)
+        assert resumed.complete and resumed.skipped == 5
+
+        records, torn = load_records(out / RECORDS_NAME)
+        assert torn == 0 and len(records) == 8
+        manifest = read_manifest(out)
+        report = experiment_report(spec, records, SCALE, manifest=manifest)
+
+        # Disk records aggregate identically to a fresh in-memory run.
+        fresh = run_inline(spec, scale=SCALE)
+        assert report == experiment_report(spec, fresh.records, SCALE, manifest=manifest)
+
+        # Marker update converges after one write.
+        assert update_experiments_md(doc, {spec.name: report}) == [spec.name]
+        assert update_experiments_md(doc, {spec.name: report}) == []

@@ -1,0 +1,215 @@
+"""SweepRunner: execution, durability, kill/resume, retries, observability."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentScale
+from repro.core.resilient import ResiliencePolicy
+from repro.exp import SweepRunner, load_records, read_manifest, run_inline, sweep_status
+from repro.exp.records import RECORDS_NAME
+from repro.exp.runner import SweepError
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.tracer import Sink
+from tests.exp.toyexp import (
+    failing_trial,
+    flaky_trial,
+    make_toy_spec,
+    reset_flaky,
+)
+
+SCALE = ExperimentScale.scaled()
+FAST_RETRY = ResiliencePolicy(retry_max=1, backoff_base_s=0.0, backoff_cap_s=0.0)
+
+
+class _Collect(Sink):
+    def __init__(self):
+        self.events = []
+
+    def write(self, event):
+        self.events.append(event)
+
+
+class TestSerialRun:
+    def test_full_run_writes_provenance_records(self, tmp_path):
+        spec = make_toy_spec()
+        result = SweepRunner(spec, tmp_path, scale=SCALE).run()
+        assert result.complete
+        assert result.total == 8
+        assert len(result.new_records) == 8
+        lines = (tmp_path / RECORDS_NAME).read_text().splitlines()
+        assert len(lines) == 8
+        for line in lines:
+            payload = json.loads(line)
+            assert payload["status"] == "ok"
+            assert len(payload["config_hash"]) == 12
+            assert payload["seed"] > 0
+            assert payload["git_rev"]
+            assert payload["started_at"]
+
+    def test_records_sorted_for_aggregation(self, tmp_path):
+        result = SweepRunner(make_toy_spec(), tmp_path, scale=SCALE).run()
+        ids = [r.trial_id for r in result.records]
+        assert ids == sorted(ids)
+
+    def test_table_aggregation(self):
+        result = run_inline(make_toy_spec(), scale=SCALE)
+        table = result.table()
+        assert table.columns == ["x", "mode", "mean_value", "n"]
+        assert len(table.rows) == 4
+        assert all(row[3] == 2 for row in table.rows)
+
+    def test_in_memory_run_touches_no_disk(self, tmp_path):
+        run_inline(make_toy_spec(), scale=SCALE)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_manifest_written(self, tmp_path):
+        spec = make_toy_spec()
+        SweepRunner(spec, tmp_path, scale=SCALE).run()
+        manifest = read_manifest(tmp_path)
+        assert manifest["experiment"] == spec.name
+        assert manifest["total_trials"] == 8
+        assert manifest["sweep_hash"] == spec.sweep_hash(SCALE)
+
+
+class TestResume:
+    def test_rerun_without_resume_refuses(self, tmp_path):
+        spec = make_toy_spec()
+        SweepRunner(spec, tmp_path, scale=SCALE).run()
+        with pytest.raises(SweepError, match="resume"):
+            SweepRunner(spec, tmp_path, scale=SCALE).run()
+
+    def test_resume_skips_everything_when_complete(self, tmp_path):
+        spec = make_toy_spec()
+        SweepRunner(spec, tmp_path, scale=SCALE).run()
+        result = SweepRunner(spec, tmp_path, scale=SCALE).run(resume=True)
+        assert result.complete
+        assert result.skipped == 8
+        assert result.new_records == []
+
+    def test_killed_sweep_resumes_without_rerunning(self, tmp_path):
+        spec = make_toy_spec()
+        partial = SweepRunner(spec, tmp_path, scale=SCALE).run(limit=3)
+        assert not partial.complete
+        assert len(partial.new_records) == 3
+
+        status = sweep_status(spec, tmp_path)
+        assert status.done == 3 and status.pending == 5 and not status.complete
+
+        resumed = SweepRunner(spec, tmp_path, scale=SCALE).run(resume=True)
+        assert resumed.complete
+        assert resumed.skipped == 3
+        assert len(resumed.new_records) == 5
+
+        # No trial ran twice, and seeds match the original enumeration.
+        records, torn = load_records(tmp_path / RECORDS_NAME)
+        assert torn == 0
+        ids = [r.trial_id for r in records]
+        assert len(ids) == len(set(ids)) == 8
+        expected = {t.trial_id: t.seed for t in spec.trial_specs(SCALE)}
+        assert {r.trial_id: r.seed for r in records} == expected
+
+        done = sweep_status(spec, tmp_path)
+        assert done.complete and done.pending == 0
+
+    def test_resume_tolerates_torn_trailing_line(self, tmp_path):
+        spec = make_toy_spec()
+        SweepRunner(spec, tmp_path, scale=SCALE).run(limit=2)
+        with open(tmp_path / RECORDS_NAME, "a", encoding="utf-8") as fh:
+            fh.write('{"trial_id": "x=')  # crash mid-append
+        resumed = SweepRunner(spec, tmp_path, scale=SCALE).run(resume=True)
+        assert resumed.complete
+        assert resumed.skipped == 2
+
+    def test_force_starts_over(self, tmp_path):
+        spec = make_toy_spec()
+        SweepRunner(spec, tmp_path, scale=SCALE).run(limit=3)
+        result = SweepRunner(spec, tmp_path, scale=SCALE).run(force=True)
+        assert result.complete
+        assert result.skipped == 0
+        assert len(result.new_records) == 8
+
+    def test_resume_with_different_config_refuses(self, tmp_path):
+        spec = make_toy_spec()
+        SweepRunner(spec, tmp_path, scale=SCALE, trials=2).run(limit=2)
+        with pytest.raises(SweepError, match="different"):
+            SweepRunner(spec, tmp_path, scale=SCALE, trials=3).run(resume=True)
+
+    def test_stale_records_not_counted_done(self, tmp_path):
+        spec = make_toy_spec()
+        SweepRunner(spec, tmp_path, scale=SCALE).run()
+        other_scale = ExperimentScale.paper()
+        status = sweep_status(spec, tmp_path, scale=other_scale)
+        # The manifest pins the recorded scale, so status still reports done.
+        assert status.complete
+
+
+class TestFailuresAndRetry:
+    def test_failed_trials_recorded(self, tmp_path):
+        spec = make_toy_spec(trial_fn=failing_trial, trials=1)
+        result = SweepRunner(spec, tmp_path, scale=SCALE, policy=FAST_RETRY).run()
+        assert not result.complete
+        assert len(result.failed) == 2  # the two x=2 cells, one trial each
+        records, _ = load_records(tmp_path / RECORDS_NAME)
+        failed = [r for r in records if not r.ok]
+        assert failed and all("boom" in r.error for r in failed)
+        assert all(r.attempt == FAST_RETRY.retry_max + 1 for r in failed)
+
+    def test_transient_failure_retried(self):
+        reset_flaky()
+        spec = make_toy_spec(trial_fn=flaky_trial, trials=1)
+        result = SweepRunner(spec, None, scale=SCALE, policy=FAST_RETRY).run()
+        assert result.complete
+        assert all(r.attempt == 2 for r in result.new_records)
+
+    def test_failed_then_resume_reruns_failures(self, tmp_path):
+        reset_flaky()
+        spec = make_toy_spec(trial_fn=flaky_trial, trials=1)
+        no_retry = ResiliencePolicy(retry_max=0, backoff_base_s=0.0, backoff_cap_s=0.0)
+        first = SweepRunner(spec, tmp_path, scale=SCALE, policy=no_retry).run()
+        assert len(first.failed) == 4 and not first.complete
+        resumed = SweepRunner(spec, tmp_path, scale=SCALE, policy=no_retry).run(resume=True)
+        assert resumed.complete
+
+
+class TestPool:
+    def test_pool_run_matches_enumeration(self, tmp_path):
+        spec = make_toy_spec()
+        result = SweepRunner(spec, tmp_path, scale=SCALE, workers=2).run()
+        assert result.complete
+        ids = [r.trial_id for r in result.records]
+        assert ids == sorted(t.trial_id for t in spec.trial_specs(SCALE))
+
+    def test_pool_and_serial_records_agree(self):
+        spec = make_toy_spec()
+        serial = run_inline(spec, scale=SCALE)
+        pool = SweepRunner(spec, None, scale=SCALE, workers=2).run()
+        strip = lambda recs: [  # noqa: E731
+            (r.trial_id, r.seed, r.config_hash, tuple(sorted(r.metrics.items())))
+            for r in recs
+        ]
+        assert strip(serial.records) == strip(pool.records)
+
+
+class TestObservability:
+    def test_events_and_metrics(self):
+        sink = _Collect()
+        metrics = MetricsRegistry()
+        spec = make_toy_spec(trials=1)
+        SweepRunner(
+            spec, None, scale=SCALE, tracer=Tracer([sink]), metrics=metrics
+        ).run()
+        kinds = {e.kind for e in sink.events}
+        assert {"trial-started", "trial-finished", "sweep-progress"} <= kinds
+        finished = [e for e in sink.events if e.kind == "trial-finished"]
+        assert len(finished) == 4
+        assert all(e.status == "ok" for e in finished)
+        assert metrics.counters["trials_completed"].value == 4
+        assert metrics.timers["trial"].count == 4
+
+    def test_skip_counter_on_resume(self, tmp_path):
+        spec = make_toy_spec(trials=1)
+        SweepRunner(spec, tmp_path, scale=SCALE).run()
+        metrics = MetricsRegistry()
+        SweepRunner(spec, tmp_path, scale=SCALE, metrics=metrics).run(resume=True)
+        assert metrics.counters["trials_skipped"].value == 4

@@ -1,0 +1,148 @@
+"""Spec enumeration, hashing and seed derivation."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentScale
+from repro.exp import (
+    ExperimentSpec,
+    config_hash,
+    derive_seed,
+    get_spec,
+    list_specs,
+    register,
+    spec_names,
+)
+from tests.exp.toyexp import make_toy_spec, toy_aggregate, toy_trial
+
+SCALE = ExperimentScale.scaled()
+
+
+class TestConfigHash:
+    def test_stable_and_short(self):
+        h = config_hash({"a": 1, "b": [2, 3]})
+        assert h == config_hash({"a": 1, "b": [2, 3]})
+        assert len(h) == 12
+        int(h, 16)  # hex
+
+    def test_key_order_irrelevant(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2003, "x=1#t0") == derive_seed(2003, "x=1#t0")
+
+    def test_distinct_per_trial_and_base(self):
+        seeds = {
+            derive_seed(base, tid)
+            for base in (1, 2)
+            for tid in ("x=1#t0", "x=1#t1", "x=2#t0")
+        }
+        assert len(seeds) == 6
+
+    def test_fits_in_63_bits(self):
+        for tid in ("a", "b", "c"):
+            s = derive_seed(0, tid)
+            assert 0 <= s < 2**63
+
+
+class TestEnumeration:
+    def test_cells_cross_product_order(self):
+        spec = make_toy_spec()
+        assert spec.cells(SCALE) == [
+            {"x": 1, "mode": "a"},
+            {"x": 1, "mode": "b"},
+            {"x": 2, "mode": "a"},
+            {"x": 2, "mode": "b"},
+        ]
+
+    def test_trial_specs_deterministic(self):
+        spec = make_toy_spec(trials=3)
+        first = spec.trial_specs(SCALE)
+        second = spec.trial_specs(SCALE)
+        assert first == second
+        assert len(first) == 4 * 3
+
+    def test_trial_id_format_and_uniqueness(self):
+        spec = make_toy_spec(trials=2)
+        ids = [t.trial_id for t in spec.trial_specs(SCALE)]
+        assert len(set(ids)) == len(ids)
+        assert "x=1,mode=a#t0" in ids
+
+    def test_trials_override(self):
+        spec = make_toy_spec(trials=5)
+        assert len(spec.trial_specs(SCALE, trials=1)) == 4
+
+    def test_scale_dependent_axes_and_trials(self):
+        spec = make_toy_spec(
+            axes=lambda s: {"disks": list(s.hanoi_disks)},
+            trials=lambda s: s.runs_hanoi,
+        )
+        specs = spec.trial_specs(SCALE)
+        assert len(specs) == len(SCALE.hanoi_disks) * SCALE.runs_hanoi
+
+    def test_config_hash_covers_scale(self):
+        spec = make_toy_spec()
+        a = spec.trial_specs(ExperimentScale.scaled())[0]
+        b = spec.trial_specs(ExperimentScale.paper())[0]
+        assert a.trial_id == b.trial_id
+        assert a.config_hash != b.config_hash
+
+    def test_sweep_hash_sensitive_to_trials(self):
+        spec = make_toy_spec()
+        assert spec.sweep_hash(SCALE, trials=1) != spec.sweep_hash(SCALE, trials=2)
+
+    def test_empty_axis_rejected(self):
+        spec = make_toy_spec(axes={"x": []})
+        with pytest.raises(ValueError, match="empty axis"):
+            spec.trial_specs(SCALE)
+
+    def test_nonpositive_trials_rejected(self):
+        spec = make_toy_spec(trials=0)
+        with pytest.raises(ValueError):
+            spec.trial_specs(SCALE)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError, match="slug"):
+            make_toy_spec(name="has space")
+
+    def test_doc_section_defaults_to_name(self):
+        assert make_toy_spec(name="abc").doc_section == "abc"
+
+
+class TestRegistry:
+    def test_paper_specs_registered(self):
+        for name in ("table2-hanoi", "table4-tile", "table5-phases"):
+            assert name in spec_names()
+            assert get_spec(name).name == name
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="table2-hanoi"):
+            get_spec("no-such-experiment")
+
+    def test_duplicate_registration_rejected(self):
+        spec = ExperimentSpec(
+            name="test-dup",
+            title="t",
+            description="d",
+            axes={"x": [1]},
+            trial_fn=toy_trial,
+            trials=1,
+            aggregate_fn=toy_aggregate,
+        )
+        register(spec)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register(spec)
+            register(spec, replace=True)  # explicit replace is allowed
+        finally:
+            import repro.exp.registry as reg
+
+            reg._REGISTRY.pop("test-dup", None)
+
+    def test_list_specs_sorted(self):
+        names = [s.name for s in list_specs()]
+        assert names == sorted(names)

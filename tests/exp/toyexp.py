@@ -1,0 +1,78 @@
+"""Tiny deterministic experiment specs for the repro.exp test suite.
+
+Trial functions live at module level so the process-pool runner can
+pickle them, exactly like the real specs in :mod:`repro.exp.paper`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats_util import mean_ci
+from repro.analysis.tables import Table
+from repro.exp import Comparison, ExperimentSpec
+
+TOY_AXES = {"x": [1, 2], "mode": ["a", "b"]}
+
+
+def toy_trial(cell, seed, scale):
+    """Deterministic pseudo-measurement: a pure function of cell and seed."""
+    return {
+        "value": float(cell["x"] * 100 + seed % 97),
+        "solved": True,
+        "mode": cell["mode"],
+    }
+
+
+def failing_trial(cell, seed, scale):
+    """Fail every trial of one grid cell, succeed elsewhere."""
+    if cell["x"] == 2:
+        raise RuntimeError(f"boom in cell x={cell['x']}")
+    return toy_trial(cell, seed, scale)
+
+
+_FLAKY_CALLS: dict = {}
+
+
+def flaky_trial(cell, seed, scale):
+    """Fail the first attempt of every trial, succeed on retry (serial path)."""
+    n = _FLAKY_CALLS.get(seed, 0)
+    _FLAKY_CALLS[seed] = n + 1
+    if n == 0:
+        raise RuntimeError("transient failure")
+    return toy_trial(cell, seed, scale)
+
+
+def reset_flaky():
+    """Clear the flaky-trial attempt counter between tests."""
+    _FLAKY_CALLS.clear()
+
+
+def toy_aggregate(spec, records, scale):
+    """Mean ``value`` per grid cell, in deterministic cell order."""
+    by_cell = {}
+    for rec in records:
+        if rec.ok:
+            by_cell.setdefault(tuple(sorted(rec.cell.items())), []).append(rec)
+    table = Table(title="Toy", columns=["x", "mode", "mean_value", "n"])
+    for key in sorted(by_cell):
+        cell = dict(key)
+        values = [r.metrics["value"] for r in by_cell[key]]
+        table.add_row(cell["x"], cell["mode"], mean_ci(values).mean, len(values))
+    return table
+
+
+def make_toy_spec(name="toy-exp", trials=2, trial_fn=toy_trial, **overrides):
+    """A 4-cell toy experiment (2x2 grid) with *trials* repeats per cell."""
+    kwargs = dict(
+        name=name,
+        title="Toy experiment",
+        description="A deterministic toy sweep used by the test suite.",
+        axes=dict(TOY_AXES),
+        trial_fn=trial_fn,
+        trials=trials,
+        aggregate_fn=toy_aggregate,
+        base_seed=99,
+        ci_metrics=("value",),
+        comparisons=(Comparison(metric="value", axis="x", a=1, b=2, groupby=("mode",)),),
+    )
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)

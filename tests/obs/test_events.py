@@ -20,6 +20,9 @@ from repro.obs import (
     RetryAttempt,
     SchedulerGeneration,
     SimulationComplete,
+    SweepProgress,
+    TrialFinished,
+    TrialStarted,
     event_from_dict,
 )
 
@@ -41,6 +44,12 @@ SAMPLES = [
     ReplanTriggered(scope="coordination", round_index=1, at=14.2, completed=3, reason="abort"),
     SchedulerGeneration(scope="scheduler", generation=7, best_makespan=120.5, mean_objective=150.0),
     SimulationComplete(makespan=42.0, tasks_done=10, tasks_failed=0, success=True, seconds=0.01),
+    TrialStarted(scope="table2-hanoi", experiment="table2-hanoi", trial_id="disks=5#t0", seed=17),
+    TrialFinished(
+        scope="table2-hanoi", experiment="table2-hanoi", trial_id="disks=5#t0",
+        seed=17, status="ok", seconds=0.8, attempt=2,
+    ),
+    SweepProgress(scope="table2-hanoi", experiment="table2-hanoi", done=3, failed=1, total=30),
 ]
 
 
