@@ -2,8 +2,11 @@
 
 Unlike the table benches (one-shot regenerations), these use real repeated
 timing: genome decoding (the GA's inner loop), the three crossovers, one
-full GA generation, and a simulator execution.
+full GA generation, dispatch-payload packing (pickled list vs shared-memory
+arena), batched-vs-loop selection and mutation, and a simulator execution.
 """
+
+import pickle
 
 import numpy as np
 import pytest
@@ -12,9 +15,11 @@ from repro.core import (
     DecodeCache,
     EvaluationContext,
     FitnessFunction,
+    FitnessResult,
     GAConfig,
     GARun,
     Individual,
+    PopulationBuffer,
     SerialEvaluator,
     TransitionCache,
     decode,
@@ -23,6 +28,8 @@ from repro.core import (
     random_crossover,
     state_aware_crossover,
 )
+from repro.core.mutation import sample_uniform_reset, uniform_reset_mutation
+from repro.core.selection import tournament_selection, tournament_winner_indices
 from repro.domains import HanoiDomain, SlidingTileDomain
 from repro.grid import GridSimulator, imaging_pipeline, plan_to_activity_graph
 from repro.planning.search import goal_gap, greedy_best_first
@@ -110,6 +117,90 @@ def test_one_ga_generation(benchmark):
     )
     run = GARun(domain, cfg, make_rng(3))
     benchmark(run.step)
+
+
+def _dispatch_population(n=100, length=635, seed=9):
+    """A generation-sized population, as both Individuals and a buffer."""
+    rng = make_rng(seed)
+    population = [Individual.random(length, rng) for _ in range(n)]
+    buffer = PopulationBuffer.from_individuals(population, keep_plans=False)
+    return population, buffer
+
+
+def test_dispatch_payload_pickled_list(benchmark):
+    """The PR4 pool transport: pickle a list of Individuals for one batch."""
+    population, _ = _dispatch_population()
+    payload = benchmark(pickle.dumps, population, pickle.HIGHEST_PROTOCOL)
+    benchmark.extra_info["payload_bytes"] = len(payload)
+
+
+def test_dispatch_payload_shm_pack(benchmark):
+    """The zero-copy transport's parent-side work: copy the gene arena plus
+    index arrays into a (pre-mapped) shared buffer — what crosses the wire
+    is just per-chunk ``(name, start, stop)`` triples."""
+    _, buffer = _dispatch_population()
+    n, genes_len = buffer.n, buffer.genes.shape[0]
+    target = np.empty(2 * n + genes_len, dtype=np.float64)  # stand-in mapping
+
+    def pack():
+        target[:n] = buffer.offsets
+        target[n : 2 * n] = buffer.lengths
+        target[2 * n :] = buffer.genes
+        return target
+
+    benchmark(pack)
+    benchmark.extra_info["payload_bytes"] = 8 * (2 * n + genes_len)
+
+
+def test_selection_batched_draw(benchmark):
+    """Tournament selection as one (n, k) draw + argmax gather."""
+    rng = make_rng(11)
+    fitness = rng.random(100)
+    idx = benchmark(tournament_winner_indices, fitness, 100, rng, 2)
+    assert idx.shape == (100,)
+
+
+def test_selection_object_loop(benchmark):
+    """Tournament selection over Individuals (the object path's shape)."""
+    rng = make_rng(11)
+    population, _ = _dispatch_population(n=100, length=8, seed=11)
+    for ind, total in zip(population, rng.random(100)):
+        ind.fitness = FitnessResult(goal=0.0, cost=0.0, total=float(total))
+    winners = benchmark(tournament_selection, population, 100, rng, 2)
+    assert len(winners) == 100
+
+
+def test_mutation_batched_scatter(benchmark):
+    """Arena-wide mutation: replayed per-row draws, one scatter write."""
+    rng = make_rng(12)
+    _, buffer = _dispatch_population(n=100, length=635, seed=12)
+    arena = buffer.genes.copy()
+    arena.setflags(write=True)
+    offsets, lengths = buffer.offsets, buffer.lengths
+
+    def scatter():
+        idx_parts, val_parts = [], []
+        for o, length in zip(offsets, lengths):
+            drawn = sample_uniform_reset(int(length), 0.05, rng)
+            if drawn is not None:
+                idx_parts.append(drawn[0] + int(o))
+                val_parts.append(drawn[1])
+        if idx_parts:
+            arena[np.concatenate(idx_parts)] = np.concatenate(val_parts)
+
+    benchmark(scatter)
+
+
+def test_mutation_object_loop(benchmark):
+    """Per-Individual mutation: one copy + write-back per offspring."""
+    rng = make_rng(12)
+    population, _ = _dispatch_population(n=100, length=635, seed=12)
+
+    def loop():
+        return [uniform_reset_mutation(ind, 0.05, rng) for ind in population]
+
+    children = benchmark(loop)
+    assert len(children) == 100
 
 
 def test_simulator_execution(benchmark):

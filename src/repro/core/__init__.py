@@ -31,6 +31,7 @@ from repro.core.parallel import (
     SerialEvaluator,
     WorkerPoolError,
 )
+from repro.core.popbuffer import PopulationBuffer
 from repro.core.resilient import ResiliencePolicy, ResilientEvaluator
 from repro.core.planner import GAPlanner, PLANNING_MODES, PlanningOutcome
 from repro.core.rng import make_rng, spawn, spawn_many
@@ -63,6 +64,7 @@ __all__ = [
     "PLANNING_MODES",
     "PhaseRecord",
     "PlanningOutcome",
+    "PopulationBuffer",
     "ProcessPoolEvaluator",
     "ResiliencePolicy",
     "ResilientEvaluator",

@@ -61,6 +61,14 @@ class GAConfig:
         memoisation, dirty-prefix re-decode, phenotype dedup — DESIGN.md
         §9).  Bit-identical results either way; the naive path exists so
         ablations can measure the engine itself.
+    batched:
+        Run the generation step on the structure-of-arrays population
+        engine (DESIGN.md §11): genomes packed into one contiguous arena,
+        batched selection/mutation/crossover, and (with the process-pool
+        evaluator) zero-copy shared-memory dispatch.  The RNG draws are
+        replayed exactly, so trajectories are bit-identical to the
+        list-of-individuals path either way; the object path exists for
+        ablations and as the reference implementation.
     """
 
     population_size: int = 200
@@ -77,6 +85,7 @@ class GAConfig:
     stop_on_goal: bool = True
     elitism: int = 0
     decode_engine: bool = True
+    batched: bool = True
 
     def __post_init__(self) -> None:
         """Validate field ranges and cross-field invariants."""

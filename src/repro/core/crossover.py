@@ -30,6 +30,8 @@ __all__ = [
     "random_crossover",
     "state_aware_crossover",
     "mixed_crossover",
+    "sample_cut",
+    "sample_crossover_cuts",
     "CROSSOVER_OPERATORS",
 ]
 
@@ -65,7 +67,7 @@ def _one_point_children(
     return children[0], children[1]
 
 
-def _random_cut(length: int, rng: np.random.Generator) -> int:
+def sample_cut(length: int, rng: np.random.Generator) -> int:
     """A cut position in ``[1, length - 1]``; 0/length would just swap parents.
 
     Length-1 genomes only admit the degenerate cut after position 0 (treated
@@ -77,19 +79,7 @@ def _random_cut(length: int, rng: np.random.Generator) -> int:
     return int(rng.integers(0, length + 1))
 
 
-def random_crossover(
-    p1: Individual,
-    p2: Individual,
-    rng: np.random.Generator,
-    max_len: Optional[int] = None,
-) -> Tuple[Individual, Individual]:
-    """One-point crossover with independent cut points on each parent."""
-    cut1 = _random_cut(len(p1), rng)
-    cut2 = _random_cut(len(p2), rng)
-    return _one_point_children(p1, p2, cut1, cut2, max_len)
-
-
-def _cut_state_key(ind: Individual, cut: int):
+def _key_at(plan, cut: int):
     """Decode-behaviour key at position *cut*, or ``None`` past the decode.
 
     ``match_keys[i]`` is the decode-equivalence key of the state before
@@ -98,12 +88,78 @@ def _cut_state_key(ind: Individual, cut: int):
     beyond ``used_genes`` have no defined state (the decoder stopped
     earlier).
     """
-    if ind.decoded is None:
+    if plan is None:
         raise ValueError("state-aware crossover requires evaluated (decoded) parents")
-    keys = ind.decoded.match_keys
+    keys = plan.match_keys
     if cut < len(keys):
         return keys[cut]
     return None
+
+
+def _matching_cuts(plan2, length2: int, key) -> list:
+    """Candidate cuts on parent 2: defined decode states matching *key*.
+
+    The degenerate full-copy extremes (0 and ``length2``) are excluded
+    whenever an interior match exists.
+    """
+    keys2 = plan2.match_keys
+    hi = min(length2, len(keys2) - 1)
+    candidates = [j for j in range(0, hi + 1) if keys2[j] == key]
+    if length2 >= 2:
+        trimmed = [j for j in candidates if 1 <= j <= length2 - 1]
+        if trimmed:
+            candidates = trimmed
+    return candidates
+
+
+def sample_crossover_cuts(
+    kind: str,
+    length1: int,
+    length2: int,
+    plan1,
+    plan2,
+    rng: np.random.Generator,
+) -> Optional[Tuple[int, int]]:
+    """Draw the cut pair for one crossover, or ``None`` for "copy parents".
+
+    This is the single source of the operators' randomness — the Individual
+    operators below and the batched population engine (:mod:`repro.core.
+    popbuffer`) both call it, so their RNG streams are identical by
+    construction.  *plan1*/*plan2* are the parents' decoded plans (only
+    consulted by the state-matching kinds).
+    """
+    cut1 = sample_cut(length1, rng)
+    if kind == "random":
+        return cut1, sample_cut(length2, rng)
+    if kind == "state-aware":
+        key = _key_at(plan1, cut1)
+        if key is None:
+            return None
+        if plan2 is None:
+            raise ValueError("state-aware crossover requires evaluated (decoded) parents")
+        candidates = _matching_cuts(plan2, length2, key)
+        if not candidates:
+            return None
+        return cut1, int(candidates[int(rng.integers(0, len(candidates)))])
+    if kind == "mixed":
+        key = _key_at(plan1, cut1)
+        if key is not None and plan2 is not None:
+            candidates = _matching_cuts(plan2, length2, key)
+            if candidates:
+                return cut1, int(candidates[int(rng.integers(0, len(candidates)))])
+        return cut1, sample_cut(length2, rng)
+    raise ValueError(f"unknown crossover kind {kind!r}")
+
+
+def random_crossover(
+    p1: Individual,
+    p2: Individual,
+    rng: np.random.Generator,
+    max_len: Optional[int] = None,
+) -> Tuple[Individual, Individual]:
+    """One-point crossover with independent cut points on each parent."""
+    cut1, cut2 = sample_crossover_cuts("random", len(p1), len(p2), None, None, rng)
+    return _one_point_children(p1, p2, cut1, cut2, max_len)
 
 
 def state_aware_crossover(
@@ -113,25 +169,12 @@ def state_aware_crossover(
     max_len: Optional[int] = None,
 ) -> Tuple[Individual, Individual]:
     """State-aware crossover; copies the parents when no matching cut exists."""
-    cut1 = _random_cut(len(p1), rng)
-    key = _cut_state_key(p1, cut1)
-    if key is None:
+    cuts = sample_crossover_cuts(
+        "state-aware", len(p1), len(p2), p1.decoded, p2.decoded, rng
+    )
+    if cuts is None:
         return p1.copy(), p2.copy()
-    if p2.decoded is None:
-        raise ValueError("state-aware crossover requires evaluated (decoded) parents")
-    # Candidate cuts on parent 2: positions with a defined decode state that
-    # matches, excluding the degenerate full-copy extremes when avoidable.
-    keys2 = p2.decoded.match_keys
-    hi = min(len(p2), len(keys2) - 1)
-    candidates = [j for j in range(0, hi + 1) if keys2[j] == key]
-    if len(p2) >= 2:
-        trimmed = [j for j in candidates if 1 <= j <= len(p2) - 1]
-        if trimmed:
-            candidates = trimmed
-    if not candidates:
-        return p1.copy(), p2.copy()
-    cut2 = int(candidates[int(rng.integers(0, len(candidates)))])
-    return _one_point_children(p1, p2, cut1, cut2, max_len)
+    return _one_point_children(p1, p2, cuts[0], cuts[1], max_len)
 
 
 def mixed_crossover(
@@ -146,21 +189,9 @@ def mixed_crossover(
     a state match; if found do state-aware splicing, else pick the second
     cut at random.
     """
-    cut1 = _random_cut(len(p1), rng)
-    key = _cut_state_key(p1, cut1)
-    if key is not None and p2.decoded is not None:
-        keys2 = p2.decoded.match_keys
-        hi = min(len(p2), len(keys2) - 1)
-        candidates = [j for j in range(0, hi + 1) if keys2[j] == key]
-        if len(p2) >= 2:
-            trimmed = [j for j in candidates if 1 <= j <= len(p2) - 1]
-            if trimmed:
-                candidates = trimmed
-        if candidates:
-            cut2 = int(candidates[int(rng.integers(0, len(candidates)))])
-            return _one_point_children(p1, p2, cut1, cut2, max_len)
-    cut2 = _random_cut(len(p2), rng)
-    return _one_point_children(p1, p2, cut1, cut2, max_len)
+    cuts = sample_crossover_cuts("mixed", len(p1), len(p2), p1.decoded, p2.decoded, rng)
+    assert cuts is not None  # mixed always falls back to a random second cut
+    return _one_point_children(p1, p2, cuts[0], cuts[1], max_len)
 
 
 CROSSOVER_OPERATORS: dict = {

@@ -29,6 +29,7 @@ from repro.core.fitness import FitnessFunction
 from repro.core.individual import Individual
 from repro.core.mutation import uniform_reset_mutation
 from repro.core.parallel import EvaluationContext, Evaluator, SerialEvaluator
+from repro.core.popbuffer import PopulationBuffer, breed, select_parent_indices
 from repro.core.selection import tournament_selection
 from repro.core.stats import GenerationStats, RunHistory
 from repro.obs.events import DecodeCacheSnapshot, GenerationComplete
@@ -155,15 +156,56 @@ class GARun:
         self.scope = scope
         self.evaluator.bind_observability(self.tracer, self.metrics, scope=scope)
         self._crossover = CROSSOVER_OPERATORS[config.crossover]
+        self._batched = bool(getattr(config, "batched", True))
+        # The state-matching crossovers read parents' match_keys, so the
+        # batched path must keep decoded plans; random crossover does not,
+        # which lets shared-memory dispatch skip shipping plans back.
+        self._keep_plans = config.crossover != "random"
+        self._buffer: Optional[PopulationBuffer] = None
+        self._individuals: Optional[List[Individual]] = None
         self.population = initial_population(config, rng, seeds=seeds)
         self.history = RunHistory()
         self.generation = 0
         self.best: Optional[Individual] = None
         self.solved_at: Optional[int] = None
 
+    # -- population storage --------------------------------------------------
+    #
+    # With ``config.batched`` the population lives in a PopulationBuffer;
+    # the ``population`` property keeps the historical list-of-Individual
+    # surface working (checkpoints, islands, tests) by materialising on
+    # read and re-packing on write.
+
+    @property
+    def population(self) -> List[Individual]:
+        if self._buffer is not None:
+            return self._buffer.to_individuals()
+        assert self._individuals is not None
+        return self._individuals
+
+    @population.setter
+    def population(self, value) -> None:
+        if isinstance(value, PopulationBuffer):
+            self._buffer, self._individuals = value, None
+        elif self._batched:
+            self._buffer = PopulationBuffer.from_individuals(
+                value, keep_plans=self._keep_plans
+            )
+            self._individuals = None
+        else:
+            self._individuals, self._buffer = list(value), None
+
+    @property
+    def buffer(self) -> Optional[PopulationBuffer]:
+        """The structure-of-arrays population, or ``None`` when not batched."""
+        return self._buffer
+
     # -- internals -----------------------------------------------------------
 
     def _evaluate_and_record(self) -> None:
+        if self._buffer is not None:
+            self._evaluate_and_record_batched()
+            return
         self.evaluator.evaluate(self.population, self.context)
         stats = GenerationStats.from_population(self.generation, self.population)
         self.history.record(stats)
@@ -175,8 +217,39 @@ class GARun:
         if self.tracer.enabled:
             self.tracer.emit(GenerationComplete.from_stats(stats, scope=self.scope))
 
+    def _evaluate_and_record_batched(self) -> None:
+        buf = self._buffer
+        assert buf is not None
+        self.evaluator.evaluate_buffer(buf, self.context)
+        stats = GenerationStats.from_buffer(self.generation, buf)
+        self.history.record(stats)
+        bi = buf.best_index()
+        key = (float(buf.goal[bi]), float(buf.total[bi]))
+        if self.best is None or key > self.best.sort_key():
+            best = buf.materialize(bi)
+            if best.decoded is None:
+                # Shared-memory dispatch returns packed fitness only; the
+                # single generation winner is decoded lazily parent-side.
+                best.decoded = self.context.decode_genes(best.genes)
+            self.best = best
+        if self.solved_at is None and stats.solved_count > 0:
+            self.solved_at = self.generation
+        if self.tracer.enabled:
+            self.tracer.emit(GenerationComplete.from_stats(stats, scope=self.scope))
+
     def _next_generation(self) -> None:
         cfg = self.config
+        if self._buffer is not None:
+            t0 = time.perf_counter()
+            parent_idx = select_parent_indices(self._buffer, cfg, self.rng)
+            t1 = time.perf_counter()
+            self._buffer = breed(self._buffer, parent_idx, cfg, self.rng)
+            self.generation += 1
+            if self.metrics is not None:
+                self.metrics.timer("selection").record(t1 - t0)
+                self.metrics.timer("variation").record(time.perf_counter() - t1)
+                self.metrics.counter("batched_generations").add(1)
+            return
         t0 = time.perf_counter()
         parents = tournament_selection(
             self.population, cfg.population_size, self.rng, cfg.tournament_size

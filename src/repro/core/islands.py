@@ -29,6 +29,7 @@ from repro.core.ga import GAResult, GARun
 from repro.core.individual import Individual
 from repro.core.decode_engine import DecodeEngine
 from repro.core.parallel import Evaluator, SerialEvaluator
+from repro.core.popbuffer import PopulationBuffer
 from repro.core.stats import RunHistory
 from repro.obs.events import IslandMigration
 from repro.obs.metrics import MetricsRegistry
@@ -89,7 +90,23 @@ def _migrate(islands: List[GARun], k: int) -> None:
 
     Populations are already evaluated when this is called (migration runs
     right after a step's evaluation), so fitness-based ranking is safe.
+    Batched islands migrate buffer rows directly (stable argsorts pick the
+    same emigrants/victims as the object path's stable sorts; survivors
+    keep their order with the migrants appended); mixed or object-path
+    islands go through the Individual lists.
     """
+    if all(run.buffer is not None for run in islands):
+        emigrants = []
+        for run in islands:
+            order = np.argsort(-run.buffer.total, kind="stable")
+            emigrants.append(run.buffer.take(order[:k]))
+        for i, run in enumerate(islands):
+            source = emigrants[(i - 1) % len(islands)]
+            buf = run.buffer
+            worst = np.argsort(buf.total, kind="stable")[:k]
+            keep = np.setdiff1d(np.arange(buf.n, dtype=np.int64), worst)
+            run.population = PopulationBuffer.concatenate([buf.take(keep), source])
+        return
     emigrants = []
     for run in islands:
         ranked = sorted(run.population, key=lambda ind: ind.total_fitness, reverse=True)

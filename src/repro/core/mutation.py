@@ -14,7 +14,30 @@ import numpy as np
 
 from repro.core.individual import Individual
 
-__all__ = ["uniform_reset_mutation", "insertion_mutation", "deletion_mutation"]
+__all__ = [
+    "sample_uniform_reset",
+    "uniform_reset_mutation",
+    "insertion_mutation",
+    "deletion_mutation",
+]
+
+
+def sample_uniform_reset(
+    length: int, rate: float, rng: np.random.Generator
+) -> Optional[tuple]:
+    """Draw one genome's uniform-reset mutation: ``(indices, values)`` or None.
+
+    This is the single source of the operator's randomness — the mask draw
+    (``length`` uniforms) followed, only when the mask hit, by one
+    replacement value per hit.  Both the per-individual path below and the
+    arena-wide batched path (:mod:`repro.core.popbuffer`) call it, so their
+    RNG streams are identical by construction.
+    """
+    mask = rng.random(length) < rate
+    if not mask.any():
+        return None
+    idx = np.flatnonzero(mask)
+    return idx, rng.random(int(idx.size))
 
 
 def _mutated_child(ind: Individual, genes: np.ndarray, first_changed: int) -> Individual:
@@ -48,12 +71,13 @@ def uniform_reset_mutation(
         raise ValueError(f"mutation rate must be in [0, 1], got {rate}")
     if rate == 0.0:
         return ind
-    mask = rng.random(len(ind)) < rate
-    if not mask.any():
+    drawn = sample_uniform_reset(len(ind), rate, rng)
+    if drawn is None:
         return ind
+    idx, values = drawn
     genes = ind.genes.copy()
-    genes[mask] = rng.random(int(mask.sum()))
-    return _mutated_child(ind, genes, int(np.flatnonzero(mask)[0]))
+    genes[idx] = values
+    return _mutated_child(ind, genes, int(idx[0]))
 
 
 def insertion_mutation(

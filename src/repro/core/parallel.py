@@ -23,18 +23,20 @@ the uninstrumented hot path at its old cost.
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.decode_engine import DecodeEngine
 from repro.core.encoding import DecodeCache, decode
-from repro.core.fitness import FitnessFunction
+from repro.core.fitness import FitnessFunction, FitnessResult
 from repro.obs.events import EvaluationBatch
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -107,6 +109,23 @@ class Evaluator:
 
     def evaluate(self, population: Sequence[Individual], context: EvaluationContext) -> None:
         raise NotImplementedError
+
+    def evaluate_buffer(self, buffer, context: EvaluationContext) -> None:
+        """Fill in the pending rows of a :class:`~repro.core.popbuffer.
+        PopulationBuffer`.
+
+        The base implementation bridges to the object API — pending rows
+        are materialised as Individuals, evaluated, and written back — so
+        any custom evaluator works with the batched engine unchanged.
+        Subclasses override it with array-native paths.
+        """
+        pending = [int(i) for i in np.flatnonzero(~buffer.evaluated)]
+        if not pending:
+            return
+        individuals = [buffer.materialize(i) for i in pending]
+        self.evaluate(individuals, context)
+        for i, ind in zip(pending, individuals):
+            buffer.set_result(i, ind.decoded, ind.fitness)
 
     def bind_observability(
         self,
@@ -196,6 +215,113 @@ class SerialEvaluator(Evaluator):
                 ind.decoded, ind.fitness = context.evaluate_genes(ind.genes, cache=self._cache)
             return
         self._evaluate_instrumented(population, context)
+
+    def evaluate_buffer(self, buffer, context: EvaluationContext) -> None:
+        """Array-native serial path: decode rows straight off the arena.
+
+        Runs the same engine pipeline as :meth:`evaluate` over zero-copy
+        genome views — no Individual construction, no per-row validation —
+        with identical results (same rows, same order, same memo traffic).
+        The naive (``memoize`` off) path bridges through the base
+        implementation, which is already loop-shaped.  So does any subclass
+        that overrides :meth:`evaluate` — its override keeps seeing every
+        evaluation, instead of being silently bypassed in batched runs.
+        """
+        if type(self).evaluate is not SerialEvaluator.evaluate or not getattr(
+            context, "memoize", True
+        ):
+            Evaluator.evaluate_buffer(self, buffer, context)
+            return
+        engine = self._engine
+        if engine is None:
+            engine = self._engine = DecodeEngine()
+        engine.bind(context)
+        pending = np.flatnonzero(~buffer.evaluated)
+        if pending.size == 0:
+            return
+        if not self.instrumented:
+            fitness_fn = context.fitness
+            for i in pending:
+                i = int(i)
+                prefix, dirty = buffer.prefix_hint(i)
+                decoded, fitness = engine.evaluate_genes(
+                    buffer.view(i), fitness_fn, prefix, dirty
+                )
+                buffer.set_result(i, decoded, fitness)
+            return
+        self._evaluate_buffer_engine_instrumented(buffer, pending, context, engine)
+
+    def _evaluate_buffer_engine_instrumented(
+        self,
+        buffer,
+        pending: np.ndarray,
+        context: EvaluationContext,
+        engine: DecodeEngine,
+    ) -> None:
+        """Buffer twin of :meth:`_evaluate_engine_instrumented`."""
+        before = engine.counters()
+        fitness_fn = context.fitness
+        decode_s = 0.0
+        fitness_s = 0.0
+        n_decoded = 0
+        t0 = time.perf_counter()
+        for i in pending:
+            i = int(i)
+            genes = buffer.view(i)
+            fp = genes.tobytes()
+            hit = engine.lookup(fp)
+            if hit is not None:
+                buffer.set_result(i, hit[0], hit[1])
+            else:
+                prefix, dirty = buffer.prefix_hint(i)
+                t1 = time.perf_counter()
+                decoded = engine.decode(genes, prefix, dirty)
+                t2 = time.perf_counter()
+                fitness = fitness_fn(decoded)
+                t3 = time.perf_counter()
+                engine.store(fp, decoded, fitness)
+                buffer.set_result(i, decoded, fitness)
+                decode_s += t2 - t1
+                fitness_s += t3 - t2
+                n_decoded += 1
+        seconds = time.perf_counter() - t0
+        after = engine.counters()
+        delta = {k: after[k] - before[k] for k in after}
+        if self._metrics is not None:
+            m = self._metrics
+            m.counter("evals").add(int(pending.size))
+            m.timer("eval_batch").record(seconds)
+            if n_decoded:
+                m.timer("decode").record(decode_s, count=n_decoded)
+                m.timer("fitness").record(fitness_s, count=n_decoded)
+            m.counter("decode_cache_hits").add(delta["decode_cache_hits"])
+            m.counter("decode_cache_misses").add(delta["decode_cache_misses"])
+            m.counter("transition_cache_hits").add(delta["transition_cache_hits"])
+            m.counter("transition_cache_misses").add(delta["transition_cache_misses"])
+            m.counter("evals_skipped").add(delta["evals_skipped"])
+            m.counter("genes_reused").add(delta["genes_reused"])
+            for name in (
+                "decode_cache_evictions",
+                "transition_cache_evictions",
+                "decode_fallbacks",
+                "memo_evictions",
+            ):
+                if delta[name]:
+                    m.counter(name).add(delta[name])
+        if self._tracer.enabled:
+            self._tracer.emit(
+                EvaluationBatch(
+                    scope=self._scope,
+                    n_evaluated=int(pending.size),
+                    seconds=seconds,
+                    mode="serial",
+                    chunks=1,
+                    cache_hits=delta["decode_cache_hits"],
+                    cache_misses=delta["decode_cache_misses"],
+                    evals_skipped=delta["evals_skipped"],
+                    genes_reused=delta["genes_reused"],
+                )
+            )
 
     def _evaluate_engine_instrumented(
         self,
@@ -384,6 +510,135 @@ def _evaluate_chunk(chunk: List[np.ndarray]):
     return results, seconds, (hits, misses, 0, 0)
 
 
+# -- zero-copy shared-memory dispatch (DESIGN.md §11) --------------------------
+#
+# The parent publishes one generation's pending genomes into a shared-memory
+# segment — header, per-row start/length index arrays, the packed gene arena,
+# and result arrays the workers fill in place — and ships each worker only a
+# (segment name, row range) pair.  Segment layout, all 8-byte aligned:
+#
+#   int64[4]   header: n_rows, genes_len, need_plans, epoch
+#   int64[n]   starts   (row i's genes begin at genes[starts[i]])
+#   int64[n]   lengths
+#   f64[L]     genes    (L = genes_len)
+#   f64[n]     total    ┐
+#   f64[n]     goal     │ written by workers, disjoint row ranges
+#   f64[n]     cost     │
+#   int64[n]   reached  │
+#   int64[n]   plan_len ┘
+#
+# Workers attach by name once and cache the mapping; results cross back as
+# in-place array writes, so the only pickled return is the per-chunk timing
+# tuple (plus decoded plans when the crossover needs them).
+
+_SHM_HEADER_BYTES = 32
+
+_WORKER_SHM: dict = {}
+
+
+def _shm_layout(buf, n: int, genes_len: int) -> tuple:
+    """Numpy views over one segment's regions (shared parent/worker logic)."""
+    starts = np.frombuffer(buf, np.int64, n, offset=_SHM_HEADER_BYTES)
+    lengths = np.frombuffer(buf, np.int64, n, offset=_SHM_HEADER_BYTES + 8 * n)
+    genes = np.frombuffer(buf, np.float64, genes_len, offset=_SHM_HEADER_BYTES + 16 * n)
+    base = _SHM_HEADER_BYTES + 16 * n + 8 * genes_len
+    total = np.frombuffer(buf, np.float64, n, offset=base)
+    goal = np.frombuffer(buf, np.float64, n, offset=base + 8 * n)
+    cost = np.frombuffer(buf, np.float64, n, offset=base + 16 * n)
+    reached = np.frombuffer(buf, np.int64, n, offset=base + 24 * n)
+    plan_len = np.frombuffer(buf, np.int64, n, offset=base + 32 * n)
+    return starts, lengths, genes, total, goal, cost, reached, plan_len
+
+
+def _shm_segment_bytes(n: int, genes_len: int) -> int:
+    return _SHM_HEADER_BYTES + 16 * n + 8 * genes_len + 40 * n
+
+
+def _attach_worker_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to (and cache) the parent's segment inside a worker process.
+
+    The attachment should not register with the resource tracker: the
+    parent owns the segment's lifetime.  Python 3.13 has ``track=False``
+    for this; on older versions the attach-side registration lands in the
+    tracker the worker inherited by fork, where it is a duplicate of the
+    parent's own registration (set semantics) and therefore harmless — the
+    parent's ``unlink()`` clears it.  Deliberately no ``unregister()``
+    workaround: with a fork-shared tracker that would remove the *parent's*
+    registration and make the later unlink complain.
+    """
+    shm = _WORKER_SHM.get(name)
+    if shm is None:
+        # A new name means the parent recreated the segment (capacity growth
+        # or restart); stale attachments can be dropped.
+        for old_name in list(_WORKER_SHM):
+            _WORKER_SHM.pop(old_name).close()
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # pragma: no cover - Python < 3.13
+            shm = shared_memory.SharedMemory(name=name)
+        _WORKER_SHM[name] = shm
+    return shm
+
+
+def _evaluate_shm_chunk(name: str, start: int, stop: int):
+    """Evaluate rows ``[start, stop)`` of the published generation in place.
+
+    Results go straight into the segment's packed arrays; the return value
+    carries only ``(seconds, cache-stats, plans-or-None)``.
+    """
+    assert _WORKER_CONTEXT is not None, "worker not initialised"
+    context = _WORKER_CONTEXT
+    shm = _attach_worker_shm(name)
+    header = np.frombuffer(shm.buf, np.int64, 4)
+    n, genes_len, need_plans = int(header[0]), int(header[1]), bool(header[2])
+    starts, lengths, genes, total, goal, cost, reached, plan_len = _shm_layout(
+        shm.buf, n, genes_len
+    )
+    engine = _WORKER_ENGINE
+    fitness_fn = context.fitness
+    plans: Optional[list] = [] if need_plans else None
+    t0 = time.perf_counter()
+    if engine is not None:
+        c0 = engine.counters()
+        for j in range(start, stop):
+            g = genes[starts[j] : starts[j] + lengths[j]]
+            decoded = engine.decode(g)
+            fit = fitness_fn(decoded)
+            total[j] = fit.total
+            goal[j] = fit.goal
+            cost[j] = fit.cost
+            reached[j] = 1 if fit.goal_reached else 0
+            plan_len[j] = len(decoded.operations)
+            if plans is not None:
+                plans.append(decoded)
+        seconds = time.perf_counter() - t0
+        c1 = engine.counters()
+        stats = (
+            c1["decode_cache_hits"] - c0["decode_cache_hits"],
+            c1["decode_cache_misses"] - c0["decode_cache_misses"],
+            c1["transition_cache_hits"] - c0["transition_cache_hits"],
+            c1["transition_cache_misses"] - c0["transition_cache_misses"],
+        )
+        return seconds, stats, plans
+    cache = _WORKER_CACHE
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    for j in range(start, stop):
+        g = genes[starts[j] : starts[j] + lengths[j]]
+        decoded, fit = context.evaluate_genes(g, cache=cache)
+        total[j] = fit.total
+        goal[j] = fit.goal
+        cost[j] = fit.cost
+        reached[j] = 1 if fit.goal_reached else 0
+        plan_len[j] = len(decoded.operations)
+        if plans is not None:
+            plans.append(decoded)
+    seconds = time.perf_counter() - t0
+    hits = (cache.hits - hits0) if cache is not None else 0
+    misses = (cache.misses - misses0) if cache is not None else 0
+    return seconds, (hits, misses, 0, 0), plans
+
+
 class ProcessPoolEvaluator(Evaluator):
     """Chunked evaluation across a pool of worker processes.
 
@@ -396,16 +651,26 @@ class ProcessPoolEvaluator(Evaluator):
     Evaluating against a *different* context afterwards raises, because
     workers would silently use stale state otherwise; build one evaluator
     per phase/start-state instead.
+
+    ``chunk_size=None`` (the default) derives the chunk size per batch as
+    ``ceil(pending / (processes * 4))`` — four waves per worker, so small
+    populations stop paying one-genome-per-chunk dispatch overhead while
+    load balancing survives uneven chunks; pass an int to pin it.  With
+    ``shm`` (default on) buffer-based evaluation publishes each
+    generation's genomes through one shared-memory segment and workers
+    receive only row ranges (DESIGN.md §11); the object-list
+    :meth:`evaluate` API always uses pickled dispatch.
     """
 
     def __init__(
         self,
         context: Optional[EvaluationContext] = None,
         processes: Optional[int] = None,
-        chunk_size: int = 16,
+        chunk_size: Optional[int] = None,
         timeout_s: Optional[float] = None,
+        shm: bool = True,
     ) -> None:
-        if chunk_size < 1:
+        if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout_s}")
@@ -413,7 +678,11 @@ class ProcessPoolEvaluator(Evaluator):
         self.chunk_size = chunk_size
         self.timeout_s = timeout_s
         self.processes = processes or max(1, (os.cpu_count() or 1))
+        self.shm = bool(shm)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        self._zombie_segments: List[shared_memory.SharedMemory] = []
+        self._epoch = 0
         self._cache_hits = 0
         self._cache_misses = 0
         # Parent-side fingerprint memo (layer 3): duplicates within and
@@ -471,8 +740,52 @@ class ProcessPoolEvaluator(Evaluator):
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        # The old segment may hold garbage from the failed batch (and dead
+        # workers' attachments die with them); publish into a fresh one.
+        self._release_segment()
         if self.context is not None:
             self._start_pool(self.context)
+
+    def _effective_chunk_size(self, count: int) -> int:
+        """Explicit ``chunk_size`` if given, else auto-size to 4 waves/worker."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(count / (self.processes * 4)))
+
+    def _ensure_segment(self, nbytes: int) -> shared_memory.SharedMemory:
+        """The publish target, recreated (fresh name) when capacity is short."""
+        if self._segment is not None and self._segment.size >= nbytes:
+            return self._segment
+        self._release_segment()
+        # Over-allocate so genome-length drift doesn't recreate every
+        # generation; names are kernel-generated, so never reused.
+        self._segment = shared_memory.SharedMemory(create=True, size=max(64, nbytes + nbytes // 4))
+        return self._segment
+
+    def _release_segment(self) -> None:
+        # Zombies are already-unlinked segments whose mapping was pinned by
+        # numpy views at release time (a failed batch's traceback keeps the
+        # evaluate_buffer frame alive); retry closing them now that the
+        # pinning frames have likely died.
+        for zombie in self._zombie_segments[:]:
+            try:
+                zombie.close()
+                self._zombie_segments.remove(zombie)
+            except BufferError:  # pragma: no cover - still pinned
+                pass
+        if self._segment is None:
+            return
+        segment, self._segment = self._segment, None
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - views pinned by a traceback
+            # Unlinked already (no /dev/shm leak), so just park it; closing
+            # here would also fail again in __del__ as an unraisable error.
+            self._zombie_segments.append(segment)
 
     def submit(self, fn: Callable, *args) -> Future:
         """Run *fn(*args)* on one worker — health probes and fault injection."""
@@ -505,6 +818,10 @@ class ProcessPoolEvaluator(Evaluator):
                 fp = ind.genes.tobytes()
                 fingerprints.append(fp)
                 hit = self._memo.get(fp)
+                if hit is not None and hit[0] is None:
+                    # Packed shm result without a decoded plan: Individuals
+                    # need the phenotype, so treat it as a miss.
+                    hit = None
                 if hit is not None:
                     resolved[fp] = hit
                 elif fp not in resolved:
@@ -512,15 +829,16 @@ class ProcessPoolEvaluator(Evaluator):
                     dispatch_fps.append(fp)
                     dispatch_genes.append(ind.genes)
             skipped = len(pending) - len(dispatch_genes)
+            size = self._effective_chunk_size(len(dispatch_genes))
             chunks = [
-                dispatch_genes[i : i + self.chunk_size]
-                for i in range(0, len(dispatch_genes), self.chunk_size)
+                dispatch_genes[i : i + size] for i in range(0, len(dispatch_genes), size)
             ]
         else:
             skipped = 0
+            size = self._effective_chunk_size(len(pending))
             chunks = [
-                [ind.genes for ind in pending[i : i + self.chunk_size]]
-                for i in range(0, len(pending), self.chunk_size)
+                [ind.genes for ind in pending[i : i + size]]
+                for i in range(0, len(pending), size)
             ]
         t0 = time.perf_counter()
         try:
@@ -591,7 +909,219 @@ class ProcessPoolEvaluator(Evaluator):
                     )
                 )
 
+    def evaluate_buffer(self, buffer, context: EvaluationContext) -> None:
+        """Evaluate a population buffer's pending rows across the pool.
+
+        Pending rows are deduplicated against the parent-side memo exactly
+        like :meth:`evaluate`; the survivors are dispatched either through
+        the shared-memory segment (``shm``, the default — workers receive
+        only row ranges and write packed fitness arrays in place) or as
+        pickled genome chunks.  Decoded plans cross the boundary only when
+        the buffer keeps them (state-matching crossovers); otherwise the
+        generation best is decoded lazily by the caller.  Rows are only
+        written after every chunk returned, so a failed batch leaves the
+        buffer un-evaluated and safe to retry.  Subclasses that override
+        :meth:`evaluate` are bridged through it instead, like the serial
+        evaluator does.
+        """
+        if type(self).evaluate is not ProcessPoolEvaluator.evaluate:
+            Evaluator.evaluate_buffer(self, buffer, context)
+            return
+        self.ensure_started(context)
+        assert self._pool is not None
+        pending = [int(i) for i in np.flatnonzero(~buffer.evaluated)]
+        if not pending:
+            return
+        memoize = getattr(context, "memoize", True)
+        need_plans = buffer.keep_plans
+        if memoize:
+            fingerprints: List[bytes] = []
+            resolved: dict = {}
+            dispatch_fps: List[bytes] = []
+            dispatch_rows: List[int] = []
+            for row in pending:
+                fp = buffer.view(row).tobytes()
+                fingerprints.append(fp)
+                hit = self._memo.get(fp)
+                if hit is not None and hit[0] is None and need_plans:
+                    hit = None  # packed result can't feed a plan-keeping buffer
+                if hit is not None:
+                    resolved[fp] = hit
+                elif fp not in resolved:
+                    resolved[fp] = None  # claimed; filled after dispatch
+                    dispatch_fps.append(fp)
+                    dispatch_rows.append(row)
+        else:
+            dispatch_rows = pending
+        skipped = len(pending) - len(dispatch_rows)
+        size = self._effective_chunk_size(len(dispatch_rows))
+        n_chunks = max(0, math.ceil(len(dispatch_rows) / size)) if dispatch_rows else 0
+        published = 0
+        t0 = time.perf_counter()
+        try:
+            if not dispatch_rows:
+                outputs = []
+                results: List[tuple] = []
+            elif self.shm:
+                name, published, result_views = self._publish(
+                    buffer, dispatch_rows, need_plans
+                )
+                starts = list(range(0, len(dispatch_rows), size))
+                outputs = list(
+                    self._pool.map(
+                        _evaluate_shm_chunk,
+                        [name] * len(starts),
+                        starts,
+                        [min(s + size, len(dispatch_rows)) for s in starts],
+                        timeout=self.timeout_s,
+                    )
+                )
+                results = self._collect_shm_results(
+                    dispatch_rows, result_views, outputs, need_plans
+                )
+            else:
+                chunks = [
+                    [buffer.view(r) for r in dispatch_rows[i : i + size]]
+                    for i in range(0, len(dispatch_rows), size)
+                ]
+                raw = list(self._pool.map(_evaluate_chunk, chunks, timeout=self.timeout_s))
+                outputs = [(seconds, stats, None) for _, seconds, stats in raw]
+                results = [item for chunk_results, _, _ in raw for item in chunk_results]
+        except BrokenProcessPool as exc:
+            raise WorkerPoolError(
+                f"worker pool broke while evaluating {len(pending)} individuals on "
+                f"domain {type(context.domain).__name__}: worker process(es) died "
+                f"(crash, OOM kill, or an initializer error); call restart() and "
+                f"retry, or fall back to SerialEvaluator — ResilientEvaluator "
+                f"automates both"
+            ) from exc
+        finally:
+            # Drop our views into the segment before the exception (whose
+            # traceback pins this frame) propagates — otherwise restart()
+            # cannot unmap the segment and close() degrades to a zombie.
+            result_views = None  # noqa: F841
+        seconds = time.perf_counter() - t0
+        # No partial writes: the buffer is only mutated after every chunk
+        # returned, so a failed batch is safe to retry.
+        if memoize:
+            if len(self._memo) >= self._memo_max:
+                self._memo.clear()
+            for fp, result in zip(dispatch_fps, results):
+                resolved[fp] = result
+                self._memo[fp] = result
+            self._evals_skipped += skipped
+            for row, fp in zip(pending, fingerprints):
+                decoded, fitness = resolved[fp]
+                buffer.set_result(row, decoded, fitness)
+        else:
+            for row, (decoded, fitness) in zip(pending, results):
+                buffer.set_result(row, decoded, fitness)
+        if self.instrumented:
+            self._record_batch_metrics(
+                n_pending=len(pending),
+                seconds=seconds,
+                outputs=[(s, st) for s, st, _ in outputs],
+                n_chunks=n_chunks,
+                skipped=skipped,
+                memoize=memoize,
+                published=published,
+            )
+
+    def _publish(self, buffer, rows: List[int], need_plans: bool):
+        """Write the pending rows into the segment; returns name, bytes, views."""
+        n = len(rows)
+        lengths = np.fromiter((int(buffer.lengths[r]) for r in rows), np.int64, n)
+        starts = np.zeros(n, dtype=np.int64)
+        if n > 1:
+            np.cumsum(lengths[:-1], out=starts[1:])
+        genes_len = int(lengths.sum())
+        segment = self._ensure_segment(_shm_segment_bytes(n, genes_len))
+        self._epoch += 1
+        header = np.frombuffer(segment.buf, np.int64, 4)
+        header[:] = (n, genes_len, 1 if need_plans else 0, self._epoch)
+        views = _shm_layout(segment.buf, n, genes_len)
+        shm_starts, shm_lengths, shm_genes = views[0], views[1], views[2]
+        shm_starts[:] = starts
+        shm_lengths[:] = lengths
+        for s, length, r in zip(starts, lengths, rows):
+            shm_genes[s : s + length] = buffer.view(r)
+        published = _SHM_HEADER_BYTES + 16 * n + 8 * genes_len
+        return segment.name, published, views[3:]
+
+    @staticmethod
+    def _collect_shm_results(
+        rows: List[int], result_views, outputs, need_plans: bool
+    ) -> List[tuple]:
+        """Rebuild ``(plan, FitnessResult)`` pairs from the packed arrays."""
+        total, goal, cost, reached, _plan_len = result_views
+        if need_plans:
+            plans: List[object] = []
+            for _, _, chunk_plans in outputs:
+                plans.extend(chunk_plans)
+        results = []
+        for j in range(len(rows)):
+            fitness = FitnessResult(
+                goal=float(goal[j]),
+                cost=float(cost[j]),
+                total=float(total[j]),
+                goal_reached=bool(reached[j]),
+            )
+            results.append((plans[j] if need_plans else None, fitness))
+        return results
+
+    def _record_batch_metrics(
+        self,
+        n_pending: int,
+        seconds: float,
+        outputs: List[tuple],
+        n_chunks: int,
+        skipped: int,
+        memoize: bool,
+        published: int,
+    ) -> None:
+        """Shared metrics/event emission for both dispatch transports."""
+        worker_s = sum(s for s, _ in outputs)
+        hits = sum(st[0] for _, st in outputs)
+        misses = sum(st[1] for _, st in outputs)
+        trans_hits = sum(st[2] for _, st in outputs)
+        trans_misses = sum(st[3] for _, st in outputs)
+        self._cache_hits += hits
+        self._cache_misses += misses
+        if self._metrics is not None:
+            m = self._metrics
+            m.counter("evals").add(n_pending)
+            m.timer("eval_batch").record(seconds)
+            m.timer("dispatch").record(max(0.0, seconds - worker_s / self.processes))
+            if n_chunks:
+                m.timer("worker_eval").record(worker_s, count=n_chunks)
+            m.counter("decode_cache_hits").add(hits)
+            m.counter("decode_cache_misses").add(misses)
+            if memoize:
+                m.counter("transition_cache_hits").add(trans_hits)
+                m.counter("transition_cache_misses").add(trans_misses)
+                m.counter("evals_skipped").add(skipped)
+            if published:
+                m.counter("shm_bytes_published").add(published)
+                # Lower bound: the gene payload alone no longer crosses the
+                # pipe (index arrays and pickle framing are gravy on top).
+                genes_bytes = published - _SHM_HEADER_BYTES
+                m.counter("dispatch_bytes_saved").add(max(0, genes_bytes))
+        if self._tracer.enabled:
+            self._tracer.emit(
+                EvaluationBatch(
+                    scope=self._scope,
+                    n_evaluated=n_pending,
+                    seconds=seconds,
+                    mode="process",
+                    chunks=n_chunks,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                    evals_skipped=skipped,
+                )
+            )
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._release_segment()

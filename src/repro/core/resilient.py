@@ -187,14 +187,39 @@ class ResilientEvaluator(Evaluator):
     # -- the recovery ladder -------------------------------------------------
 
     def evaluate(self, population: Sequence[Individual], context: EvaluationContext) -> None:
+        self._evaluate_with_ladder(
+            context,
+            lambda: self.inner.evaluate(population, context),
+            lambda: self.fallback.evaluate(population, context),
+        )
+
+    def evaluate_buffer(self, buffer, context: EvaluationContext) -> None:
+        """The same recovery ladder over the buffer API.
+
+        Safe for the same reason as :meth:`evaluate`: a failed parallel
+        attempt never writes partial results into the buffer, so the serial
+        fallback re-evaluates exactly the pending rows.
+        """
+        self._evaluate_with_ladder(
+            context,
+            lambda: self.inner.evaluate_buffer(buffer, context),
+            lambda: self.fallback.evaluate_buffer(buffer, context),
+        )
+
+    def _evaluate_with_ladder(
+        self,
+        context: EvaluationContext,
+        attempt_fn: Callable[[], None],
+        fallback_fn: Callable[[], None],
+    ) -> None:
         if self._degraded:
-            self.fallback.evaluate(population, context)
+            fallback_fn()
             return
         policy = self.policy
         for attempt in range(policy.retry_max + 1):
             try:
                 self._maybe_inject(context)
-                self.inner.evaluate(population, context)
+                attempt_fn()
                 self._failed_batches = 0
                 return
             except (WorkerPoolError, TimeoutError) as exc:
@@ -230,7 +255,7 @@ class ResilientEvaluator(Evaluator):
         # Retries exhausted (or pool unbuildable): the serial fallback is
         # always correct — a failed parallel attempt never mutates the
         # population, so exactly the pending individuals get re-evaluated.
-        self.fallback.evaluate(population, context)
+        fallback_fn()
 
     def _degrade(self, reason: str) -> None:
         if self._degraded:

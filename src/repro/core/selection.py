@@ -14,7 +14,13 @@ import numpy as np
 
 from repro.core.individual import Individual
 
-__all__ = ["tournament_selection", "roulette_selection", "rank_selection", "SELECTION_SCHEMES"]
+__all__ = [
+    "tournament_selection",
+    "tournament_winner_indices",
+    "roulette_selection",
+    "rank_selection",
+    "SELECTION_SCHEMES",
+]
 
 
 def _require_evaluated(population: Sequence[Individual]) -> None:
@@ -24,6 +30,30 @@ def _require_evaluated(population: Sequence[Individual]) -> None:
         # Selection ranks on fitness only; the decoded phenotype is not needed.
         if ind.fitness is None:
             raise ValueError("selection requires an evaluated population")
+
+
+def tournament_winner_indices(
+    fitness: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    tournament_size: int = 2,
+) -> np.ndarray:
+    """Indices of *n* tournament winners over a total-fitness vector.
+
+    One batched ``rng.integers`` draw samples every tournament at once; the
+    winner of each row is a vectorized argmax over the gathered fitness
+    matrix.  ``np.argmax`` keeps the first maximum, exactly like the old
+    per-row loop's strict-greater comparison, so the winners (and the RNG
+    stream) are bit-identical to the scalar implementation.  This is the
+    index core shared by :func:`tournament_selection` and the batched
+    population engine (:mod:`repro.core.popbuffer`).
+    """
+    if tournament_size < 1:
+        raise ValueError(f"tournament size must be >= 1, got {tournament_size}")
+    size = int(fitness.shape[0])
+    draws = rng.integers(0, size, size=(n, tournament_size))
+    winners = np.argmax(fitness[draws], axis=1)
+    return draws[np.arange(n), winners]
 
 
 def tournament_selection(
@@ -39,19 +69,9 @@ def tournament_selection(
     value wins and remains in the population").
     """
     _require_evaluated(population)
-    if tournament_size < 1:
-        raise ValueError(f"tournament size must be >= 1, got {tournament_size}")
-    size = len(population)
-    draws = rng.integers(0, size, size=(n, tournament_size))
-    out = []
-    for row in draws:
-        best = population[row[0]]
-        for idx in row[1:]:
-            cand = population[idx]
-            if cand.total_fitness > best.total_fitness:
-                best = cand
-        out.append(best.copy())
-    return out
+    fits = np.array([ind.total_fitness for ind in population], dtype=np.float64)
+    picks = tournament_winner_indices(fits, n, rng, tournament_size)
+    return [population[i].copy() for i in picks]
 
 
 def roulette_selection(
@@ -75,10 +95,12 @@ def rank_selection(
 ) -> list:
     """Linear rank-proportionate selection (for ablations)."""
     _require_evaluated(population)
-    order = sorted(range(len(population)), key=lambda i: population[i].total_fitness)
+    fits = np.array([ind.total_fitness for ind in population], dtype=np.float64)
+    # Stable argsort assigns ranks exactly like the old sorted()-based loop
+    # (ties keep their population order), without per-row Python.
+    order = np.argsort(fits, kind="stable")
     ranks = np.empty(len(population), dtype=np.float64)
-    for rank, idx in enumerate(order, start=1):
-        ranks[idx] = rank
+    ranks[order] = np.arange(1, len(population) + 1, dtype=np.float64)
     probs = ranks / ranks.sum()
     picks = rng.choice(len(population), size=n, p=probs)
     return [population[i].copy() for i in picks]

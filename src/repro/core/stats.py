@@ -46,6 +46,30 @@ class GenerationStats:
             solved_count=solved,
         )
 
+    @staticmethod
+    def from_buffer(generation: int, buffer) -> "GenerationStats":
+        """Same summary computed from a :class:`~repro.core.popbuffer.
+        PopulationBuffer`'s arrays.
+
+        Bit-identical to :meth:`from_population` on the materialised
+        population: the arrays hold the very same float64 values the
+        object path would collect.
+        """
+        totals = buffer.total
+        goals = buffer.goal
+        lengths = buffer.lengths
+        return GenerationStats(
+            generation=generation,
+            best_total=float(totals.max()),
+            mean_total=float(totals.mean()),
+            best_goal=float(goals.max()),
+            mean_goal=float(goals.mean()),
+            mean_length=float(lengths.mean()),
+            max_length=int(lengths.max()),
+            min_length=int(lengths.min()),
+            solved_count=int(np.count_nonzero(buffer.goal_reached)),
+        )
+
 
 @dataclass
 class RunHistory:

@@ -30,6 +30,11 @@ name               instrument meaning
 ``genes_reused``   counter    genes satisfied from retained parent prefixes
 ``decode_fallbacks`` counter  prefix resumes abandoned for a full decode
 ``memo_evictions`` counter    fitness-memo entries dropped by resets
+``batched_generations`` counter generations bred on the PopulationBuffer path
+``shm_bytes_published`` counter bytes written into the shared-memory segment
+                              (header + index arrays + gene arena) per batch
+``dispatch_bytes_saved`` counter gene-payload bytes that skipped pickling
+                              thanks to shared-memory dispatch (lower bound)
 ================== ========== ==================================================
 """
 
