@@ -11,7 +11,14 @@ evaluation variants of DESIGN.md §11:
 - ``pool-batched``    — batched generation step, pool dispatch with pickled
   genome chunks (``shm=False``);
 - ``pool-batched-shm``— batched + zero-copy shared-memory dispatch (workers
-  receive row ranges, return packed fitness arrays in place).
+  receive row ranges, return packed fitness arrays in place);
+- ``serial-vector``   — whole-population vectorised decode over the domain
+  kernel's int tables (``vector_decode=True``, DESIGN.md §12);
+- ``pool-vector-shm`` — vectorised decode inside shm pool workers.
+
+The object-path variants pin ``vector_decode=False`` so the ablation keeps
+isolating one axis at a time (the default auto-probe would silently take
+the vector path on kernel-backed domains).
 
 Per variant the run is warmed for a few generations, then measured with a
 fresh metrics registry.  Headline numbers: ``evals_per_sec`` (the ``evals``
@@ -19,8 +26,10 @@ counter over the ``eval_batch`` timer) and ``generation_step_s`` (the
 ``selection`` + ``variation`` timers — the breeding work the batched engine
 vectorises).  The batched engine replays the object path's RNG draws
 exactly, so every variant must produce the identical trajectory *and* the
-identical best plan; the bench asserts both.  Results go to
-``benchmarks/results/BENCH_popbuffer.json``.
+identical best plan; the bench asserts both.  A second section runs the
+4×4 sliding tile — the domain where the object decode engine's GC-bound
+caches only reached ≈1.4× (see BENCH_decode.json) — object engine vs
+vector decode.  Results go to ``benchmarks/results/BENCH_popbuffer.json``.
 
 Usage::
 
@@ -41,7 +50,7 @@ from pathlib import Path
 
 from repro.exp.defaults import DECODE_BENCH_SEED
 from repro.core import GAConfig, GARun, ProcessPoolEvaluator, SerialEvaluator, make_rng
-from repro.domains import HanoiDomain
+from repro.domains import HanoiDomain, SlidingTileDomain
 from repro.obs import MetricsRegistry
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -52,6 +61,8 @@ VARIANTS = (
     "pool-object",
     "pool-batched",
     "pool-batched-shm",
+    "serial-vector",
+    "pool-vector-shm",
 )
 
 COUNTER_KEYS = (
@@ -59,6 +70,9 @@ COUNTER_KEYS = (
     "batched_generations",
     "shm_bytes_published",
     "dispatch_bytes_saved",
+    "vector_rows",
+    "vector_genes",
+    "genes_reused",
 )
 
 
@@ -78,8 +92,9 @@ def pool_processes() -> int:
 
 
 def build_run(domain, config: GAConfig, seed: int, variant: str) -> GARun:
-    batched = "batched" in variant
-    cfg = config.replace(batched=batched)
+    vector = "vector" in variant
+    batched = vector or "batched" in variant
+    cfg = config.replace(batched=batched, vector_decode=vector)
     if variant.startswith("pool"):
         evaluator = ProcessPoolEvaluator(
             processes=pool_processes(), shm=variant.endswith("shm")
@@ -127,6 +142,50 @@ def measure_variant(domain, config: GAConfig, seed: int, variant: str,
     ]
     best_ops = run.best.decoded.operations if run.best.decoded is not None else None
     return row, trajectory, best_ops
+
+
+def run_tile4(quick: bool, seed: int) -> dict:
+    """Object engine vs vector decode on the 4×4 tile (warm evals/sec).
+
+    This is the domain where the object engine's retained caches are
+    GC-bound (DESIGN.md §9's caveat) and only managed ≈1.4× over the naive
+    baseline; the vector path decodes against int tables with no tracked
+    Python objects, so it is the regime the kernel ABI was built for.
+    """
+    warmup, measured = (1, 3) if quick else (3, 8)
+    config = GAConfig(
+        population_size=30 if quick else 100,
+        generations=10_000,
+        max_len=512,
+        init_length=128,
+        stop_on_goal=False,
+    )
+    rows = {}
+    trajectories = {}
+    for variant in ("serial-batched", "serial-vector"):
+        row, trajectory, _ = measure_variant(
+            SlidingTileDomain(4), config, seed, variant, warmup, measured
+        )
+        rows[variant] = row
+        trajectories[variant] = trajectory
+        print(f"[tile4]  {variant:<18} {row['evals_per_sec']} evals/s")
+    assert trajectories["serial-vector"] == trajectories["serial-batched"], (
+        "tile4 vector decode diverged from the object engine"
+    )
+    obj, vec = rows["serial-batched"], rows["serial-vector"]
+    for variant in rows:
+        eps = rows[variant]["evals_per_sec"]
+        rows[variant]["speedup_vs_baseline"] = (
+            round(eps / obj["evals_per_sec"], 2)
+            if obj["evals_per_sec"] and eps else None
+        )
+    return {
+        "population_size": config.population_size,
+        "max_len": config.max_len,
+        "variants": rows,
+        "trajectory_identical": True,
+        "vector_speedup_vs_engine": rows["serial-vector"]["speedup_vs_baseline"],
+    }
 
 
 def run_bench(quick: bool = False, seed: int = DECODE_BENCH_SEED) -> dict:
@@ -178,14 +237,19 @@ def run_bench(quick: bool = False, seed: int = DECODE_BENCH_SEED) -> dict:
             "serial variants isolate the batched generation step (selection "
             "+ variation on the arrays); pool variants isolate dispatch "
             "transport (pickled Individuals vs pickled genome chunks vs "
-            "zero-copy shared memory). Speedups are within-transport: "
-            "serial-* over serial-object, pool-* over pool-object."
+            "zero-copy shared memory); vector variants swap the object "
+            "decode engine for the whole-population kernel-table decode. "
+            "Speedups are within-transport: serial-* over serial-object, "
+            "pool-* over pool-object. The tile4 section pits the vector "
+            "decoder against the object engine on the domain where the "
+            "engine's caches are GC-bound."
         ),
         "variants": rows,
         "trajectory_identical": True,
         "generation_step_speedup": (
             round(step_base / step_batched, 2) if step_batched else None
         ),
+        "tile4": run_tile4(quick, seed),
     }
 
 
@@ -208,6 +272,14 @@ def main(argv=None) -> int:
         f"{shm['speedup_vs_baseline']}x over the pickled-Individual pool; "
         f"batched generation step {report['generation_step_speedup']}x "
         f"over the object path"
+    )
+    vec = report["variants"]["serial-vector"]
+    tile = report["tile4"]
+    print(
+        f"hanoi7: vector decode {vec['evals_per_sec']} evals/s serial "
+        f"({vec['speedup_vs_baseline']}x over serial-object); "
+        f"tile4: vector {tile['vector_speedup_vs_engine']}x over the "
+        f"object decode engine"
     )
     return 0
 

@@ -54,7 +54,7 @@ from repro.analysis import (
     weight_sweep,
 )
 from repro.core import GAConfig, GAPlanner
-from repro.domains import HanoiDomain, SlidingTileDomain
+from repro.domains import registry as domain_registry
 from repro.exp.defaults import ABLATION_SEEDS, PAPER_SEED, SCHEDULE_SEED
 from repro.obs import JsonlSink, MetricsRegistry, ProgressSink, Tracer, observe
 
@@ -134,12 +134,11 @@ def _resolve_solve_evaluator(args):
 
 
 def _cmd_solve(args) -> int:
+    domain = domain_registry.create(args.domain, args.size)
     if args.domain == "hanoi":
-        domain = HanoiDomain(args.size)
         max_len = hanoi_max_len(args.size)
         init = domain.optimal_length
     elif args.domain == "tile":
-        domain = SlidingTileDomain(args.size)
         max_len = tile_max_len(args.size)
         init = tile_init_length(args.size)
     else:  # pragma: no cover - argparse restricts choices

@@ -109,10 +109,6 @@ from repro.core.islands import IslandConfig, IslandResult, run_islands  # noqa: 
 
 __all__ += ["IslandConfig", "IslandResult", "run_islands"]
 
-from repro.core.runlog import GenerationLogger, read_log  # noqa: E402
-
-__all__ += ["GenerationLogger", "read_log"]
-
 from repro.core.checkpoint import (  # noqa: E402
     Checkpoint,
     CheckpointError,

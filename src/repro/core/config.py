@@ -69,6 +69,16 @@ class GAConfig:
         replayed exactly, so trajectories are bit-identical to the
         list-of-individuals path either way; the object path exists for
         ablations and as the reference implementation.
+    vector_decode:
+        Decode whole populations in numpy against the domain's array
+        kernel (DESIGN.md §12).  ``None`` (the default) auto-enables the
+        vector path when the domain exposes a kernel
+        (``domain.kernel() is not None``) and falls back to the object
+        decode engine otherwise; ``True`` demands it (evaluation raises if
+        the domain has no kernel); ``False`` forces the object path.
+        Results are bit-identical either way.  Requires ``decode_engine``
+        and ``batched`` (the vector path rides the buffer pipeline and
+        replaces the engine, not the naive decoder).
     """
 
     population_size: int = 200
@@ -86,6 +96,7 @@ class GAConfig:
     elitism: int = 0
     decode_engine: bool = True
     batched: bool = True
+    vector_decode: Optional[bool] = None
 
     def __post_init__(self) -> None:
         """Validate field ranges and cross-field invariants."""
@@ -127,6 +138,18 @@ class GAConfig:
             if init_hi > self.max_len:
                 raise ValueError(
                     f"init_length {self.init_length} exceeds max_len {self.max_len}"
+                )
+        if self.vector_decode:
+            if not self.decode_engine:
+                raise ValueError(
+                    "vector_decode=True requires decode_engine=True: the vector "
+                    "path replaces the decode engine, not the naive decoder "
+                    "(set vector_decode=False for a naive-path ablation)"
+                )
+            if not self.batched:
+                raise ValueError(
+                    "vector_decode=True requires batched=True: whole-population "
+                    "decoding runs on the structure-of-arrays buffer pipeline"
                 )
 
     def replace(self, **changes) -> "GAConfig":

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.decode_engine import DecodeEngine
 from repro.core.encoding import DecodeCache, decode
 from repro.core.fitness import FitnessFunction, FitnessResult
+from repro.core.vector_decode import VectorDecoder
 from repro.obs.events import EvaluationBatch
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -68,6 +69,13 @@ class EvaluationContext:
     ``memoize`` selects the incremental decode engine (DESIGN.md §9) over
     the naive per-genome decode; results are bit-identical either way.  It
     is wired from ``GAConfig.decode_engine`` and defaults to on.
+
+    ``vector`` selects the whole-population vectorised decode (DESIGN.md
+    §12), wired from ``GAConfig.vector_decode``: ``None`` auto-enables it
+    when the domain exposes a kernel, ``True`` demands a kernel (raising
+    otherwise), ``False`` forces the object path.  Only buffer-based
+    evaluation consults it; the list-of-Individuals API always decodes
+    through the object engine.
     """
 
     def __init__(
@@ -77,12 +85,36 @@ class EvaluationContext:
         fitness: FitnessFunction,
         truncate_at_goal: bool = True,
         memoize: bool = True,
+        vector: Optional[bool] = None,
     ) -> None:
         self.domain = domain
         self.start_state = start_state
         self.fitness = fitness
         self.truncate_at_goal = truncate_at_goal
         self.memoize = memoize
+        self.vector = vector
+
+    def resolve_vector(self) -> bool:
+        """Whether buffer evaluation should run the vectorised decode path."""
+        if self.vector is False:
+            return False
+        if not self.memoize:
+            if self.vector:
+                raise ValueError(
+                    "vector=True requires memoize=True (GAConfig already "
+                    "enforces vector_decode => decode_engine)"
+                )
+            return False
+        kernel = self.domain.kernel()
+        if kernel is None:
+            if self.vector:
+                raise ValueError(
+                    f"vector_decode=True but domain {self.domain.name!r} has no "
+                    f"kernel (domain.kernel() returned None); use "
+                    f"vector_decode=None to fall back automatically"
+                )
+            return False
+        return True
 
     def decode_genes(self, genes: np.ndarray, cache: Optional[DecodeCache] = None):
         return decode(
@@ -172,6 +204,21 @@ class SerialEvaluator(Evaluator):
         self._cache: Optional[DecodeCache] = None
         self._cache_domain: Optional[PlanningDomain] = None
         self._engine = engine
+        self._vdec: Optional[VectorDecoder] = None
+
+    def _vector_decoder(self, context: EvaluationContext) -> Optional[VectorDecoder]:
+        """The (cached) vector decoder for *context*, or None for object path."""
+        resolve = getattr(context, "resolve_vector", None)
+        if resolve is None or not resolve():
+            return None
+        kernel = context.domain.kernel()
+        if self._vdec is None or self._vdec.kernel is not kernel:
+            self._vdec = VectorDecoder(kernel)
+        return self._vdec
+
+    def vector_counters(self) -> Optional[dict]:
+        """Cumulative vector-decode counters, or ``None`` on the object path."""
+        return self._vdec.counters() if self._vdec is not None else None
 
     def cache_info(self) -> Optional[Tuple[int, int]]:
         if self._engine is not None and self._engine.active:
@@ -219,10 +266,14 @@ class SerialEvaluator(Evaluator):
     def evaluate_buffer(self, buffer, context: EvaluationContext) -> None:
         """Array-native serial path: decode rows straight off the arena.
 
-        Runs the same engine pipeline as :meth:`evaluate` over zero-copy
-        genome views — no Individual construction, no per-row validation —
-        with identical results (same rows, same order, same memo traffic).
-        The naive (``memoize`` off) path bridges through the base
+        When the context resolves the vectorised decode (DESIGN.md §12),
+        the whole pending set is decoded in numpy by a
+        :class:`~repro.core.vector_decode.VectorDecoder` — bit-identical
+        results, no per-genome Python loop at all.  Otherwise this runs the
+        same engine pipeline as :meth:`evaluate` over zero-copy genome
+        views — no Individual construction, no per-row validation — with
+        identical results (same rows, same order, same memo traffic).  The
+        naive (``memoize`` off) path bridges through the base
         implementation, which is already loop-shaped.  So does any subclass
         that overrides :meth:`evaluate` — its override keeps seeing every
         evaluation, instead of being silently bypassed in batched runs.
@@ -231,6 +282,16 @@ class SerialEvaluator(Evaluator):
             context, "memoize", True
         ):
             Evaluator.evaluate_buffer(self, buffer, context)
+            return
+        vdec = self._vector_decoder(context)
+        if vdec is not None:
+            # keep_plans=True regardless of the buffer's flag: in-process
+            # there is no shipping cost, and the stored plans feed the next
+            # generation's dirty-prefix hints (matching the engine path).
+            if not self.instrumented:
+                vdec.evaluate_pending(buffer, context, keep_plans=True)
+            else:
+                self._evaluate_buffer_vector_instrumented(buffer, context, vdec)
             return
         engine = self._engine
         if engine is None:
@@ -320,6 +381,44 @@ class SerialEvaluator(Evaluator):
                     cache_misses=delta["decode_cache_misses"],
                     evals_skipped=delta["evals_skipped"],
                     genes_reused=delta["genes_reused"],
+                )
+            )
+
+    def _evaluate_buffer_vector_instrumented(
+        self,
+        buffer,
+        context: EvaluationContext,
+        vdec: VectorDecoder,
+    ) -> None:
+        """The vector path with batch timing and decoder counters."""
+        before = vdec.counters()
+        t0 = time.perf_counter()
+        n = vdec.evaluate_pending(buffer, context, keep_plans=True)
+        seconds = time.perf_counter() - t0
+        if not n:
+            return
+        after = vdec.counters()
+        delta = {k: after[k] - before[k] for k in after}
+        if self._metrics is not None:
+            m = self._metrics
+            m.counter("evals").add(n)
+            m.timer("eval_batch").record(seconds)
+            m.timer("decode").record(seconds, count=n)
+            m.counter("vector_rows").add(delta["vector_rows"])
+            m.counter("vector_genes").add(delta["vector_genes"])
+            m.counter("genes_reused").add(delta["vector_genes_reused"])
+            for name in ("vector_prefix_fallbacks", "vector_kernel_resets"):
+                if delta[name]:
+                    m.counter(name).add(delta[name])
+        if self._tracer.enabled:
+            self._tracer.emit(
+                EvaluationBatch(
+                    scope=self._scope,
+                    n_evaluated=n,
+                    seconds=seconds,
+                    mode="serial",
+                    chunks=1,
+                    genes_reused=delta["vector_genes_reused"],
                 )
             )
 
@@ -454,11 +553,13 @@ class SerialEvaluator(Evaluator):
 _WORKER_CONTEXT: Optional[EvaluationContext] = None
 _WORKER_CACHE: Optional[DecodeCache] = None
 _WORKER_ENGINE: Optional[DecodeEngine] = None
+_WORKER_VDEC: Optional[VectorDecoder] = None
 
 
 def _init_worker(context: EvaluationContext) -> None:
-    global _WORKER_CONTEXT, _WORKER_CACHE, _WORKER_ENGINE
+    global _WORKER_CONTEXT, _WORKER_CACHE, _WORKER_ENGINE, _WORKER_VDEC
     _WORKER_CONTEXT = context
+    _WORKER_VDEC = None
     if getattr(context, "memoize", True):
         # Transition memoisation only: prefix plans live with the parent
         # (shipping them per task would dwarf the savings), and dedup runs
@@ -466,6 +567,12 @@ def _init_worker(context: EvaluationContext) -> None:
         _WORKER_ENGINE = DecodeEngine(prefix=False, dedup=False)
         _WORKER_ENGINE.bind(context)
         _WORKER_CACHE = None
+        # Each worker builds its own kernel (tables never cross the process
+        # boundary — the domain pickles without them) and keeps it warm for
+        # the life of the process, like the engine's transition tables.
+        resolve = getattr(context, "resolve_vector", None)
+        if resolve is not None and resolve():
+            _WORKER_VDEC = VectorDecoder(context.domain.kernel())
     else:
         _WORKER_CACHE = DecodeCache(context.domain)
         _WORKER_ENGINE = None
@@ -598,6 +705,26 @@ def _evaluate_shm_chunk(name: str, start: int, stop: int):
     fitness_fn = context.fitness
     plans: Optional[list] = [] if need_plans else None
     t0 = time.perf_counter()
+    vdec = _WORKER_VDEC
+    if vdec is not None:
+        # Vectorised decode of this worker's whole row range in one shot.
+        # Prefix hints never reach workers (plans live with the parent), so
+        # every row decodes from gene 0; plan objects are built only when
+        # the crossover needs them shipped back.
+        vdec.bind(context)
+        v_total, v_goal, v_costf, v_reached, v_used, v_plans = vdec.decode_rows(
+            genes, starts[start:stop], lengths[start:stop], need_plans, None
+        )
+        sl = slice(start, stop)
+        total[sl] = v_total
+        goal[sl] = v_goal
+        cost[sl] = v_costf
+        reached[sl] = v_reached
+        plan_len[sl] = v_used  # every consumed gene is one operation
+        if plans is not None:
+            plans.extend(v_plans)
+        seconds = time.perf_counter() - t0
+        return seconds, (0, 0, 0, 0), plans
     if engine is not None:
         c0 = engine.counters()
         for j in range(start, stop):

@@ -1,91 +1,23 @@
-"""Legacy JSONL run logging — now a shim over :mod:`repro.obs`.
+"""Deprecated location of the legacy JSONL run logger.
 
 .. deprecated::
-    New code should attach a :class:`repro.obs.JsonlSink` to a tracer (or
-    pass ``tracer=`` / use ``--trace``) instead; see DESIGN.md §7 for the
-    migration note.  This module keeps the original ``GenerationLogger`` /
-    ``read_log`` API and on-disk record format working: one JSON object per
-    generation with the legacy keys (``run``, ``generation``, ``best_total``,
-    …, ``elapsed_s``), implemented by emitting
-    :class:`~repro.obs.events.GenerationComplete` events through a private
-    tracer whose JSONL sink rewrites records into the legacy shape.
+    :class:`GenerationLogger` and :func:`read_log` live in
+    :mod:`repro.obs.runlog` now (import them from :mod:`repro.obs`).  This
+    stub re-exports them for one release and will then be removed; see the
+    deprecation note in docs/architecture.md.
 """
 
 from __future__ import annotations
 
-import json
-import time
-from pathlib import Path
-from typing import IO, Optional, Union
+import warnings
 
-from repro.core.stats import GenerationStats
-from repro.obs.events import GenerationComplete, RunEvent
-from repro.obs.sinks import JsonlSink
-from repro.obs.tracer import Tracer
+from repro.obs.runlog import GenerationLogger, read_log
 
 __all__ = ["GenerationLogger", "read_log"]
 
-
-class GenerationLogger:
-    """Append per-generation stats to a JSONL file (or any text stream).
-
-    Usable directly as the ``on_generation`` callback; always returns
-    ``None`` so it never terminates the run.  Use together with termination
-    criteria via a small lambda when both are wanted::
-
-        logger = GenerationLogger(path)
-        stop = Stagnation(50)
-        run.run(on_generation=lambda s: (logger(s), stop(s))[1])
-    """
-
-    def __init__(
-        self,
-        target: Union[str, Path, IO[str]],
-        run_id: str = "run",
-        flush_every: int = 1,
-    ) -> None:
-        self.run_id = run_id
-        self._sink = JsonlSink(target, flush_every=flush_every, record_fn=self._legacy_record)
-        self._tracer = Tracer([self._sink])
-        self._t0 = time.perf_counter()
-
-    def _legacy_record(self, event: RunEvent) -> dict:
-        assert isinstance(event, GenerationComplete)
-        return {
-            "run": event.scope,
-            "generation": event.generation,
-            "best_total": event.best_total,
-            "mean_total": event.mean_total,
-            "best_goal": event.best_goal,
-            "mean_goal": event.mean_goal,
-            "mean_length": event.mean_length,
-            "solved": event.solved_count,
-            "elapsed_s": round(time.perf_counter() - self._t0, 4),
-        }
-
-    def __call__(self, stats: GenerationStats) -> None:
-        self._tracer.emit(GenerationComplete.from_stats(stats, scope=self.run_id))
-        return None
-
-    def close(self) -> None:
-        self._tracer.close()
-
-    def __enter__(self) -> "GenerationLogger":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-
-def read_log(path: Union[str, Path], run_id: Optional[str] = None) -> list:
-    """Load a JSONL trace back, optionally filtered to one run id."""
-    records = []
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            if run_id is None or record.get("run") == run_id:
-                records.append(record)
-    return records
+warnings.warn(
+    "repro.core.runlog is deprecated; import GenerationLogger and read_log "
+    "from repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -42,3 +42,16 @@ __all__ += [
 from repro.domains.pocket_cube import CubeMove, PocketCubeDomain, scrambled_state  # noqa: E402
 
 __all__ += ["CubeMove", "PocketCubeDomain", "scrambled_state"]
+
+from repro.domains.registry import (  # noqa: E402
+    DomainEntry,
+    create,
+    domain_names,
+    get_entry,
+    list_entries,
+    register,
+)
+
+__all__ += [
+    "DomainEntry", "create", "domain_names", "get_entry", "list_entries", "register",
+]

@@ -1,5 +1,13 @@
-"""Back-compat shim: the protocol moved to :mod:`repro.protocol`."""
+"""Documented re-export of the domain protocol (which lives in :mod:`repro.protocol`).
 
-from repro.protocol import PlanningDomain
+Historically the :class:`PlanningDomain` ABC was defined here; it moved to
+:mod:`repro.protocol` so the core GA machinery can type against it without
+importing any concrete domain.  This module stays as the conventional
+import site inside the domains package and re-exports the full protocol
+surface — the object ABC and the array-native :class:`DomainKernel` ABI
+that backs the vectorised decode path (DESIGN.md §12).
+"""
 
-__all__ = ["PlanningDomain"]
+from repro.protocol import DomainKernel, PlanningDomain
+
+__all__ = ["DomainKernel", "PlanningDomain"]

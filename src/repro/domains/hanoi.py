@@ -20,14 +20,27 @@ disk sizes bottom-to-top, e.g. the 3-disk initial state is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Hashable, Optional, Sequence
 
-from repro.protocol import PlanningDomain
+import numpy as np
+
+from repro.domains.kernels import cached_kernel
+from repro.protocol import DomainKernel, PlanningDomain
 from repro.planning.conditions import atom
 from repro.planning.grounding import OperatorSchema, ground_all
 from repro.planning.problem import PlanningProblem
 
-__all__ = ["HanoiMove", "HanoiDomain", "hanoi_strips_problem", "optimal_hanoi_moves"]
+__all__ = [
+    "HanoiMove",
+    "HanoiDomain",
+    "HanoiKernel",
+    "hanoi_strips_problem",
+    "optimal_hanoi_moves",
+]
+
+#: Largest instance the dense kernel tabulates (3^12 states ≈ 20 MB of
+#: tables); bigger domains fall back to the object decode path.
+_MAX_KERNEL_DISKS = 12
 
 STAKES = ("A", "B", "C")
 #: All ordered stake pairs, fixed order — the decoder's gene→op mapping
@@ -102,12 +115,130 @@ class HanoiDomain(PlanningDomain):
     def state_key(self, state) -> Hashable:
         return state
 
+    def kernel(self) -> Optional["HanoiKernel"]:
+        """Dense precompiled kernel (None beyond ``3**12`` states)."""
+        if self.n_disks > _MAX_KERNEL_DISKS:
+            return None
+        return cached_kernel(self, HanoiKernel)
+
     # -- reference data ------------------------------------------------------
 
     @property
     def optimal_length(self) -> int:
         """Minimum number of moves: ``2**n - 1``."""
         return 2**self.n_disks - 1
+
+
+class HanoiKernel(DomainKernel):
+    """Fully precompiled array kernel for the n-disk Towers of Hanoi.
+
+    A Hanoi state is exactly "which stake is each disk on" — the stacking
+    order within a stake is forced by disk size — so the state id *is* the
+    base-3 code ``sum_i stake(disk i+1) * 3**i`` and the whole transition
+    system (``3**n`` states × 6 moves) is tabulated vectorised at
+    construction.  ``fill_transitions`` is therefore a no-op and the decode
+    loop never misses.
+    """
+
+    def __init__(self, domain: HanoiDomain) -> None:
+        n = domain.n_disks
+        if n > _MAX_KERNEL_DISKS:
+            raise ValueError(
+                f"HanoiKernel tabulates 3**n states; n={n} exceeds the "
+                f"{_MAX_KERNEL_DISKS}-disk budget"
+            )
+        self.domain = domain
+        self.max_ops = 6
+        self.unit_cost = True
+        self.epoch = 0
+        self._n = n
+        self._pow3 = 3 ** np.arange(n, dtype=np.int64)
+        m = int(3**n)
+        ids = np.arange(m, dtype=np.int64)
+        # stakes[s, i] = stake of disk i+1 in state s (its base-3 digit i).
+        stakes = (ids[:, None] // self._pow3[None, :]) % 3
+        # top[s, t] = index of the smallest (= movable) disk on stake t, n if
+        # empty; filled largest-disk-first so smaller disks overwrite.
+        top = np.full((m, 3), n, dtype=np.int64)
+        rows = np.arange(m)
+        for i in range(n - 1, -1, -1):
+            top[rows, stakes[:, i]] = i
+        vc = np.zeros(m, dtype=np.int32)
+        succ = np.full((m, 6), -1, dtype=np.int32)
+        slot = np.zeros(m, dtype=np.int64)
+        for mi, (src, dst) in enumerate(_MOVES):
+            movable = top[:, src]
+            ok = (movable < n) & (movable < top[:, dst])
+            target = ids[ok] + (dst - src) * self._pow3[movable[ok]]
+            succ[ids[ok], slot[ok]] = target
+            slot[ok] += 1
+            vc[ok] += 1
+        self._vc = vc
+        self._succ = succ
+        # Exact goal fitness: integer disk-weight sums, one float division —
+        # the same arithmetic (and rounding) as HanoiDomain.goal_fitness.
+        weights = 2 ** np.arange(n, dtype=np.int64)  # weight of disk i+1
+        on_goal = (stakes == domain.goal_stake) * weights[None, :]
+        won = on_goal.sum(axis=1)
+        self._gfit = won / np.float64(domain._total_weight)
+        self._gmask = won == domain._total_weight
+        self._ops_cache: dict = {}
+
+    # -- DomainKernel surface -------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return int(self._vc.shape[0])
+
+    @property
+    def valid_count(self) -> np.ndarray:
+        return self._vc
+
+    @property
+    def succ(self) -> np.ndarray:
+        return self._succ
+
+    @property
+    def goal_fit(self) -> np.ndarray:
+        return self._gfit
+
+    @property
+    def goal_mask(self) -> np.ndarray:
+        return self._gmask
+
+    def intern(self, state) -> int:
+        sid = 0
+        for t, stack in enumerate(state):
+            for disk in stack:
+                sid += t * int(self._pow3[disk - 1])
+        return sid
+
+    def id_for_key(self, key: Hashable) -> Optional[int]:
+        return self.intern(key)  # state_key is the state itself
+
+    def fill_transitions(self, ids, slots) -> None:  # pragma: no cover - dense
+        raise AssertionError("dense kernel has no unfilled transitions")
+
+    def reset(self) -> None:
+        """No-op: the dense tables are the whole (bounded) state space."""
+
+    # -- reconstruction -------------------------------------------------------
+
+    def state_of(self, sid: int):
+        stacks: list = [[], [], []]
+        for i in range(self._n - 1, -1, -1):
+            stacks[(sid // int(self._pow3[i])) % 3].append(i + 1)
+        return tuple(tuple(s) for s in stacks)
+
+    def operations_of(self, sid: int) -> Sequence[HanoiMove]:
+        # Slot order is the _MOVES order filtered to valid — exactly what
+        # valid_operations returns, so delegate and cache the tuple.
+        ops = self._ops_cache.get(sid)
+        if ops is None:
+            ops = tuple(self.domain.valid_operations(self.state_of(sid)))
+            self._ops_cache[sid] = ops
+        return ops
+
 
 
 def optimal_hanoi_moves(n_disks: int, src: int = 0, dst: int = 1) -> list:

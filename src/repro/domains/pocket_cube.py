@@ -22,9 +22,10 @@ from typing import Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.protocol import PlanningDomain
+from repro.domains.kernels import cached_kernel, grow
+from repro.protocol import DomainKernel, PlanningDomain
 
-__all__ = ["CubeMove", "PocketCubeDomain", "scrambled_state"]
+__all__ = ["CubeMove", "CubeKernel", "PocketCubeDomain", "scrambled_state"]
 
 # Corner position indices (Kociemba): URF UFL ULB UBR DFR DLF DBL DRB.
 _SOLVED_CP = (0, 1, 2, 3, 4, 5, 6, 7)
@@ -134,6 +135,183 @@ class PocketCubeDomain(PlanningDomain):
         # The move set is state-independent: all states decode identically.
         return 0
 
+    def kernel(self) -> "CubeKernel":
+        """Lazy packed kernel over composed per-move permutation tables."""
+        return cached_kernel(self, CubeKernel)
+
     @staticmethod
     def solved_state() -> Tuple[tuple, tuple]:
         return (_SOLVED_CP, _SOLVED_CO)
+
+
+class CubeKernel(DomainKernel):
+    """Packed cubie kernel: one composed (perm, twist) table per move.
+
+    A state packs into 16 ``uint8`` values (8 corner positions + 8
+    orientations).  Each of the nine moves — including half and
+    counter-turns — collapses to a single permutation/twist pair obtained
+    by applying the move to an identity-labelled cube, so a batch of
+    states advances with two gathers and a mod-3 add.  All nine moves are
+    always valid (``valid_count`` ≡ 9); only successor interning is lazy.
+    """
+
+    def __init__(self, domain: PocketCubeDomain, max_states: int = 400_000) -> None:
+        self.domain = domain
+        self.max_ops = 9
+        self.unit_cost = True
+        self.epoch = 0
+        self.max_states = max_states
+        # Composed tables: applying MOVES[m] maps cp -> cp[P[m]] and
+        # co -> (co[P[m]] + T[m]) % 3 — read off by moving an
+        # identity-labelled cube (cp = 0..7, co = 0).
+        perms = np.empty((9, 8), dtype=np.int64)
+        twists = np.empty((9, 8), dtype=np.uint8)
+        identity = (tuple(range(8)), (0,) * 8)
+        for m, move in enumerate(MOVES):
+            cp, co = _apply_move(identity, move)
+            perms[m] = cp
+            twists[m] = co
+        self._perms = perms
+        self._twists = twists
+        self._solved = np.concatenate(
+            [np.arange(8, dtype=np.uint8), np.zeros(8, dtype=np.uint8)]
+        )
+        self._corner_idx = np.arange(8, dtype=np.uint8)
+        self._init_tables()
+
+    def _init_tables(self) -> None:
+        cap = 1024
+        self._ids = {}
+        self._count = 0
+        self._packed = np.zeros((cap, 16), dtype=np.uint8)  # cp ‖ co
+        self._vc = np.full(cap, 9, dtype=np.int32)
+        self._succ = np.full((cap, 9), -1, dtype=np.int32)
+        self._gfit = np.zeros(cap, dtype=np.float64)
+        self._gmask = np.zeros(cap, dtype=bool)
+        self._key_cache: dict = {}
+
+    # -- DomainKernel surface -------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return self._count
+
+    @property
+    def valid_count(self) -> np.ndarray:
+        return self._vc
+
+    @property
+    def succ(self) -> np.ndarray:
+        return self._succ
+
+    @property
+    def goal_fit(self) -> np.ndarray:
+        return self._gfit
+
+    @property
+    def goal_mask(self) -> np.ndarray:
+        return self._gmask
+
+    @property
+    def overflowed(self) -> bool:
+        return self._count > self.max_states
+
+    def reset(self) -> None:
+        self._init_tables()
+        self.epoch += 1
+
+    @staticmethod
+    def _pack(state) -> np.ndarray:
+        cp, co = state
+        return np.asarray(tuple(cp) + tuple(co), dtype=np.uint8)
+
+    def intern(self, state) -> int:
+        return int(self._intern_batch(self._pack(state)[None, :])[0])
+
+    def id_for_key(self, key: Hashable) -> Optional[int]:
+        return self._ids.get(self._pack(key).tobytes())
+
+    def _intern_batch(self, packed: np.ndarray) -> np.ndarray:
+        m = packed.shape[0]
+        out = np.empty(m, dtype=np.int64)
+        new_rows: list = []
+        ids = self._ids
+        count = self._count
+        for i in range(m):
+            key = packed[i].tobytes()
+            sid = ids.get(key)
+            if sid is None:
+                sid = count
+                count += 1
+                ids[key] = sid
+                new_rows.append(i)
+            out[i] = sid
+        if new_rows:
+            self._admit(packed[new_rows])
+            self._count = count
+        return out
+
+    def _admit(self, rows: np.ndarray) -> None:
+        start = self._count
+        needed = start + rows.shape[0]
+        self._packed = grow(self._packed, needed)
+        self._vc = grow(self._vc, needed, fill=9)
+        self._succ = grow(self._succ, needed, fill=-1)
+        self._gfit = grow(self._gfit, needed)
+        self._gmask = grow(self._gmask, needed)
+        sl = slice(start, needed)
+        self._packed[sl] = rows
+        self._vc[sl] = 9
+        self._succ[sl] = -1
+        cp = rows[:, :8]
+        co = rows[:, 8:]
+        placed = (cp == self._corner_idx[None, :]) & (co == 0)
+        placed[:, 6] = False  # DBL is fixed and excluded from the count
+        correct = placed.sum(axis=1).astype(np.int64)
+        self._gfit[sl] = correct / 7.0
+        self._gmask[sl] = (rows == self._solved[None, :]).all(axis=1)
+
+    def fill_transitions(self, ids, slots) -> None:
+        code = ids.astype(np.int64) * 9 + slots
+        code = np.unique(code)
+        uids = code // 9
+        uslots = code % 9
+        fresh = self._succ[uids, uslots] < 0
+        uids, uslots = uids[fresh], uslots[fresh]
+        if uids.size == 0:
+            return
+        out = np.empty((uids.size, 16), dtype=np.uint8)
+        src = self._packed[uids]
+        for m in range(9):
+            sel = uslots == m
+            if not sel.any():
+                continue
+            perm = self._perms[m]
+            cp = src[sel, :8]
+            co = src[sel, 8:]
+            out[sel, :8] = cp[:, perm]
+            out[sel, 8:] = (co[:, perm] + self._twists[m][None, :]) % 3
+        nids = self._intern_batch(out)
+        self._succ[uids, uslots] = nids
+
+    # -- reconstruction -------------------------------------------------------
+
+    def state_of(self, sid: int):
+        return self.state_key_of(sid)
+
+    def state_key_of(self, sid: int) -> Hashable:
+        key = self._key_cache.get(sid)
+        if key is None:
+            row = self._packed[sid]
+            key = (
+                tuple(int(x) for x in row[:8]),
+                tuple(int(x) for x in row[8:]),
+            )
+            self._key_cache[sid] = key
+        return key
+
+    def decode_key_of(self, sid: int) -> Hashable:
+        return 0
+
+    def operations_of(self, sid: int) -> Sequence[CubeMove]:
+        return MOVES

@@ -24,11 +24,13 @@ from typing import Hashable, Optional, Sequence
 
 import numpy as np
 
-from repro.protocol import PlanningDomain
+from repro.domains.kernels import cached_kernel, grow
+from repro.protocol import DomainKernel, PlanningDomain
 
 __all__ = [
     "TileMove",
     "SlidingTileDomain",
+    "TileKernel",
     "manhattan_distance",
     "is_solvable",
     "reversed_start",
@@ -218,6 +220,211 @@ class SlidingTileDomain(PlanningDomain):
         the blank position alone is sound and makes matches abundant.
         """
         return state.index(0)
+
+    def kernel(self) -> "TileKernel":
+        """Lazy packed-board kernel (any board size)."""
+        return cached_kernel(self, TileKernel)
+
+
+class TileKernel(DomainKernel):
+    """Packed-board kernel for the sliding tile: lazy, vectorised expansion.
+
+    States intern to rows of a ``uint8`` board matrix keyed by their raw
+    bytes (GC-untrackable, unlike tuple keys — tile4's random walks made
+    the object engine's retained tables a cyclic-GC scan burden).  The
+    valid-operation *count* and goal arrays are filled at intern time from
+    the blank position alone; successors materialise in bulk only for the
+    ``(state, slot)`` pairs genes actually select, via row copies and a
+    vectorised Manhattan recomputation — no per-state Python in the steady
+    state.
+    """
+
+    def __init__(self, domain: SlidingTileDomain, max_states: int = 400_000) -> None:
+        self.domain = domain
+        self.max_ops = 4
+        self.unit_cost = True
+        self.epoch = 0
+        self.max_states = max_states
+        n = domain.n
+        self._n = n
+        cells = n * n
+        self._cells = cells
+        # Per blank position b: the valid directions in DIRECTIONS order,
+        # their count, and the target cell of each slot.
+        self._k_of_blank = np.zeros(cells, dtype=np.int32)
+        self._slot_target = np.full((cells, 4), -1, dtype=np.int32)
+        ops_of_blank = []
+        for b in range(cells):
+            r, c = divmod(b, n)
+            k = 0
+            ops = []
+            for name, dr, dc in DIRECTIONS:
+                if 0 <= r + dr < n and 0 <= c + dc < n:
+                    self._slot_target[b, k] = (r + dr) * n + (c + dc)
+                    ops.append(_MOVES[name])
+                    k += 1
+            self._k_of_blank[b] = k
+            ops_of_blank.append(tuple(ops))
+        self._ops_of_blank = tuple(ops_of_blank)
+        # Goal row/col per tile value (tile 0 masked out of the distance).
+        self._goal_r = np.zeros(cells, dtype=np.int64)
+        self._goal_c = np.zeros(cells, dtype=np.int64)
+        for pos, tile in enumerate(domain.goal_state):
+            self._goal_r[tile], self._goal_c[tile] = divmod(pos, n)
+        self._cell_r = np.arange(cells, dtype=np.int64) // n
+        self._cell_c = np.arange(cells, dtype=np.int64) % n
+        self._goal_board = np.asarray(domain.goal_state, dtype=np.uint8)
+        self._distance_bound = domain.distance_bound
+        self._init_tables()
+
+    def _init_tables(self) -> None:
+        cap = 1024
+        self._ids = {}
+        self._count = 0
+        self._boards = np.zeros((cap, self._cells), dtype=np.uint8)
+        self._blank = np.zeros(cap, dtype=np.int32)
+        self._vc = np.zeros(cap, dtype=np.int32)
+        self._succ = np.full((cap, 4), -1, dtype=np.int32)
+        self._gfit = np.zeros(cap, dtype=np.float64)
+        self._gmask = np.zeros(cap, dtype=bool)
+        self._key_cache: dict = {}
+
+    # -- DomainKernel surface -------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return self._count
+
+    @property
+    def valid_count(self) -> np.ndarray:
+        return self._vc
+
+    @property
+    def succ(self) -> np.ndarray:
+        return self._succ
+
+    @property
+    def goal_fit(self) -> np.ndarray:
+        return self._gfit
+
+    @property
+    def goal_mask(self) -> np.ndarray:
+        return self._gmask
+
+    @property
+    def overflowed(self) -> bool:
+        return self._count > self.max_states
+
+    def reset(self) -> None:
+        self._init_tables()
+        self.epoch += 1
+
+    def intern(self, state) -> int:
+        board = np.asarray(state, dtype=np.uint8)
+        return int(self._intern_batch(board[None, :])[0])
+
+    def id_for_key(self, key: Hashable) -> Optional[int]:
+        return self._ids.get(bytes(bytearray(key)))
+
+    def _intern_batch(self, boards: np.ndarray) -> np.ndarray:
+        """Ids for a ``(m, n²)`` uint8 board batch, admitting new rows in bulk."""
+        m = boards.shape[0]
+        out = np.empty(m, dtype=np.int64)
+        new_rows: list = []
+        ids = self._ids
+        count = self._count
+        for i in range(m):
+            key = boards[i].tobytes()
+            sid = ids.get(key)
+            if sid is None:
+                sid = count
+                count += 1
+                ids[key] = sid
+                new_rows.append(i)
+            out[i] = sid
+        if new_rows:
+            self._admit(boards[new_rows])
+            self._count = count
+        return out
+
+    def _admit(self, new_boards: np.ndarray) -> None:
+        """Append a block of distinct boards, computing their row data."""
+        start = self._count
+        needed = start + new_boards.shape[0]
+        self._boards = grow(self._boards, needed)
+        self._blank = grow(self._blank, needed)
+        self._vc = grow(self._vc, needed)
+        self._succ = grow(self._succ, needed, fill=-1)
+        self._gfit = grow(self._gfit, needed)
+        self._gmask = grow(self._gmask, needed)
+        sl = slice(start, needed)
+        self._boards[sl] = new_boards
+        blank = np.argmin(new_boards, axis=1)
+        self._blank[sl] = blank
+        self._vc[sl] = self._k_of_blank[blank]
+        self._succ[sl] = -1
+        # Vectorised equation 6: positions of each tile vs its goal cell.
+        # tile t sits at cell j  →  |r_j - gr_t| + |c_j - gc_t|, blank masked.
+        tiles = new_boards.astype(np.int64)
+        dist = (
+            np.abs(self._cell_r[None, :] - self._goal_r[tiles])
+            + np.abs(self._cell_c[None, :] - self._goal_c[tiles])
+        )
+        dist[tiles == 0] = 0
+        manhattan = dist.sum(axis=1)
+        self._gfit[sl] = 1.0 - manhattan / np.float64(self._distance_bound)
+        self._gmask[sl] = (new_boards == self._goal_board[None, :]).all(axis=1)
+
+    def fill_transitions(self, ids, slots) -> None:
+        # Dedup (id, slot) pairs: the same miss can appear on many rows.
+        code = ids.astype(np.int64) * 4 + slots
+        code = np.unique(code)
+        uids = code // 4
+        uslots = code % 4
+        fresh = self._succ[uids, uslots] < 0
+        uids, uslots = uids[fresh], uslots[fresh]
+        if uids.size == 0:
+            return
+        src = self._boards[uids].copy()
+        blank = self._blank[uids].astype(np.int64)
+        target = self._slot_target[blank, uslots].astype(np.int64)
+        rows = np.arange(uids.size)
+        src[rows, blank] = src[rows, target]
+        src[rows, target] = 0
+        nids = self._intern_batch(src)
+        # _intern_batch may reallocate the tables; index fresh.
+        self._succ[uids, uslots] = nids
+
+    # -- reconstruction -------------------------------------------------------
+
+    def state_of(self, sid: int):
+        return self.state_key_of(sid)
+
+    def state_key_of(self, sid: int) -> Hashable:
+        key = self._key_cache.get(sid)
+        if key is None:
+            key = tuple(int(t) for t in self._boards[sid])
+            self._key_cache[sid] = key
+        return key
+
+    def decode_key_of(self, sid: int) -> Hashable:
+        return int(self._blank[sid])
+
+    def state_keys_of(self, sids) -> list:
+        # One C-level tolist for the whole batch instead of a per-state
+        # genexpr; feeds the cache so scalar lookups stay consistent.
+        sids = np.asarray(sids, dtype=np.int64)
+        keys = [tuple(b) for b in self._boards[sids].tolist()]
+        cache = self._key_cache
+        for sid, key in zip(sids.tolist(), keys):
+            cache[sid] = key
+        return keys
+
+    def decode_keys_of(self, sids) -> list:
+        return self._blank[np.asarray(sids, dtype=np.int64)].tolist()
+
+    def operations_of(self, sid: int) -> Sequence[TileMove]:
+        return self._ops_of_blank[int(self._blank[sid])]
 
 
 def random_solvable_start(

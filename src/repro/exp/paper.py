@@ -69,10 +69,10 @@ def _mean(values: Sequence[float]) -> float:
 
 def hanoi_trial(cell: dict, seed: int, scale: ExperimentScale) -> Dict[str, object]:
     """One Table-2 trial: single- or multi-phase GA on n-disk Hanoi."""
-    from repro.domains.hanoi import HanoiDomain
+    from repro.domains.registry import create as create_domain
 
     n_disks = int(cell["disks"])
-    domain = HanoiDomain(n_disks)
+    domain = create_domain("hanoi", n_disks)
     max_len = hanoi_max_len(n_disks)
     init = domain.optimal_length
     rng = make_rng(seed)
@@ -159,10 +159,10 @@ TABLE2_HANOI = register(
 
 def tile_trial(cell: dict, seed: int, scale: ExperimentScale) -> Dict[str, object]:
     """One Table-4/5 trial: the multi-phase GA on the n×n tile puzzle."""
-    from repro.domains.sliding_tile import SlidingTileDomain
+    from repro.domains.registry import create as create_domain
 
     n = int(cell["n"])
-    domain = SlidingTileDomain(n)
+    domain = create_domain("tile", n)
     cfg = multiphase_config(scale, tile_max_len(n), tile_init_length(n), cell["crossover"])
     return record_metrics(run_multi_record(domain, cfg, make_rng(seed)))
 

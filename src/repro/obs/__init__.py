@@ -46,6 +46,7 @@ from repro.obs.events import (
     event_from_dict,
 )
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, Timer, planner_summary
+from repro.obs.runlog import GenerationLogger, read_log
 from repro.obs.sinks import (
     CSV_COLUMNS,
     CsvSummarySink,
@@ -75,6 +76,7 @@ __all__ = [
     "EvaluatorDegraded",
     "FaultInjected",
     "GenerationComplete",
+    "GenerationLogger",
     "Histogram",
     "IslandMigration",
     "JsonlSink",
@@ -100,5 +102,6 @@ __all__ = [
     "event_from_dict",
     "observe",
     "planner_summary",
+    "read_log",
     "read_trace",
 ]

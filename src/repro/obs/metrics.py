@@ -217,8 +217,9 @@ def planner_summary(metrics: Optional[MetricsRegistry]) -> dict:
 
     Returns ``evals_per_sec`` (individuals scored per second of evaluation
     wall time) plus ``decode_cache_hit_rate`` / ``transition_cache_hit_rate``
-    when the underlying instruments recorded anything; an empty dict
-    otherwise.
+    when the underlying instruments recorded anything, and
+    ``vector_genes_per_sec`` when the vectorised decode path ran; an empty
+    dict otherwise.
     """
     if metrics is None:
         return {}
@@ -238,4 +239,8 @@ def planner_summary(metrics: Optional[MetricsRegistry]) -> dict:
             m = misses.value if misses else 0
             if h + m:
                 out[rate_name] = round(h / (h + m), 4)
+    vgenes = metrics.counters.get("vector_genes")
+    decode = metrics.timers.get("decode")
+    if vgenes is not None and vgenes.value and decode is not None and decode.total > 0:
+        out["vector_genes_per_sec"] = round(vgenes.value / decode.total, 1)
     return out

@@ -76,9 +76,11 @@ class TestObservabilityFlags:
         events = read_trace(trace)
         kinds = {e.kind for e in events}
         assert {"phase-start", "generation", "evaluation-batch"} <= kinds
-        # The metrics summary carries the headline derived rates.
+        # The metrics summary carries the headline derived rates.  Hanoi
+        # has a kernel, so the default run takes the vectorised decode path
+        # and reports its throughput instead of object-engine cache rates.
         assert "evals_per_sec" in out
-        assert "decode_cache_hit_rate" in out
+        assert "vector_genes_per_sec" in out
 
     def test_progress_goes_to_stderr(self, capsys):
         rc = main([*self.SOLVE, "--progress"])

@@ -48,7 +48,9 @@ class TestGARunInstrumentation:
         assert [e.generation for e in gens] == [0, 1, 2, 3]
 
     def test_evaluation_batches_and_cache_snapshot(self, hanoi3, tracer, recorder):
-        GARun(hanoi3, _cfg(), make_rng(0), tracer=tracer).run()
+        # vector_decode=False exercises the object decode engine, whose
+        # decode cache backs the end-of-run snapshot event.
+        GARun(hanoi3, _cfg(vector_decode=False), make_rng(0), tracer=tracer).run()
         batches = recorder.of_kind("evaluation-batch")
         # One batch per generation with pending work; untouched copies keep
         # their fitness, so later generations may evaluate fewer than pop.
@@ -60,15 +62,34 @@ class TestGARunInstrumentation:
         assert len(snapshots) == 1
         assert snapshots[0].hits + snapshots[0].misses > 0
 
+    def test_vector_path_batches_without_cache_snapshot(self, hanoi3, tracer, recorder):
+        # Hanoi has a kernel, so the default run takes the vectorised decode
+        # path: batches still stream, but there is no decode cache to snapshot.
+        GARun(hanoi3, _cfg(), make_rng(0), tracer=tracer).run()
+        batches = recorder.of_kind("evaluation-batch")
+        assert 1 <= len(batches) <= 4
+        assert all(b.mode == "serial" for b in batches)
+        assert all(b.n_evaluated > 0 for b in batches)
+        assert recorder.of_kind("decode-cache") == []
+
     def test_metrics_timers_and_counters(self, hanoi3):
         metrics = MetricsRegistry()
-        GARun(hanoi3, _cfg(), make_rng(1), metrics=metrics).run()
+        GARun(hanoi3, _cfg(vector_decode=False), make_rng(1), metrics=metrics).run()
         assert 10 <= metrics.counters["evals"].value <= 40
         for name in ("eval_batch", "decode", "fitness", "selection", "variation"):
             assert metrics.timers[name].count > 0, name
         hit = metrics.counters["decode_cache_hits"].value
         miss = metrics.counters["decode_cache_misses"].value
         assert hit + miss > 0
+
+    def test_vector_path_metrics(self, hanoi3):
+        metrics = MetricsRegistry()
+        GARun(hanoi3, _cfg(), make_rng(1), metrics=metrics).run()
+        assert 10 <= metrics.counters["evals"].value <= 40
+        for name in ("eval_batch", "decode", "selection", "variation"):
+            assert metrics.timers[name].count > 0, name
+        assert metrics.counters["vector_rows"].value == metrics.counters["evals"].value
+        assert metrics.counters["vector_genes"].value > 0
 
     def test_uninstrumented_run_emits_nothing(self, hanoi3, recorder):
         GARun(hanoi3, _cfg(), make_rng(2)).run()

@@ -5,8 +5,8 @@ import json
 
 import pytest
 
-from repro.core import GAConfig, GARun, GenerationLogger, make_rng, read_log
-from repro.domains import HanoiDomain
+from repro.core import GAConfig, GARun, make_rng
+from repro.obs import GenerationLogger, read_log
 
 
 class TestGenerationLogger:
@@ -70,3 +70,21 @@ class TestGenerationLogger:
         path = tmp_path / "gaps.jsonl"
         path.write_text('{"run": "x", "generation": 0}\n\n{"run": "x", "generation": 1}\n')
         assert len(read_log(path)) == 2
+
+
+class TestDeprecatedShim:
+    def test_core_runlog_warns_and_reexports(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.core.runlog", None)
+        with pytest.warns(DeprecationWarning, match="repro.obs"):
+            legacy = importlib.import_module("repro.core.runlog")
+        assert legacy.GenerationLogger is GenerationLogger
+        assert legacy.read_log is read_log
+
+    def test_dropped_from_core_public_api(self):
+        import repro.core
+
+        assert "GenerationLogger" not in repro.core.__all__
+        assert not hasattr(repro.core, "read_log")
