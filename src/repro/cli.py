@@ -286,6 +286,38 @@ def _cmd_chaos(args) -> int:
     return 0 if report.success else 1
 
 
+def _cmd_soak(args) -> int:
+    from repro.soak import SoakConfig, run_soak
+
+    config = SoakConfig(
+        duration=args.duration,
+        arrival=args.arrival,
+        faults=args.faults,
+        seed=args.seed,
+        n_sites=args.sites,
+        machines_per_site=args.machines_per_site,
+        deadline_factor=args.deadline,
+        replan_mode=args.replan_mode,
+        replan_budget_s=args.replan_budget,
+        max_replans=args.max_replans,
+    )
+    report = run_soak(config)
+    if args.show_log:
+        print(report.event_log(), end="")
+    print(f"duration:         {report.duration:g}s simulated (seed {report.seed})")
+    print(f"requests arrived: {report.arrived}")
+    print(f"completed:        {report.completed}")
+    print(f"shed:             {report.shed}")
+    print(f"still in flight:  {report.inflight}")
+    print(f"replan rounds:    {report.replans}")
+    print(f"completion rate:  {report.completion_rate:.3f}")
+    derived = report.metrics_summary.get("derived", {})
+    for name in ("replan_latency_p50_ms", "replan_latency_p99_ms"):
+        if name in derived:
+            print(f"{name}: {derived[name]}")
+    return 0 if report.completed + report.inflight > 0 or report.arrived == 0 else 1
+
+
 def _exp_scale(args) -> ExperimentScale:
     """Scale for ``exp`` commands: flags win, else ``REPRO_FULL`` decides."""
     from repro.analysis.experiments import scale_from_env
@@ -520,6 +552,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="replanner used after each fault (ga = the paper's multi-phase GA)",
     )
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("soak", help="long-running digital-twin soak under churn")
+    p.add_argument(
+        "--duration", type=float, default=300.0,
+        help="simulated horizon in seconds (default 300)",
+    )
+    p.add_argument(
+        "--arrival", metavar="SPEC", default="arrival:rate=0.05",
+        help="arrival clauses, e.g. 'arrival:rate=0.1' (see repro.faults grammar)",
+    )
+    p.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="churn timeline spec, e.g. 'machine-crash:p=0.5,restore=60'",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=4.0, metavar="FACTOR",
+        help="deadline = arrival + FACTOR x initial makespan estimate (default 4)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sites", type=int, default=3)
+    p.add_argument("--machines-per-site", type=int, default=2)
+    p.add_argument(
+        "--replan-mode", choices=("incremental", "cold"), default="incremental",
+        help="incremental = repair/warm-GA ladder; cold = from-scratch GA baseline",
+    )
+    p.add_argument(
+        "--replan-budget", type=float, default=2.0, metavar="S",
+        help="per-request wall-clock planning budget gating the GA rung",
+    )
+    p.add_argument("--max-replans", type=int, default=5)
+    p.add_argument(
+        "--show-log", action="store_true",
+        help="print the canonical deterministic event log before the summary",
+    )
+    p.set_defaults(func=_cmd_soak)
 
     p = sub.add_parser("exp", help="declarative experiment sweeps")
     exp_sub = p.add_subparsers(dest="exp_command", required=True)

@@ -7,7 +7,7 @@ A fault spec is a ``;``-separated list of clauses, each a fault kind with
 
 The grammar is deliberately tiny so the same string works as a CLI flag
 (``--faults``), a config field, and a test parameter.  Clauses divide into
-two families:
+three families:
 
 - **grid clauses** (``machine-crash``, ``slowdown``, ``link-degrade``,
   ``partition``) are materialised by :class:`~repro.faults.injector.
@@ -15,7 +15,13 @@ two families:
   GridEvent` timeline for the simulator;
 - **execution clauses** (``worker-crash``, ``worker-hang``,
   ``eval-timeout``) configure the fault-tolerant evaluation path
-  (:class:`~repro.core.resilient.ResilientEvaluator`).
+  (:class:`~repro.core.resilient.ResilientEvaluator`);
+- **workload clauses** (``arrival``) describe an open-ended request
+  stream for the long-running soak mode: ``arrival:rate=0.2`` is a
+  Poisson arrival process of workflow requests at 0.2 requests per
+  simulated second, materialised deterministically by
+  :class:`~repro.soak.arrivals.ArrivalStream` (optional ``n`` caps the
+  number of requests; 0 means unbounded).
 
 Parsing is strict: unknown kinds, unknown parameters, missing required
 parameters and out-of-range values all raise ``ValueError`` naming the
@@ -42,9 +48,12 @@ FAULT_KINDS: Dict[str, Tuple[Tuple[str, ...], Dict[str, float]]] = {
     "worker-crash": (("n",), {}),
     "worker-hang": (("n",), {"s": 30.0}),
     "eval-timeout": (("s",), {}),
+    # workload clauses (consumed by the soak mode's arrival stream)
+    "arrival": (("rate",), {"n": 0.0}),
 }
 
 _GRID_KINDS = ("machine-crash", "slowdown", "link-degrade", "partition")
+_WORKLOAD_KINDS = ("arrival",)
 
 
 @dataclass(frozen=True)
@@ -87,6 +96,9 @@ class FaultClause:
         s = params.get("s")
         if s is not None and s <= 0:
             raise ValueError(f"fault {self.fault!r}: s must be positive, got {s}")
+        rate = params.get("rate")
+        if rate is not None and rate <= 0:
+            raise ValueError(f"fault {self.fault!r}: rate must be positive, got {rate}")
         for name in ("restore", "duration"):
             v = params.get(name)
             if v is not None and v < 0:
@@ -115,6 +127,10 @@ class FaultSpec:
     @property
     def grid_clauses(self) -> Tuple[FaultClause, ...]:
         return tuple(c for c in self.clauses if c.fault in _GRID_KINDS)
+
+    @property
+    def arrival_clauses(self) -> Tuple[FaultClause, ...]:
+        return tuple(c for c in self.clauses if c.fault in _WORKLOAD_KINDS)
 
     @property
     def worker_crashes(self) -> int:

@@ -31,11 +31,19 @@ __all__ = ["Offer", "ResourceBroker", "RetryPolicy", "Placement", "PlacementErro
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Capped exponential backoff over a bounded number of attempts."""
+    """Capped exponential backoff over a bounded number of attempts.
+
+    With ``jitter=True`` (the default) retried placements use *full jitter*:
+    each delay is drawn uniformly from ``[0, backoff_s(index)]``, which
+    decorrelates retry storms when many requests lose the same machine at
+    once (the classic thundering-herd fix).  :meth:`backoff_s` stays the
+    deterministic envelope; :meth:`jittered_backoff_s` applies the draw.
+    """
 
     max_attempts: int = 4
     backoff_base_s: float = 0.5
     backoff_cap_s: float = 8.0
+    jitter: bool = True
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -44,8 +52,21 @@ class RetryPolicy:
             raise ValueError("backoff durations must be non-negative")
 
     def backoff_s(self, failure_index: int) -> float:
-        """Delay after the ``failure_index``-th failure (0-based)."""
+        """Deterministic delay cap after the ``failure_index``-th failure (0-based)."""
         return min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** failure_index))
+
+    def jittered_backoff_s(self, failure_index: int, rng=None) -> float:
+        """The actual delay: full jitter over :meth:`backoff_s` when enabled.
+
+        *rng* is a ``numpy.random.Generator`` (or anything with a
+        ``uniform(low, high)`` method); without one — or with
+        ``jitter=False`` — the deterministic envelope is returned, so
+        callers that never pass an rng keep their exact historical delays.
+        """
+        envelope = self.backoff_s(failure_index)
+        if not self.jitter or rng is None or envelope <= 0:
+            return envelope
+        return float(rng.uniform(0.0, envelope))
 
 
 @dataclass(frozen=True)
@@ -145,6 +166,7 @@ class ResourceBroker:
         *,
         attempt: Callable[[Offer], bool],
         policy: Optional[RetryPolicy] = None,
+        rng=None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> Placement:
@@ -153,13 +175,16 @@ class ResourceBroker:
         *attempt* dispatches work to one offer and reports success: truthy
         return means the placement stuck; a falsy return or any exception
         means it failed (machine crashed, dispatch refused, …) and the next
-        ranked offer is tried after a capped exponential backoff.  Backoff
-        is *simulated* — accumulated into :attr:`Placement.backoff_s`, not
-        slept — because broker time is grid time, not wall time.
+        ranked offer is tried after a capped exponential backoff with full
+        jitter (pass a seeded *rng* to enable the jitter draw; without one
+        the deterministic envelope delay is used).  Backoff is *simulated* —
+        accumulated into :attr:`Placement.backoff_s`, not slept — because
+        broker time is grid time, not wall time.
 
-        Each failure emits a ``retry`` event and ticks the ``retries``
-        counter; exhausting every offer (or ``policy.max_attempts``) raises
-        :class:`PlacementError`.
+        Every attempt ticks the ``placement_attempts`` counter and each
+        failure emits a ``retry`` event, ticks ``retries`` and accumulates
+        its delay into ``placement_backoff_s``; exhausting every offer (or
+        ``policy.max_attempts``) raises :class:`PlacementError`.
         """
         policy = policy or RetryPolicy()
         tracer = tracer if tracer is not None else default_tracer()
@@ -170,6 +195,8 @@ class ResourceBroker:
         delay = 0.0
         failures: List[str] = []
         for index, offer in enumerate(ranked[: policy.max_attempts]):
+            if metrics is not None:
+                metrics.counter("placement_attempts").add(1)
             try:
                 ok = bool(attempt(offer))
                 reason = f"placement on {offer.machine} refused"
@@ -179,10 +206,11 @@ class ResourceBroker:
             if ok:
                 return Placement(offer=offer, attempts=index + 1, backoff_s=delay)
             failures.append(reason)
-            backoff = policy.backoff_s(index)
+            backoff = policy.jittered_backoff_s(index, rng)
             delay += backoff
             if metrics is not None:
                 metrics.counter("retries").add(1)
+                metrics.counter("placement_backoff_s").add(backoff)
             if tracer.enabled:
                 tracer.emit(
                     RetryAttempt(

@@ -111,6 +111,26 @@ class ExecutionResult:
         return [r for r in self.trace if r.machine == machine]
 
 
+def _check_monotone(events: Sequence[GridEvent]) -> Tuple[GridEvent, ...]:
+    """Validate that *events* arrive in non-decreasing time order.
+
+    The simulator used to sort injected timelines silently, which masked
+    caller bugs (a fault plan assembled out of order replays differently
+    than the caller believes).  Out-of-order events now raise immediately,
+    naming the offending pair.
+    """
+    out = tuple(events)
+    for i in range(1, len(out)):
+        if out[i].time < out[i - 1].time:
+            raise ValueError(
+                f"grid events must be in non-decreasing time order: event {i} "
+                f"({out[i].kind} {out[i].target!r} at t={out[i].time:g}) precedes "
+                f"event {i - 1} ({out[i - 1].kind} {out[i - 1].target!r} at "
+                f"t={out[i - 1].time:g})"
+            )
+    return out
+
+
 class GridSimulator:
     """Event-driven executor of activity graphs over a mutable topology.
 
@@ -133,7 +153,7 @@ class GridSimulator:
     ) -> None:
         self.ontology = ontology
         self.topology: GridTopology = ontology.topology
-        self.events = sorted(events, key=lambda e: e.time)
+        self.events = _check_monotone(events)
         self.tracer = tracer if tracer is not None else default_tracer()
         self.metrics = metrics if metrics is not None else default_metrics()
 

@@ -37,6 +37,10 @@ from repro.obs.events import (
     PhaseStart,
     ReplanTriggered,
     RetryAttempt,
+    ReplanLatency,
+    RequestArrived,
+    RequestCompleted,
+    RequestShed,
     RunEvent,
     SchedulerGeneration,
     SimulationComplete,
@@ -45,7 +49,14 @@ from repro.obs.events import (
     TrialStarted,
     event_from_dict,
 )
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry, Timer, planner_summary
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    planner_summary,
+    soak_summary,
+)
 from repro.obs.runlog import GenerationLogger, read_log
 from repro.obs.sinks import (
     CSV_COLUMNS,
@@ -86,7 +97,11 @@ __all__ = [
     "PhaseEnd",
     "PhaseStart",
     "ProgressSink",
+    "ReplanLatency",
     "ReplanTriggered",
+    "RequestArrived",
+    "RequestCompleted",
+    "RequestShed",
     "RetryAttempt",
     "RunEvent",
     "SchedulerGeneration",
@@ -104,4 +119,5 @@ __all__ = [
     "planner_summary",
     "read_log",
     "read_trace",
+    "soak_summary",
 ]

@@ -37,6 +37,10 @@ __all__ = [
     "RetryAttempt",
     "EvaluatorDegraded",
     "ReplanTriggered",
+    "RequestArrived",
+    "RequestCompleted",
+    "RequestShed",
+    "ReplanLatency",
     "TrialStarted",
     "TrialFinished",
     "SweepProgress",
@@ -228,6 +232,76 @@ class ReplanTriggered(RunEvent):
 
 
 @dataclass(frozen=True, kw_only=True)
+class RequestArrived(RunEvent):
+    """A workflow request entered the soak loop and was planned (or not).
+
+    ``at`` is simulated arrival time; ``plan_length`` is 0 when no initial
+    plan was found (the request is shed immediately); ``estimate`` is the
+    estimated completion time (simulated clock) of the admitted plan.
+    """
+
+    kind: ClassVar[str] = "request-arrived"
+    request_id: int
+    at: float
+    plan_length: int
+    estimate: float
+
+
+@dataclass(frozen=True, kw_only=True)
+class RequestCompleted(RunEvent):
+    """A soak request delivered its goal.
+
+    ``duration`` is simulated time from arrival to completion; ``replans``
+    counts the churn-triggered replanning rounds the request survived.
+    """
+
+    kind: ClassVar[str] = "request-completed"
+    request_id: int
+    at: float
+    duration: float
+    replans: int
+    deadline_met: bool
+
+
+@dataclass(frozen=True, kw_only=True)
+class RequestShed(RunEvent):
+    """The degradation ladder gave up on a soak request.
+
+    ``reason`` is one of ``unplannable`` (no initial plan), ``no-plan``
+    (every ladder rung failed after churn), ``deadline`` (best replan
+    estimate missed the request's deadline), ``replan-budget`` (too many
+    churn-triggered replans) or ``execution-failed``.
+    """
+
+    kind: ClassVar[str] = "request-shed"
+    request_id: int
+    at: float
+    reason: str
+    replans: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class ReplanLatency(RunEvent):
+    """One churn-triggered replanning round finished for a soak request.
+
+    ``rung`` names the degradation-ladder step that produced the plan
+    (``repair``, ``ga-warm``, ``ga-cold``, ``greedy``) or ``none`` when
+    every rung failed; ``reused``/``repaired`` count operations kept from
+    the damaged plan vs newly planned; ``seconds`` is *wall-clock* replan
+    latency (the one field excluded from determinism comparisons).
+    """
+
+    kind: ClassVar[str] = "replan-latency"
+    request_id: int
+    at: float
+    rung: str
+    reused: int
+    repaired: int
+    plan_length: int
+    seconds: float
+
+
+@dataclass(frozen=True, kw_only=True)
 class SchedulerGeneration(RunEvent):
     """One generation of the GA task mapper (makespan objective)."""
 
@@ -304,6 +378,10 @@ EVENT_KINDS: Dict[str, Type[RunEvent]] = {
         RetryAttempt,
         EvaluatorDegraded,
         ReplanTriggered,
+        RequestArrived,
+        RequestCompleted,
+        RequestShed,
+        ReplanLatency,
         TrialStarted,
         TrialFinished,
         SweepProgress,

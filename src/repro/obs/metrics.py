@@ -35,6 +35,18 @@ name               instrument meaning
                               (header + index arrays + gene arena) per batch
 ``dispatch_bytes_saved`` counter gene-payload bytes that skipped pickling
                               thanks to shared-memory dispatch (lower bound)
+``soak_requests``  counter    workflow requests that arrived in a soak run
+``soak_completed`` counter    soak requests that delivered their goal
+``soak_shed``      counter    soak requests dropped by the degradation ladder
+``soak_replans``   counter    churn-triggered replanning rounds
+``soak_repairs``   counter    replans resolved by prefix repair (ladder rung 1)
+``soak_ga_replans`` counter   replans resolved by a GA replan (warm or cold)
+``soak_greedy_fallbacks`` counter replans resolved by the greedy fallback rung
+``soak_soft_churn`` counter   grid events that invalidated no in-flight plan
+``replan_latency`` histogram  wall-clock seconds per replanning round
+``request_duration`` histogram simulated seconds from arrival to completion
+``placement_attempts`` counter broker placement attempts (incl. successes)
+``placement_backoff_s`` counter total simulated backoff accumulated by retries
 ================== ========== ==================================================
 """
 
@@ -45,7 +57,14 @@ import time
 from contextlib import contextmanager
 from typing import Dict, List, Optional
 
-__all__ = ["Counter", "Timer", "Histogram", "MetricsRegistry", "planner_summary"]
+__all__ = [
+    "Counter",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "planner_summary",
+    "soak_summary",
+]
 
 
 class Counter:
@@ -204,7 +223,7 @@ class MetricsRegistry:
                     f"    {name:<24} n {h.count:<8} mean {h.mean:9.4f}  "
                     f"min {h.min:9.4f}  max {h.max:9.4f}"
                 )
-        derived = planner_summary(self)
+        derived = {**planner_summary(self), **soak_summary(self)}
         if derived:
             lines.append("  derived:")
             for name, value in derived.items():
@@ -243,4 +262,28 @@ def planner_summary(metrics: Optional[MetricsRegistry]) -> dict:
     decode = metrics.timers.get("decode")
     if vgenes is not None and vgenes.value and decode is not None and decode.total > 0:
         out["vector_genes_per_sec"] = round(vgenes.value / decode.total, 1)
+    return out
+
+
+def soak_summary(metrics: Optional[MetricsRegistry]) -> dict:
+    """Headline soak-mode numbers derived from the canonical instruments.
+
+    Returns ``goal_completion_rate`` (completed requests over resolved
+    requests, i.e. completed + shed) when the soak counters recorded
+    anything, plus ``replan_latency_p50_ms`` / ``replan_latency_p99_ms``
+    when churn triggered replans; an empty dict otherwise.
+    """
+    if metrics is None:
+        return {}
+    out: dict = {}
+    completed = metrics.counters.get("soak_completed")
+    shed = metrics.counters.get("soak_shed")
+    done = completed.value if completed else 0
+    lost = shed.value if shed else 0
+    if done + lost:
+        out["goal_completion_rate"] = round(done / (done + lost), 4)
+    latency = metrics.histograms.get("replan_latency")
+    if latency is not None and latency.count:
+        out["replan_latency_p50_ms"] = round(latency.percentile(50) * 1e3, 3)
+        out["replan_latency_p99_ms"] = round(latency.percentile(99) * 1e3, 3)
     return out

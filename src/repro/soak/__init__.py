@@ -1,0 +1,38 @@
+"""Long-running digital-twin soak mode (DESIGN.md §13).
+
+An open-ended co-simulation of the grid: a seeded arrival stream of
+workflow requests (``arrival:`` clauses in the :mod:`repro.faults` spec
+grammar), a deterministic churn timeline injecting machine/link faults
+over hours of simulated time, and a :class:`~repro.soak.controller.
+ReplanController` that replans invalidated in-flight work *incrementally*
+through a degradation ladder (prefix repair → warm-population GA →
+greedy fallback → shed) bounded by per-request deadlines.
+
+Entry points: :func:`run_soak` / :class:`SoakRunner` from Python,
+``python -m repro soak`` from the command line, and
+``benchmarks/bench_soak.py`` for the replan-latency/completion-rate
+benchmark at several churn intensities.
+"""
+
+from repro.soak.arrivals import (
+    ArrivalStream,
+    WorkflowRequest,
+    request_domain,
+    soak_ontology,
+)
+from repro.soak.controller import REPLAN_MODES, ReplanController, ReplanDecision
+from repro.soak.runner import SoakConfig, SoakReport, SoakRunner, run_soak
+
+__all__ = [
+    "ArrivalStream",
+    "REPLAN_MODES",
+    "ReplanController",
+    "ReplanDecision",
+    "SoakConfig",
+    "SoakReport",
+    "SoakRunner",
+    "WorkflowRequest",
+    "request_domain",
+    "run_soak",
+    "soak_ontology",
+]

@@ -1,0 +1,176 @@
+"""Deterministic workflow-request arrivals for the soak mode.
+
+The soak loop (DESIGN.md §13) runs an *open-ended* workload: instead of one
+goal planned once, workflow requests keep arriving for the whole simulated
+duration while the fault timeline churns machines and links underneath
+them.  This module materialises that request stream as a pure function of
+``(arrival clauses, seed, duration)``:
+
+- :func:`soak_ontology` builds the shared grid the whole soak runs on — a
+  seeded random topology (scalable to thousands of machines) plus one
+  registered processing pipeline whose stages every request exercises;
+- :class:`ArrivalStream` turns ``arrival:rate=...`` clauses from the
+  :mod:`repro.faults` spec grammar into a time-ordered tuple of
+  :class:`WorkflowRequest`\\ s (Poisson process: exponential inter-arrival
+  draws from one seeded stream per clause).
+
+Determinism discipline mirrors :class:`~repro.faults.injector.
+FaultInjector`: every draw comes from a ``SeedSequence``-derived stream
+keyed by the clause index, so adding a clause never perturbs the draws of
+clauses before it, and two same-seed streams are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.faults.spec import FaultSpec, parse_fault_spec
+from repro.grid.data import DataProduct
+from repro.grid.generators import random_grid
+from repro.grid.ontology import Ontology
+from repro.grid.programs import InputSpec, OutputSpec, ProgramSpec
+from repro.grid.workflow_domain import GridWorkflowDomain
+
+__all__ = ["WorkflowRequest", "ArrivalStream", "soak_ontology", "request_domain"]
+
+
+@dataclass(frozen=True)
+class WorkflowRequest:
+    """One arriving unit of work: raw data somewhere, a delivery goal elsewhere.
+
+    ``request_id`` is the arrival index (unique across the whole soak);
+    ``seed`` is the request's derived root seed, used for any per-request
+    randomised decision (GA replans) so requests are independent streams.
+    """
+
+    request_id: int
+    at: float
+    source: str
+    sink: str
+    seed: int
+
+
+def soak_ontology(
+    seed: int,
+    n_sites: int = 3,
+    machines_per_site: int = 2,
+    n_stages: int = 3,
+) -> Ontology:
+    """The shared grid + pipeline every soak request runs against.
+
+    A seeded :func:`~repro.grid.generators.random_grid` topology (connected
+    by construction) with one linear processing pipeline ``dt0 → … →
+    dt{n_stages}`` registered on it; each stage also exists in an ``-alt``
+    version with a different cost so replanning has real alternatives to
+    move to when machines churn.  Memory requirements only ever name tiers
+    some machine provides, so every stage is hostable somewhere live.
+    """
+    if n_stages < 1:
+        raise ValueError("need at least one pipeline stage")
+    rng = np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(0,)))
+    topo = random_grid(rng, n_sites=n_sites, machines_per_site=machines_per_site)
+    onto = Ontology(topo)
+    tiers = sorted({m.memory_gb for m in topo.machines.values()})
+    # Modest tiers only: a request must stay plannable after churn takes
+    # the largest machines down, so stage requirements draw from the lower
+    # half of what the topology offers.
+    usable = tiers[: max(1, (len(tiers) + 1) // 2)]
+    for i in range(n_stages + 1):
+        onto.register_data_type(
+            # volume kept modest so transfer times stay comparable to runtimes
+            _data_type(f"dt{i}", volume_mb=float(rng.uniform(50, 800)))
+        )
+    for i in range(n_stages):
+        for suffix, cost_scale in (("", 1.0), ("-alt", float(rng.uniform(1.2, 2.5)))):
+            onto.register_program(
+                ProgramSpec(
+                    name=f"stage{i}{suffix}",
+                    inputs=(InputSpec(dtype=f"dt{i}"),),
+                    outputs=(OutputSpec(dtype=f"dt{i + 1}"),),
+                    # Heavy stages on purpose: requests must stay in flight
+                    # for tens of simulated seconds so the churn timeline
+                    # actually intersects them mid-execution.
+                    flops=float(rng.uniform(20_000, 150_000)) * cost_scale,
+                    min_memory_gb=float(usable[int(rng.integers(0, len(usable)))]),
+                )
+            )
+    return onto
+
+
+def _data_type(name: str, volume_mb: float):
+    from repro.grid.data import DataType
+
+    return DataType(name, volume_mb=volume_mb)
+
+
+def request_domain(
+    ontology: Ontology, request: WorkflowRequest, n_stages: int
+) -> GridWorkflowDomain:
+    """The planning domain for one request: its raw product to its sink.
+
+    Every request gets a *distinct* raw :class:`DataProduct` (the request id
+    is baked into the attributes), so concurrent requests never alias each
+    other's placements even though they share the ontology and topology.
+    """
+    raw = DataProduct.make("dt0", attrs={"request": request.request_id})
+    return GridWorkflowDomain(
+        ontology=ontology,
+        initial_placements=[(raw, request.source)],
+        goal=[(f"dt{n_stages}", request.sink)],
+        max_transfers_per_product=3,
+    )
+
+
+class ArrivalStream:
+    """Materialises ``arrival:`` clauses into a deterministic request stream."""
+
+    def __init__(self, spec: Union[str, FaultSpec], seed: int = 0) -> None:
+        self.spec = parse_fault_spec(spec) if isinstance(spec, str) else spec
+        self.seed = seed
+        if not self.spec.arrival_clauses:
+            raise ValueError(
+                f"spec {str(self.spec)!r} has no arrival clause; "
+                "soak mode needs at least one 'arrival:rate=...' clause"
+            )
+
+    def requests(
+        self, ontology: Ontology, duration: float
+    ) -> Tuple[WorkflowRequest, ...]:
+        """All requests arriving in ``[0, duration)``, time-ordered.
+
+        Each clause is an independent Poisson process; the merged stream is
+        sorted by arrival time (clause order breaking ties) and request ids
+        are assigned after the merge, in stream order.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        machines = ontology.topology.machine_names()  # sorted by construction order
+        raw: List[Tuple[float, int, str, str, int]] = []
+        for clause_index, clause in enumerate(self.spec.arrival_clauses):
+            rng = np.random.default_rng(
+                np.random.SeedSequence(self.seed, spawn_key=(1, clause_index))
+            )
+            rate = clause["rate"]
+            cap = int(clause["n"])
+            t = 0.0
+            count = 0
+            while True:
+                t += float(rng.exponential(1.0 / rate))
+                if t >= duration or (cap and count >= cap):
+                    break
+                source = machines[int(rng.integers(0, len(machines)))]
+                sink = machines[int(rng.integers(0, len(machines)))]
+                raw.append(
+                    (t, clause_index, source, sink, int(rng.integers(0, 1 << 31)))
+                )
+                count += 1
+        raw.sort(key=lambda r: (r[0], r[1]))
+        return tuple(
+            WorkflowRequest(
+                request_id=i, at=t, source=source, sink=sink, seed=req_seed
+            )
+            for i, (t, _, source, sink, req_seed) in enumerate(raw)
+        )

@@ -90,3 +90,36 @@ class TestStrictness:
         spec = parse_fault_spec("partition:p=0.5")
         assert list(spec) == list(spec.clauses)
         assert isinstance(spec, FaultSpec)
+
+
+class TestArrivalClauses:
+    def test_arrival_parses_with_defaults(self):
+        (clause,) = parse_fault_spec("arrival:rate=0.2").clauses
+        assert clause["rate"] == 0.2
+        assert clause["n"] == 0.0  # unbounded by default
+
+    def test_arrival_cap_round_trips(self):
+        spec = parse_fault_spec("arrival:rate=0.5,n=10")
+        assert str(spec) == "arrival:rate=0.5,n=10"
+        assert parse_fault_spec(str(spec)) == spec
+
+    def test_arrival_clauses_view(self):
+        spec = parse_fault_spec("machine-crash:p=0.1;arrival:rate=0.2;arrival:rate=0.05")
+        assert [c["rate"] for c in spec.arrival_clauses] == [0.2, 0.05]
+        # arrival clauses are workload, not grid: the injector ignores them
+        assert [c.fault for c in spec.grid_clauses] == ["machine-crash"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "arrival",  # missing required rate
+            "arrival:rate=0",  # rate must be positive
+            "arrival:rate=-0.5",
+            "arrival:rate=0.2,n=-1",  # negative cap
+            "arrival:rate=0.2,n=1.5",  # non-integer cap
+            "arrival:rate=0.2,burst=3",  # unknown parameter
+        ],
+    )
+    def test_bad_arrival_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_spec(bad)

@@ -151,3 +151,39 @@ class TestSimulator:
     def test_negative_event_time_rejected(self):
         with pytest.raises(ValueError):
             GridEvent(time=-1.0, kind="fail", machine="m")
+
+    def test_out_of_order_events_rejected(self):
+        """The simulator refuses unsorted timelines instead of silently
+        reordering them (a caller bug it used to paper over)."""
+        onto, _domain = imaging_pipeline()
+        machine = onto.topology.machine_names()[0]
+        events = [
+            GridEvent(time=2.0, kind="fail", machine=machine),
+            GridEvent(time=1.0, kind="restore", machine=machine),
+        ]
+        with pytest.raises(ValueError, match="non-decreasing"):
+            GridSimulator(onto, events=events)
+
+    def test_monotonicity_error_names_the_offending_pair(self):
+        onto, _domain = imaging_pipeline()
+        machine = onto.topology.machine_names()[0]
+        events = [
+            GridEvent(time=5.0, kind="fail", machine=machine),
+            GridEvent(time=3.0, kind="restore", machine=machine),
+        ]
+        with pytest.raises(ValueError, match=r"t=3.*t=5|event 1"):
+            GridSimulator(onto, events=events)
+
+    def test_equal_times_allowed(self):
+        onto, domain = imaging_pipeline()
+        machine = onto.topology.machine_names()[0]
+        unused = [
+            m for m in onto.topology.machine_names()
+            if m != machine
+        ][0]
+        events = [
+            GridEvent(time=1.0, kind="fail", machine=unused),
+            GridEvent(time=1.0, kind="restore", machine=unused),
+        ]
+        # Ties are fine: injection order breaks them, as documented.
+        GridSimulator(onto, events=events)

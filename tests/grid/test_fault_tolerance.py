@@ -100,6 +100,60 @@ class TestPlaceWithRetry:
         assert [policy.backoff_s(i) for i in range(4)] == [1.0, 2.0, 4.0, 4.0]
 
 
+class TestBackoffJitter:
+    def test_full_jitter_stays_inside_envelope(self):
+        import numpy as np
+
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=4.0)
+        rng = np.random.default_rng(0)
+        for index in range(4):
+            envelope = policy.backoff_s(index)
+            draws = [policy.jittered_backoff_s(index, rng) for _ in range(50)]
+            assert all(0.0 <= d <= envelope for d in draws)
+            # Full jitter actually spreads: not every draw equals the envelope.
+            assert len({round(d, 6) for d in draws}) > 1
+
+    def test_jitter_is_seed_deterministic(self):
+        import numpy as np
+
+        policy = RetryPolicy()
+        a = [policy.jittered_backoff_s(i, np.random.default_rng(7)) for i in range(3)]
+        b = [policy.jittered_backoff_s(i, np.random.default_rng(7)) for i in range(3)]
+        assert a == b
+
+    def test_no_rng_keeps_deterministic_envelope(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=4.0)
+        assert [policy.jittered_backoff_s(i) for i in range(4)] == [1.0, 2.0, 4.0, 4.0]
+
+    def test_jitter_disabled_ignores_rng(self):
+        import numpy as np
+
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=4.0, jitter=False)
+        rng = np.random.default_rng(0)
+        assert [policy.jittered_backoff_s(i, rng) for i in range(4)] == [1.0, 2.0, 4.0, 4.0]
+
+    def test_place_with_retry_observes_attempts_and_backoff(self, onto_domain):
+        import numpy as np
+
+        onto, _ = onto_domain
+        broker = ResourceBroker(onto)
+        ranked = broker.offers("fft")
+        dead = ranked[0].machine
+        metrics = MetricsRegistry()
+        placement = broker.place_with_retry(
+            "fft",
+            attempt=lambda offer: offer.machine != dead,
+            rng=np.random.default_rng(3),
+            tracer=Tracer([]),
+            metrics=metrics,
+        )
+        assert placement.attempts == 2
+        assert metrics.counter("placement_attempts").value == 2
+        assert metrics.counter("placement_backoff_s").value == placement.backoff_s
+        # Jittered: strictly inside the half-open envelope with probability 1.
+        assert 0.0 <= placement.backoff_s <= RetryPolicy().backoff_s(0)
+
+
 class TestLinkFaults:
     def test_degrade_slows_transfers(self, onto_domain):
         onto, _ = onto_domain

@@ -16,7 +16,11 @@ from repro.obs import (
     IslandMigration,
     PhaseEnd,
     PhaseStart,
+    ReplanLatency,
     ReplanTriggered,
+    RequestArrived,
+    RequestCompleted,
+    RequestShed,
     RetryAttempt,
     SchedulerGeneration,
     SimulationComplete,
@@ -50,6 +54,15 @@ SAMPLES = [
         seed=17, status="ok", seconds=0.8, attempt=2,
     ),
     SweepProgress(scope="table2-hanoi", experiment="table2-hanoi", done=3, failed=1, total=30),
+    RequestArrived(scope="soak", request_id=4, at=12.5, plan_length=6, estimate=58.0),
+    RequestCompleted(
+        scope="soak", request_id=4, at=60.2, duration=47.7, replans=1, deadline_met=True,
+    ),
+    RequestShed(scope="soak", request_id=5, at=33.0, reason="deadline", replans=2),
+    ReplanLatency(
+        scope="soak", request_id=4, at=40.0, rung="repair",
+        reused=4, repaired=2, plan_length=6, seconds=0.004,
+    ),
 ]
 
 

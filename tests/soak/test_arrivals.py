@@ -1,0 +1,98 @@
+"""Units for the soak arrival stream, shared ontology and request domains."""
+
+import pytest
+
+from repro.soak import ArrivalStream, request_domain, soak_ontology
+
+
+class TestSoakOntology:
+    def test_pipeline_registered(self):
+        onto = soak_ontology(seed=0, n_stages=3)
+        names = onto.program_names()
+        for i in range(3):
+            assert f"stage{i}" in names
+            assert f"stage{i}-alt" in names
+        for i in range(4):
+            assert f"dt{i}" in onto.data_types
+
+    def test_same_seed_same_grid(self):
+        a = soak_ontology(seed=5)
+        b = soak_ontology(seed=5)
+        assert a.topology.machine_names() == b.topology.machine_names()
+        assert {n: m.speed for n, m in a.topology.machines.items()} == {
+            n: m.speed for n, m in b.topology.machines.items()
+        }
+        assert {n: p.flops for n, p in a.programs.items()} == {
+            n: p.flops for n, p in b.programs.items()
+        }
+
+    def test_every_stage_hostable(self):
+        onto = soak_ontology(seed=1)
+        for name in onto.program_names():
+            assert onto.hosts_for(name), f"{name} has no host"
+
+    def test_needs_a_stage(self):
+        with pytest.raises(ValueError, match="stage"):
+            soak_ontology(seed=0, n_stages=0)
+
+
+class TestArrivalStream:
+    def test_deterministic(self):
+        onto = soak_ontology(seed=2)
+        a = ArrivalStream("arrival:rate=0.2", seed=2).requests(onto, 200.0)
+        b = ArrivalStream("arrival:rate=0.2", seed=2).requests(onto, 200.0)
+        assert a == b
+        assert all(r.at < 200.0 for r in a)
+        assert [r.request_id for r in a] == list(range(len(a)))
+
+    def test_time_ordered(self):
+        onto = soak_ontology(seed=2)
+        reqs = ArrivalStream("arrival:rate=0.3", seed=0).requests(onto, 300.0)
+        assert list(reqs) == sorted(reqs, key=lambda r: r.at)
+
+    def test_rate_scales_volume(self):
+        onto = soak_ontology(seed=2)
+        slow = ArrivalStream("arrival:rate=0.05", seed=1).requests(onto, 400.0)
+        fast = ArrivalStream("arrival:rate=0.5", seed=1).requests(onto, 400.0)
+        assert len(fast) > len(slow)
+
+    def test_cap_n(self):
+        onto = soak_ontology(seed=2)
+        reqs = ArrivalStream("arrival:rate=1.0,n=3", seed=0).requests(onto, 1000.0)
+        assert len(reqs) == 3
+
+    def test_clause_independence(self):
+        """Adding a second clause never perturbs the first clause's draws."""
+        onto = soak_ontology(seed=2)
+        solo = ArrivalStream("arrival:rate=0.2", seed=4).requests(onto, 150.0)
+        both = ArrivalStream("arrival:rate=0.2;arrival:rate=0.05", seed=4).requests(
+            onto, 150.0
+        )
+        solo_times = [r.at for r in solo]
+        assert set(solo_times) <= {r.at for r in both}
+
+    def test_requires_arrival_clause(self):
+        with pytest.raises(ValueError, match="arrival"):
+            ArrivalStream("machine-crash:p=0.5", seed=0)
+
+    def test_bad_duration(self):
+        onto = soak_ontology(seed=2)
+        with pytest.raises(ValueError, match="duration"):
+            ArrivalStream("arrival:rate=0.2", seed=0).requests(onto, 0.0)
+
+
+class TestRequestDomain:
+    def test_requests_do_not_alias(self):
+        onto = soak_ontology(seed=3)
+        reqs = ArrivalStream("arrival:rate=1.0,n=2", seed=3).requests(onto, 100.0)
+        d0 = request_domain(onto, reqs[0], n_stages=3)
+        d1 = request_domain(onto, reqs[1], n_stages=3)
+        (p0, _), = d0.initial_state
+        (p1, _), = d1.initial_state
+        assert p0 != p1  # distinct raw products per request
+
+    def test_goal_names_sink(self):
+        onto = soak_ontology(seed=3)
+        (req,) = ArrivalStream("arrival:rate=1.0,n=1", seed=3).requests(onto, 100.0)
+        domain = request_domain(onto, req, n_stages=3)
+        assert domain.goal == (("dt3", req.sink),)

@@ -1,0 +1,156 @@
+"""Chaos-tier soak tests: targeted churn landing at the worst moments.
+
+These drive the soak runner's event handlers directly so the fault can be
+aimed exactly — at a machine the in-flight plan depends on, or at the link
+a just-repaired plan routes over — rather than hoping a random timeline
+lands one there.
+"""
+
+import pytest
+
+from repro.grid.simulator import GridEvent
+from repro.grid.workflow_domain import RunProgram, Transfer
+from repro.obs import MetricsRegistry, Tracer
+from repro.soak import SoakConfig, SoakRunner, run_soak
+from repro.soak.arrivals import ArrivalStream
+
+pytestmark = pytest.mark.chaos
+
+
+def _runner(seed=3, **overrides):
+    cfg = SoakConfig(
+        duration=600.0, arrival="arrival:rate=1.0,n=1", seed=seed, **overrides
+    )
+    runner = SoakRunner(cfg, tracer=Tracer([]), metrics=MetricsRegistry())
+    # The handlers' mutable run state, normally set up by run().
+    runner._log = []
+    runner._inflight = {}
+    runner._completed = 0
+    runner._shed = 0
+    runner._latencies = []
+    return runner
+
+
+def _admit_one(runner, pushed):
+    (req,) = ArrivalStream(runner.config.arrival, seed=runner.config.seed).requests(
+        runner.ontology, runner.config.duration
+    )
+    runner._on_arrival(req, req.at, lambda at, prio, p: pushed.append((at, prio, p)))
+    assert req.request_id in runner._inflight, "scenario needs an admitted request"
+    return runner._inflight[req.request_id]
+
+
+def _machines_touched(flight, now):
+    touched = set()
+    for aid in flight.pending_ids(now):
+        op = flight.graph.activity(aid).op
+        if isinstance(op, RunProgram):
+            touched.add(op.machine)
+        elif isinstance(op, Transfer):
+            touched.update((op.src, op.dst))
+    return touched
+
+
+class TestCrashDuringRepair:
+    def test_machine_crash_mid_flight_forces_replan(self):
+        """Crash a machine the pending plan depends on: the repair rung must
+        produce a plan that avoids the dead machine, or shed cleanly."""
+        runner = _runner(seed=3)
+        pushed = []
+        flight = _admit_one(runner, pushed)
+        mid = (flight.segment_start + flight.completion) / 2.0
+        victim = sorted(_machines_touched(flight, mid))[0]
+        ev = GridEvent(time=mid, kind="fail", machine=victim)
+        runner._on_fault(ev, mid, lambda at, prio, p: pushed.append((at, prio, p)))
+        assert not runner.ontology.topology.machines[victim].up
+        rid = flight.request.request_id
+        if rid in runner._inflight:
+            # Replanned: the new schedule must not touch the dead machine.
+            new_flight = runner._inflight[rid]
+            assert new_flight.replans == 1
+            assert victim not in _machines_touched(new_flight, mid)
+        else:
+            assert runner._shed + runner._completed == 1
+        assert runner.metrics.counter("soak_replans").value >= 1
+
+    def test_crash_during_repair_of_earlier_crash(self):
+        """A second crash landing while the first is being repaired: every
+        round must leave the loop consistent (no orphaned completions)."""
+        runner = _runner(seed=7, max_replans=4)
+        pushed = []
+        flight = _admit_one(runner, pushed)
+        rid = flight.request.request_id
+        now = (flight.segment_start + flight.completion) / 2.0
+        push = lambda at, prio, p: pushed.append((at, prio, p))
+        for _round in range(3):
+            if rid not in runner._inflight:
+                break
+            current = runner._inflight[rid]
+            touched = _machines_touched(current, now)
+            if not touched:
+                break
+            victim = sorted(touched)[0]
+            runner._on_fault(GridEvent(time=now, kind="fail", machine=victim), now, push)
+            now += 1.0
+        # Either still in flight with a consistent epoch, or resolved exactly once.
+        if rid in runner._inflight:
+            final = runner._inflight[rid]
+            completions = [p for _at, prio, p in pushed if prio == 0]
+            assert (rid, final.epoch) in completions
+        else:
+            assert runner._completed + runner._shed == 1
+
+
+class TestPartitionMidReplan:
+    def test_partition_lands_between_replans(self):
+        """Partition the route of the *replanned* schedule: the second
+        replan round must classify it and recover or shed — never wedge."""
+        runner = _runner(seed=11, max_replans=4)
+        pushed = []
+        flight = _admit_one(runner, pushed)
+        rid = flight.request.request_id
+        now = (flight.segment_start + flight.completion) / 2.0
+        push = lambda at, prio, p: pushed.append((at, prio, p))
+        victim = sorted(_machines_touched(flight, now))[0]
+        runner._on_fault(GridEvent(time=now, kind="fail", machine=victim), now, push)
+        if rid not in runner._inflight:
+            assert runner._completed + runner._shed == 1
+            return
+        # Now partition a site pair the repaired plan transfers across.
+        replanned = runner._inflight[rid]
+        machines = runner.ontology.topology.machines
+        cross = [
+            (machines[op.src].site, machines[op.dst].site)
+            for aid in replanned.pending_ids(now)
+            for op in [replanned.graph.activity(aid).op]
+            if isinstance(op, Transfer) and machines[op.src].site != machines[op.dst].site
+        ]
+        if not cross:
+            pytest.skip("repaired plan stays within one site")
+        site_a, site_b = cross[0]
+        runner._on_fault(
+            GridEvent(time=now + 1.0, kind="partition", machine=site_a, peer=site_b),
+            now + 1.0,
+            push,
+        )
+        if rid in runner._inflight:
+            assert runner._inflight[rid].replans >= 2
+        else:
+            assert runner._completed + runner._shed == 1
+
+    def test_full_soak_under_partition_storm_stays_consistent(self):
+        """End-to-end: heavy partition + crash churn never wedges the loop
+        and the books always balance."""
+        report = run_soak(
+            SoakConfig(
+                duration=150.0,
+                arrival="arrival:rate=0.1",
+                faults="machine-crash:p=0.8,restore=40;partition:p=0.6",
+                seed=13,
+                max_replans=3,
+            ),
+            tracer=Tracer([]),
+            metrics=MetricsRegistry(),
+        )
+        assert report.arrived == report.completed + report.shed + report.inflight
+        assert report.arrived > 0
