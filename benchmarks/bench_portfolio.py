@@ -1,0 +1,214 @@
+"""Portfolio race bench: time-to-first-solution vs the homogeneous ring.
+
+Races the heterogeneous portfolio of DESIGN.md §14 — two GA islands with
+different crossovers plus a resumable greedy best-first search island,
+adaptive migration, first-solution cancellation — against the homogeneous
+ring island model (`run_islands`, ``stop_on_goal``) on Hanoi-7, the
+paper's hardest Hanoi instance.  Per seed the bench records:
+
+- ``ttfs_s`` — wall-clock seconds until the first valid plan (the ring's
+  number is its full elapsed run when it never solves, i.e. a *lower*
+  bound on its true TTFS, which only strengthens the comparison);
+- the anytime-quality curve — every incumbent improvement the portfolio
+  streamed, as ``(wall_s, goal_fitness, plan_length)`` triples;
+- cleanliness — after cancellation no worker threads survive, no child
+  processes are orphaned, and ``/dev/shm`` holds no new segments.
+
+The headline number, asserted: over >= 3 seeds the portfolio's median
+TTFS is at least 2x faster than the ring baseline's.  Results go to
+``benchmarks/results/BENCH_portfolio.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_portfolio.py [--quick]
+
+Also exposes one pytest-benchmark case (a quick Hanoi-5 race) so the file
+participates in the microbench suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import statistics
+import sys
+import threading
+from pathlib import Path
+
+from repro.core import (
+    GAConfig,
+    IslandConfig,
+    PortfolioSpec,
+    StrategySpec,
+    make_rng,
+    run_islands,
+    run_portfolio,
+)
+from repro.domains import HanoiDomain
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SEEDS = (11, 12, 13)
+
+
+def make_config(quick: bool) -> GAConfig:
+    """Per-island GA budget on Hanoi-7 (the paper's genome scale)."""
+    return GAConfig(
+        population_size=20 if quick else 50,
+        generations=15 if quick else 40,
+        max_len=635,
+        init_length=127,
+    )
+
+
+def shm_entries() -> set:
+    """Names currently present in /dev/shm (empty set when unsupported)."""
+    shm = Path("/dev/shm")
+    if not shm.is_dir():
+        return set()
+    return {p.name for p in shm.iterdir()}
+
+
+def portfolio_spec(cfg: GAConfig) -> PortfolioSpec:
+    return PortfolioSpec(
+        strategies=(
+            StrategySpec(kind="ga", ga=cfg),
+            StrategySpec(kind="ga", ga=cfg.replace(crossover="state-aware")),
+            StrategySpec(kind="search", algorithm="gbfs", expansions_per_tick=64),
+        ),
+        interval=5,
+        migration_size=max(1, cfg.population_size // 10),
+    )
+
+
+def run_ring(domain, cfg: GAConfig, seed: int) -> dict:
+    """The homogeneous baseline: 3 ring-migrating islands, stop on goal."""
+    config = IslandConfig(
+        n_islands=3,
+        migration_interval=5,
+        migration_size=max(1, cfg.population_size // 10),
+        island=cfg,
+    )
+    result = run_islands(domain, config, make_rng(seed))
+    return {
+        "seed": seed,
+        "solved": result.solved,
+        "generations": result.generations_run,
+        # When the ring never solves, elapsed is a lower bound on its TTFS.
+        "ttfs_s": round(result.elapsed_seconds, 6),
+        "ttfs_is_lower_bound": not result.solved,
+    }
+
+
+def run_race(domain, cfg: GAConfig, seed: int) -> dict:
+    """One portfolio race, with post-run cleanliness assertions."""
+    threads_before = threading.active_count()
+    shm_before = shm_entries()
+    result = run_portfolio(domain, portfolio_spec(cfg), make_rng(seed))
+    assert result.solved, f"portfolio failed to solve Hanoi-7 (seed {seed})"
+    assert result.cancelled >= 1, "cancellation never fired"
+    # First-solution cancellation must leave nothing behind.
+    assert threading.active_count() == threads_before, "orphaned worker threads"
+    assert not multiprocessing.active_children(), "orphaned worker processes"
+    leaked = shm_entries() - shm_before
+    assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"
+    return {
+        "seed": seed,
+        "winner": result.winner,
+        "winner_strategy": result.strategies[result.winner],
+        "cancelled": result.cancelled,
+        "ticks_run": result.ticks_run,
+        "rounds": result.rounds,
+        "migrations": result.migrations,
+        "plan_length": len(result.plan),
+        "ttfs_s": round(result.first_solution_wall_s, 6),
+        "anytime_curve": [
+            [round(inc.wall_s, 6), round(inc.goal_fitness, 4), len(inc.plan)]
+            for inc in result.incumbents
+        ],
+    }
+
+
+def run_bench(quick: bool = False) -> dict:
+    domain = HanoiDomain(7)
+    cfg = make_config(quick)
+    races, rings = [], []
+    for seed in SEEDS:
+        race = run_race(domain, cfg, seed)
+        ring = run_ring(domain, cfg, seed)
+        races.append(race)
+        rings.append(ring)
+        print(f"[seed {seed}] portfolio TTFS {race['ttfs_s']}s "
+              f"(winner {race['winner_strategy']}, {race['cancelled']} cancelled) "
+              f"vs ring {ring['ttfs_s']}s"
+              f"{' (unsolved lower bound)' if ring['ttfs_is_lower_bound'] else ''}")
+    median_portfolio = statistics.median(r["ttfs_s"] for r in races)
+    median_ring = statistics.median(r["ttfs_s"] for r in rings)
+    speedup = round(median_ring / median_portfolio, 2)
+    assert speedup >= 2.0, (
+        f"portfolio median TTFS only {speedup}x faster than the ring baseline"
+    )
+    return {
+        "bench": "portfolio race",
+        "quick": quick,
+        "domain": "hanoi-7",
+        "seeds": list(SEEDS),
+        "population_size": cfg.population_size,
+        "generations": cfg.generations,
+        "strategies": [s.label for s in portfolio_spec(cfg).strategies],
+        "notes": (
+            "ttfs_s is wall-clock seconds to the first valid plan; the ring "
+            "baseline's value is its whole run when it never solves, so the "
+            "reported speedup is a floor. anytime_curve lists every "
+            "incumbent improvement the portfolio streamed as "
+            "(wall_s, goal_fitness, plan_length)."
+        ),
+        "portfolio": races,
+        "ring_baseline": rings,
+        "median_ttfs_portfolio_s": median_portfolio,
+        "median_ttfs_ring_s": median_ring,
+        "ttfs_speedup": speedup,
+        "clean_shutdown": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small populations / short ring budget (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(quick=args.quick)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_portfolio.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    print(
+        f"hanoi7: portfolio median TTFS {report['median_ttfs_portfolio_s']}s "
+        f"vs ring {report['median_ttfs_ring_s']}s -> "
+        f"{report['ttfs_speedup']}x faster to first solution"
+    )
+    return 0
+
+
+# -- pytest-benchmark hook -----------------------------------------------------
+
+
+def test_portfolio_race_hanoi5(benchmark):
+    """A quick 2-GA + 1-search race on Hanoi-5 under the bench timer."""
+    domain = HanoiDomain(5)
+    cfg = GAConfig(population_size=20, generations=15, max_len=155, init_length=31)
+
+    def race():
+        result = run_portfolio(domain, portfolio_spec(cfg), make_rng(5))
+        assert result.solved
+        return result
+
+    result = benchmark.pedantic(race, rounds=1, iterations=1)
+    assert result.cancelled >= 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

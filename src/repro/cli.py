@@ -153,8 +153,15 @@ def _cmd_solve(args) -> int:
     mode = args.mode
     multiphase = None
     islands = None
+    portfolio = None
     if mode == "islands":
         islands = args.islands
+    elif mode == "portfolio":
+        from repro.core import parse_portfolio
+
+        portfolio = parse_portfolio(
+            args.portfolio, config, grace_ms=args.grace_ms
+        )
     elif mode == "multiphase" or (mode is None and args.phases > 1):
         multiphase = args.phases
     outcome = GAPlanner(
@@ -163,6 +170,8 @@ def _cmd_solve(args) -> int:
         multiphase=multiphase,
         seed=args.seed,
         islands=islands,
+        portfolio=portfolio,
+        portfolio_serial=args.portfolio_serial,
         mode=mode,
         evaluator=_resolve_solve_evaluator(args),
     ).solve()
@@ -173,6 +182,18 @@ def _cmd_solve(args) -> int:
     print(f"plan length:   {outcome.plan_length}")
     print(f"generations:   {outcome.generations}")
     print(f"wall clock:    {outcome.elapsed_seconds:.1f}s")
+    if outcome.mode == "portfolio":
+        result = outcome.detail
+        winner = (
+            f"island {result.winner} ({result.strategies[result.winner]})"
+            if result.winner is not None
+            else "none"
+        )
+        print(f"winner:        {winner}")
+        print(f"cancelled:     {result.cancelled} island(s)")
+        if result.first_solution_wall_s is not None:
+            print(f"first solve:   {result.first_solution_wall_s:.3f}s")
+        print(f"incumbents:    {len(outcome.incumbents)}")
     if args.show_plan and outcome.plan:
         print("plan:")
         for op in outcome.plan:
@@ -481,10 +502,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=PAPER_SEED)
     p.add_argument("--show-plan", action="store_true")
     p.add_argument(
-        "--mode", choices=("single", "multiphase", "islands"), default=None,
+        "--mode", choices=("single", "multiphase", "islands", "portfolio"),
+        default=None,
         help="run mode (default: multiphase when --phases > 1, else single)",
     )
     p.add_argument("--islands", type=int, default=4, help="island count for --mode islands")
+    p.add_argument(
+        "--portfolio", metavar="SPEC", default="ga,ga:state-aware,search:gbfs",
+        help="portfolio strategy list for --mode portfolio: comma-separated "
+        "ga[:crossover] and search[:algorithm] items",
+    )
+    p.add_argument(
+        "--portfolio-serial", action="store_true",
+        help="run portfolio islands serially (deterministic replay "
+        "verification mode; same race outcome as the concurrent run)",
+    )
+    p.add_argument(
+        "--grace-ms", type=float, default=0.0, metavar="MS",
+        help="let losing islands improve the incumbent for MS wall-clock "
+        "milliseconds after the first solution before cancellation",
+    )
     p.add_argument(
         "--evaluator", choices=("serial", "process", "resilient"), default="serial",
         help="population evaluation strategy (process = worker pool, "

@@ -109,6 +109,32 @@ from repro.core.islands import IslandConfig, IslandResult, run_islands  # noqa: 
 
 __all__ += ["IslandConfig", "IslandResult", "run_islands"]
 
+from repro.core.config import PortfolioSpec, StrategySpec, STRATEGY_KINDS  # noqa: E402
+from repro.core.parallel import build_evaluators  # noqa: E402
+from repro.core.planner import IncumbentStream  # noqa: E402
+from repro.core.portfolio import (  # noqa: E402
+    Incumbent,
+    PortfolioResult,
+    canonical_events,
+    default_portfolio,
+    parse_portfolio,
+    run_portfolio,
+)
+
+__all__ += [
+    "Incumbent",
+    "IncumbentStream",
+    "PortfolioResult",
+    "PortfolioSpec",
+    "STRATEGY_KINDS",
+    "StrategySpec",
+    "build_evaluators",
+    "canonical_events",
+    "default_portfolio",
+    "parse_portfolio",
+    "run_portfolio",
+]
+
 from repro.core.checkpoint import (  # noqa: E402
     Checkpoint,
     CheckpointError,

@@ -11,9 +11,18 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
-__all__ = ["GAConfig", "MultiPhaseConfig", "CROSSOVER_KINDS"]
+__all__ = [
+    "GAConfig",
+    "MultiPhaseConfig",
+    "PortfolioSpec",
+    "StrategySpec",
+    "CROSSOVER_KINDS",
+    "STRATEGY_KINDS",
+]
 
 CROSSOVER_KINDS = ("random", "state-aware", "mixed")
+
+STRATEGY_KINDS = ("ga", "search")
 
 
 @dataclass(frozen=True)
@@ -185,4 +194,163 @@ class MultiPhaseConfig:
 
     def replace(self, **changes) -> "MultiPhaseConfig":
         """Copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """One island of a portfolio: a GA configuration or a heuristic search.
+
+    Attributes
+    ----------
+    kind:
+        ``"ga"`` — the island runs a :class:`~repro.core.ga.GARun` with the
+        config in ``ga`` (one tick = one generation); or ``"search"`` — the
+        island runs a resumable best-first search
+        (:mod:`repro.planning.search.resumable`; one tick =
+        ``expansions_per_tick`` node expansions).
+    name:
+        Display label for events and results; defaulted from the kind when
+        empty (``"ga:random"``, ``"search:gbfs"``, …).
+    ga:
+        The GA configuration (required when ``kind == "ga"``).
+    algorithm:
+        Search algorithm name — one of ``("astar", "wastar", "gbfs",
+        "ucs")`` (``kind == "search"`` only).
+    weight:
+        Heuristic weight for ``"wastar"``.
+    heuristic_scale:
+        Scale applied to the ``goal_gap`` heuristic.
+    expansions_per_tick:
+        Node expansions a search island performs per portfolio tick; sets
+        how often it yields to the driver's cancellation/migration checks.
+    max_expansions:
+        Hard expansion budget for a search island.
+    """
+
+    kind: str = "ga"
+    name: str = ""
+    ga: Optional[GAConfig] = None
+    algorithm: str = "gbfs"
+    weight: float = 2.0
+    heuristic_scale: float = 1.0
+    expansions_per_tick: int = 256
+    max_expansions: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        """Validate the strategy shape for its kind."""
+        if self.kind not in STRATEGY_KINDS:
+            raise ValueError(f"kind must be one of {STRATEGY_KINDS}, got {self.kind!r}")
+        if self.kind == "ga" and self.ga is None:
+            raise ValueError("a 'ga' strategy requires a GAConfig in .ga")
+        if self.kind == "search":
+            # Algorithm names are validated again by make_resumable_search;
+            # checking here keeps bad specs from failing mid-run.
+            if self.algorithm not in ("astar", "wastar", "gbfs", "ucs"):
+                raise ValueError(f"unknown search algorithm {self.algorithm!r}")
+            if self.expansions_per_tick < 1:
+                raise ValueError("expansions_per_tick must be >= 1")
+            if self.max_expansions < 1:
+                raise ValueError("max_expansions must be >= 1")
+            if self.weight < 1.0:
+                raise ValueError(f"weight must be >= 1, got {self.weight}")
+
+    @property
+    def label(self) -> str:
+        """The display name: ``name`` or a derived ``kind:detail`` slug."""
+        if self.name:
+            return self.name
+        if self.kind == "ga":
+            return f"ga:{self.ga.crossover}"
+        return f"search:{self.algorithm}"
+
+    def replace(self, **changes) -> "StrategySpec":
+        """Copy of this spec with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class PortfolioSpec:
+    """Parameters of a heterogeneous island portfolio (DESIGN.md §14).
+
+    Attributes
+    ----------
+    strategies:
+        The islands.  At least one; racing only makes sense with two or
+        more.  GA islands migrate among themselves; search islands never
+        exchange individuals (they have none) but race on equal terms.
+    interval:
+        Ticks per round.  The driver joins all islands every ``interval``
+        ticks to check for a first solution, steer migration, and stream
+        incumbents — it is both the migration interval and the cancellation
+        granularity.
+    migration_size:
+        Base migrants per island per round.  Must be smaller than the
+        smallest GA island population (the adaptive controller may raise an
+        island's intake above the base, but it is always clamped below the
+        destination's population size).
+    adaptive:
+        Steer migration by per-island improvement velocity: stagnant
+        islands pull extra migrants from the current leader on top of the
+        ring, improving islands export more.  ``False`` keeps the plain
+        ring at the base rate.
+    grace_ms:
+        After the first island solves, let the *other* islands keep
+        improving the incumbent for this many wall-clock milliseconds
+        before cancelling them.  ``0`` cancels at the next round boundary
+        — the deterministic setting used by ``--portfolio-serial``
+        verification.
+    max_ticks:
+        Overall tick budget per island; ``None`` derives it from the GA
+        generation budgets (or the search budgets when no GA island
+        exists).
+    """
+
+    strategies: Tuple[StrategySpec, ...] = ()
+    interval: int = 5
+    migration_size: int = 2
+    adaptive: bool = True
+    grace_ms: float = 0.0
+    max_ticks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        """Validate the portfolio shape and the migration bound."""
+        if not isinstance(self.strategies, tuple):
+            object.__setattr__(self, "strategies", tuple(self.strategies))
+        if len(self.strategies) < 1:
+            raise ValueError("a portfolio needs at least one strategy")
+        if self.interval < 1:
+            raise ValueError("interval must be >= 1")
+        if self.migration_size < 1:
+            raise ValueError("migration_size must be >= 1")
+        if self.grace_ms < 0:
+            raise ValueError("grace_ms must be >= 0")
+        if self.max_ticks is not None and self.max_ticks < 1:
+            raise ValueError("max_ticks must be >= 1")
+        pops = [s.ga.population_size for s in self.strategies if s.kind == "ga"]
+        if len(pops) >= 2 and self.migration_size >= min(pops):
+            raise ValueError(
+                "migration_size must be smaller than the smallest GA island "
+                f"population ({min(pops)}), got {self.migration_size}"
+            )
+
+    @property
+    def ga_indices(self) -> Tuple[int, ...]:
+        """Indices of the GA strategies, in portfolio order."""
+        return tuple(i for i, s in enumerate(self.strategies) if s.kind == "ga")
+
+    def tick_budget(self) -> int:
+        """The per-island tick budget implied by ``max_ticks`` or the specs."""
+        if self.max_ticks is not None:
+            return self.max_ticks
+        budgets = [s.ga.generations for s in self.strategies if s.kind == "ga"]
+        if not budgets:
+            budgets = [
+                -(-s.max_expansions // s.expansions_per_tick)
+                for s in self.strategies
+            ]
+        return max(budgets)
+
+    def replace(self, **changes) -> "PortfolioSpec":
+        """Copy of this spec with the given fields replaced."""
         return dataclasses.replace(self, **changes)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.core.config import GAConfig
 from repro.core.ga import GAResult, GARun
 from repro.core.individual import Individual
 from repro.core.decode_engine import DecodeEngine
-from repro.core.parallel import Evaluator, SerialEvaluator
+from repro.core.parallel import Evaluator, SerialEvaluator, build_evaluators
 from repro.core.popbuffer import PopulationBuffer
 from repro.core.stats import RunHistory
 from repro.obs.events import IslandMigration
@@ -45,13 +45,18 @@ class IslandConfig:
 
     ``island`` is the per-island GA config; its ``population_size`` is the
     per-island size (total budget = n_islands × population_size ×
-    generations).
+    generations).  ``per_island`` optionally overrides the config island by
+    island (length must equal ``n_islands``); heterogeneous population
+    sizes are allowed, and ``migration_size`` is then validated against the
+    *smallest* island — migration replaces a destination's worst k, so k
+    must leave every island at least one survivor.
     """
 
     n_islands: int = 4
     migration_interval: int = 10
     migration_size: int = 2
     island: GAConfig = None  # type: ignore[assignment]
+    per_island: Optional[Tuple[GAConfig, ...]] = None
 
     def __post_init__(self) -> None:
         if self.n_islands < 2:
@@ -62,10 +67,27 @@ class IslandConfig:
             raise ValueError("migration_size must be >= 1")
         if self.island is None:
             raise ValueError("island config is required")
-        if self.migration_size >= self.island.population_size:
+        if self.per_island is not None:
+            if not isinstance(self.per_island, tuple):
+                object.__setattr__(self, "per_island", tuple(self.per_island))
+            if len(self.per_island) != self.n_islands:
+                raise ValueError(
+                    f"per_island must list {self.n_islands} configs, "
+                    f"got {len(self.per_island)}"
+                )
+        smallest = min(cfg.population_size for cfg in self.island_configs)
+        if self.migration_size >= smallest:
             raise ValueError(
-                "migration_size must be smaller than the island population"
+                "migration_size must be smaller than the smallest island "
+                f"population ({smallest}), got {self.migration_size}"
             )
+
+    @property
+    def island_configs(self) -> Tuple[GAConfig, ...]:
+        """The effective per-island configs (``per_island`` or the shared one)."""
+        if self.per_island is not None:
+            return self.per_island
+        return (self.island,) * self.n_islands
 
 
 @dataclass
@@ -139,11 +161,12 @@ def run_islands(
     t0 = time.perf_counter()
     tracer = tracer if tracer is not None else default_tracer()
     metrics = metrics if metrics is not None else default_metrics()
+    configs = config.island_configs
     rngs = rng_mod.spawn_many(rng, config.n_islands)
     if evaluator_factory is not None:
-        evaluators: List[Optional[Evaluator]] = [
-            evaluator_factory() for _ in range(config.n_islands)
-        ]
+        evaluators: List[Evaluator] = build_evaluators(
+            evaluator_factory, config.n_islands
+        )
     else:
         # Serial islands keep per-island evaluators (events stay scoped per
         # island) but share one decode engine: all islands search the same
@@ -155,7 +178,7 @@ def run_islands(
         islands = [
             GARun(
                 domain,
-                config.island,
+                configs[i],
                 rngs[i],
                 start_state=start_state,
                 evaluator=evaluators[i],
@@ -168,7 +191,10 @@ def run_islands(
         solved_at: Optional[int] = None
         migrations = 0
         generations = 0
-        for gen in range(config.island.generations):
+        # Heterogeneous islands march in lockstep, so the run length is the
+        # tightest per-island budget.
+        budget = min(cfg.generations for cfg in configs)
+        for gen in range(budget):
             for run in islands:
                 # Evaluate and record, but breed only after possible migration.
                 run._evaluate_and_record()
@@ -193,8 +219,7 @@ def run_islands(
                 run._next_generation()
     finally:
         for evaluator in evaluators:
-            if evaluator is not None:
-                evaluator.close()
+            evaluator.close()
 
     best_island = 0
     best: Optional[Individual] = None

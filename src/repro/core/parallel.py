@@ -50,7 +50,31 @@ __all__ = [
     "ProcessPoolEvaluator",
     "EvaluationContext",
     "WorkerPoolError",
+    "build_evaluators",
 ]
+
+
+def build_evaluators(factory, n: int) -> list:
+    """Construct *n* evaluators from *factory*, leak-free on failure.
+
+    If the k-th factory call raises, the k-1 evaluators already built are
+    closed before the exception propagates — a bare list comprehension
+    would leak their worker pools and shared-memory segments.  Used by the
+    island-model and portfolio drivers, which need one evaluator per
+    island.
+    """
+    evaluators: list = []
+    try:
+        for _ in range(n):
+            evaluators.append(factory())
+    except BaseException:
+        for evaluator in evaluators:
+            try:
+                evaluator.close()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        raise
+    return evaluators
 
 
 class WorkerPoolError(RuntimeError):

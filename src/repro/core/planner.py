@@ -19,25 +19,33 @@ pools never leak, including on ``stop_on_goal`` early exits and on errors.
 
 from __future__ import annotations
 
+import queue
+import threading
 from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Union
 
-from repro.core.config import GAConfig, MultiPhaseConfig
+from repro.core.config import GAConfig, MultiPhaseConfig, PortfolioSpec
 from repro.core.encoding import encode_operations
 from repro.core.ga import GAResult, run_ga
 from repro.core.individual import Individual
 from repro.core.islands import IslandConfig, IslandResult, run_islands
 from repro.core.multiphase import MultiPhaseResult, run_multiphase
 from repro.core.parallel import Evaluator, ProcessPoolEvaluator
+from repro.core.portfolio import (
+    Incumbent,
+    PortfolioResult,
+    default_portfolio,
+    run_portfolio,
+)
 from repro.core.rng import make_rng
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.protocol import PlanningDomain
 
-__all__ = ["PlanningOutcome", "GAPlanner", "PLANNING_MODES"]
+__all__ = ["PlanningOutcome", "GAPlanner", "IncumbentStream", "PLANNING_MODES"]
 
-PLANNING_MODES = ("single", "multiphase", "islands")
+PLANNING_MODES = ("single", "multiphase", "islands", "portfolio")
 
 #: Evaluator specification accepted by :class:`GAPlanner`: a named strategy
 #: or a zero-argument factory returning a fresh :class:`Evaluator`.
@@ -65,11 +73,16 @@ class PlanningOutcome:
     elapsed_seconds:
         Wall clock of the whole run.
     mode:
-        Which run mode produced this outcome (``"single"``, ``"multiphase"``
-        or ``"islands"``).
+        Which run mode produced this outcome (``"single"``, ``"multiphase"``,
+        ``"islands"`` or ``"portfolio"``).
     detail:
-        The underlying :class:`GAResult`, :class:`MultiPhaseResult` or
-        :class:`IslandResult`.
+        The underlying :class:`GAResult`, :class:`MultiPhaseResult`,
+        :class:`IslandResult` or :class:`PortfolioResult`.
+    incumbents:
+        Anytime best-so-far history (portfolio mode only; empty elsewhere).
+        Each entry is an :class:`~repro.core.portfolio.Incumbent` recording
+        which island improved the portfolio-wide best, at which logical
+        tick, and after how much wall-clock time.
     """
 
     plan: tuple
@@ -81,6 +94,7 @@ class PlanningOutcome:
     elapsed_seconds: float
     detail: object
     mode: str = "single"
+    incumbents: tuple = ()
 
 
 def _resolve_evaluator_factory(spec: EvaluatorSpec) -> Optional[Callable[[], Evaluator]]:
@@ -134,11 +148,21 @@ class GAPlanner:
         An :class:`IslandConfig`, or an island count for convenience (ring
         defaults, *config* as the per-island config).  Implies
         ``mode="islands"`` when *mode* is not given.
+    portfolio:
+        A :class:`~repro.core.config.PortfolioSpec`, or a GA-island count
+        for convenience (crossover-diverse GA islands around *config* plus
+        one greedy-search island).  Implies ``mode="portfolio"`` when
+        *mode* is not given.
+    portfolio_serial:
+        Run the portfolio islands serially on one thread instead of a
+        thread pool — the deterministic ``--portfolio-serial``
+        verification mode (identical race outcome, no wall-clock overlap).
     mode:
-        Explicit run mode: ``"single"``, ``"multiphase"`` or ``"islands"``.
-        Defaults to whichever of *multiphase*/*islands* was supplied, else
-        ``"single"``.  Selecting ``mode="multiphase"`` or ``mode="islands"``
-        without the matching config builds a default one from *config*.
+        Explicit run mode: ``"single"``, ``"multiphase"``, ``"islands"`` or
+        ``"portfolio"``.  Defaults to whichever of
+        *multiphase*/*islands*/*portfolio* was supplied, else ``"single"``.
+        Selecting a mode without the matching config builds a default one
+        from *config*.
     seed:
         Root seed; every run derives independent streams from it.
     evaluator:
@@ -159,6 +183,8 @@ class GAPlanner:
         seed: Optional[int] = None,
         *,
         islands: Optional[IslandConfig | int] = None,
+        portfolio: Optional[PortfolioSpec | int] = None,
+        portfolio_serial: bool = False,
         mode: Optional[str] = None,
         evaluator: EvaluatorSpec = None,
         tracer: Optional[Tracer] = None,
@@ -172,12 +198,18 @@ class GAPlanner:
             )
         if isinstance(islands, int):
             islands = IslandConfig(n_islands=islands, island=config)
-        if multiphase is not None and islands is not None:
-            raise ValueError("give at most one of multiphase= and islands=")
+        if isinstance(portfolio, int):
+            portfolio = default_portfolio(config, n_ga=portfolio)
+        given = [c for c in (multiphase, islands, portfolio) if c is not None]
+        if len(given) > 1:
+            raise ValueError(
+                "give at most one of multiphase=, islands= and portfolio="
+            )
         if mode is None:
             mode = (
                 "multiphase" if multiphase is not None
                 else "islands" if islands is not None
+                else "portfolio" if portfolio is not None
                 else "single"
             )
         if mode not in PLANNING_MODES:
@@ -186,13 +218,19 @@ class GAPlanner:
             multiphase = MultiPhaseConfig(phase=config.replace(stop_on_goal=False))
         if mode == "islands" and islands is None:
             islands = IslandConfig(island=config)
+        if mode == "portfolio" and portfolio is None:
+            portfolio = default_portfolio(config)
         if mode != "multiphase":
             multiphase = None
         if mode != "islands":
             islands = None
+        if mode != "portfolio":
+            portfolio = None
         self.mode = mode
         self.multiphase = multiphase
         self.islands = islands
+        self.portfolio = portfolio
+        self.portfolio_serial = portfolio_serial
         self.rng = make_rng(seed)
         self._evaluator_factory = _resolve_evaluator_factory(evaluator)
         self.tracer = tracer
@@ -213,13 +251,36 @@ class GAPlanner:
         self,
         start_state: Optional[object] = None,
         seeds: Optional[Sequence[Individual]] = None,
+        on_incumbent: Optional[Callable[[Incumbent], None]] = None,
     ) -> PlanningOutcome:
-        """Run the configured mode and package the uniform outcome."""
+        """Run the configured mode and package the uniform outcome.
+
+        ``on_incumbent`` streams anytime best-so-far improvements and is
+        only meaningful in portfolio mode (rejected elsewhere).
+        """
+        if on_incumbent is not None and self.mode != "portfolio":
+            raise ValueError("on_incumbent= requires mode='portfolio'")
         if self.mode == "multiphase":
             return self._solve_multiphase(start_state, seeds)
         if self.mode == "islands":
             return self._solve_islands(start_state, seeds)
+        if self.mode == "portfolio":
+            return self._solve_portfolio(start_state, seeds, on_incumbent)
         return self._solve_single(start_state, seeds)
+
+    def solve_stream(
+        self, start_state: Optional[object] = None
+    ) -> "IncumbentStream":
+        """Solve in portfolio mode, iterating incumbents as they appear.
+
+        Returns an :class:`IncumbentStream`: iterate it for
+        :class:`~repro.core.portfolio.Incumbent` records in real time; its
+        ``outcome`` property joins the run and returns the final
+        :class:`PlanningOutcome`.
+        """
+        if self.mode != "portfolio":
+            raise ValueError("solve_stream requires mode='portfolio'")
+        return IncumbentStream(self, start_state)
 
     # -- per-mode drivers ----------------------------------------------------
 
@@ -302,3 +363,86 @@ class GAPlanner:
             detail=result,
             mode="islands",
         )
+
+    def _solve_portfolio(self, start_state, seeds, on_incumbent) -> PlanningOutcome:
+        if seeds:
+            raise ValueError("seeding is only supported in single-phase mode")
+        assert self.portfolio is not None
+        result: PortfolioResult = run_portfolio(
+            self.domain,
+            self.portfolio,
+            self.rng,
+            start_state=start_state,
+            evaluator_factory=self._evaluator_factory,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            serial=self.portfolio_serial,
+            on_incumbent=on_incumbent,
+        )
+        best = result.best
+        plan = result.plan
+        return PlanningOutcome(
+            plan=plan,
+            solved=result.solved,
+            goal_fitness=best.goal_fitness if best is not None else 0.0,
+            plan_length=len(plan),
+            plan_cost=best.plan_cost if best is not None else 0.0,
+            generations=sum(result.ticks_run),
+            elapsed_seconds=result.elapsed_seconds,
+            detail=result,
+            mode="portfolio",
+            incumbents=tuple(result.incumbents),
+        )
+
+
+class IncumbentStream:
+    """Iterator surface over a running portfolio solve (anytime API).
+
+    Runs ``planner.solve`` on a daemon thread and yields each
+    :class:`~repro.core.portfolio.Incumbent` as the driver reports it.
+    Iteration ends when the race finishes; ``outcome`` then holds the
+    final :class:`PlanningOutcome` (accessing it joins the run first, so
+    ``stream.outcome`` alone is a valid blocking wait).  Errors raised by
+    the solve re-raise here, on the consuming thread.
+    """
+
+    _DONE = object()
+
+    def __init__(self, planner: GAPlanner, start_state) -> None:
+        self._queue: "queue.Queue" = queue.Queue()
+        self._outcome: Optional[PlanningOutcome] = None
+        self._error: Optional[BaseException] = None
+
+        def work() -> None:
+            try:
+                self._outcome = planner.solve(
+                    start_state, on_incumbent=self._queue.put
+                )
+            except BaseException as exc:  # re-raised on the consumer side
+                self._error = exc
+            finally:
+                self._queue.put(self._DONE)
+
+        self._thread = threading.Thread(
+            target=work, name="portfolio-solve", daemon=True
+        )
+        self._thread.start()
+
+    def __iter__(self):
+        while True:
+            item = self._queue.get()
+            if item is self._DONE:
+                break
+            yield item
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+
+    @property
+    def outcome(self) -> PlanningOutcome:
+        """The final outcome; blocks until the race completes."""
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+        assert self._outcome is not None
+        return self._outcome

@@ -1,0 +1,782 @@
+"""Heterogeneous island portfolio: racing strategies with cancellation.
+
+The island model in :mod:`repro.core.islands` runs one homogeneous GA
+config generation-by-generation in a single thread.  This module rebuilds
+it as a *portfolio engine* (DESIGN.md §14): each island is a
+:class:`~repro.core.config.StrategySpec` — a GA with its own
+crossover/mutation/engine settings, or a pure heuristic search built on
+:mod:`repro.planning.search.resumable` — and islands race concurrently on
+the same problem.  The first island to reach the goal wins and cancels the
+rest (optionally after an "improve-for-N-ms" grace window), and the driver
+streams an anytime best-so-far incumbent sequence while the race runs.
+
+Determinism is the design constraint everything else bends around.  The
+race is decided in *logical time*, not wall-clock time: islands advance in
+fork-join rounds of ``spec.interval`` ticks (one GA generation or one
+search slice per tick), each island consumes only its own
+SeedSequence-spawned RNG stream, and all cross-island decisions — winner
+selection, adaptive migration, incumbent updates — happen single-threaded
+at round boundaries.  The winner is the island with the smallest
+``(first-solution tick, island index)`` pair, so a run with
+``serial=True`` (the CLI's ``--portfolio-serial`` verification mode)
+replays the exact same race the thread pool ran, producing the same
+winner, the same plans, and the same event log (modulo wall-clock
+``seconds`` payloads — see :func:`canonical_events`).
+
+Each island gets its own evaluator, decode engine, metrics registry and
+buffering tracer, plus a ``copy.deepcopy`` of the domain so the vectorised
+decode path's per-domain kernel caches are never shared across threads.
+Per-island events are re-emitted on the shared tracer in island order at
+every round boundary; per-island metrics merge into the run registry at
+the end (:meth:`~repro.obs.metrics.MetricsRegistry.merge`).
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from threading import Event
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import rng as rng_mod
+from repro.core.config import GAConfig, PortfolioSpec, StrategySpec
+from repro.core.decode_engine import DecodeEngine
+from repro.core.fitness import cost_fitness
+from repro.core.ga import GARun
+from repro.core.parallel import Evaluator, SerialEvaluator, build_evaluators
+from repro.core.stats import RunHistory
+from repro.obs.events import (
+    IncumbentImproved,
+    IslandVelocity,
+    PortfolioCancelled,
+    PortfolioMigration,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import MemoryRecorder
+from repro.obs.tracer import NULL_TRACER, Tracer, default_metrics, default_tracer
+from repro.planning.search.resumable import ResumableSearch, make_resumable_search
+from repro.protocol import PlanningDomain
+
+__all__ = [
+    "Incumbent",
+    "PortfolioResult",
+    "run_portfolio",
+    "default_portfolio",
+    "parse_portfolio",
+    "canonical_events",
+]
+
+#: Event payload keys holding wall-clock measurements, masked by
+#: :func:`canonical_events` when comparing serial vs concurrent traces.
+_WALL_CLOCK_KEYS = ("seconds",)
+
+
+@dataclass(frozen=True)
+class Incumbent:
+    """One best-so-far improvement in the portfolio race (anytime API).
+
+    ``tick`` is logical time on the discovering island; ``wall_s`` is
+    wall-clock seconds since the race started and is the one
+    non-deterministic field (excluded from replay comparisons).
+    """
+
+    island: int
+    strategy: str
+    tick: int
+    plan: tuple
+    goal_fitness: float
+    cost_fitness: float
+    plan_cost: float
+    solved: bool
+    wall_s: float
+
+    def sort_key(self) -> tuple:
+        """Ranking key mirroring :meth:`Individual.sort_key`: goal, then cost."""
+        return (self.goal_fitness, self.cost_fitness)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly record (plan rendered via ``str`` per operation)."""
+        return {
+            "island": self.island,
+            "strategy": self.strategy,
+            "tick": self.tick,
+            "plan_length": len(self.plan),
+            "goal_fitness": self.goal_fitness,
+            "cost_fitness": self.cost_fitness,
+            "plan_cost": self.plan_cost,
+            "solved": self.solved,
+            "wall_s": self.wall_s,
+        }
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of a portfolio race.
+
+    ``histories`` aligns with the spec's strategies (``None`` for search
+    islands); ``winner`` is ``None`` when no island solved within its
+    budget, in which case ``best`` is the best unsolved incumbent (or
+    ``None`` when no island produced any evaluated candidate — possible
+    for search-only portfolios).
+    """
+
+    best: Optional[Incumbent]
+    winner: Optional[int]
+    first_solution_tick: Optional[int]
+    first_solution_wall_s: Optional[float]
+    incumbents: List[Incumbent]
+    strategies: Tuple[str, ...]
+    histories: List[Optional[RunHistory]]
+    ticks_run: List[int]
+    rounds: int
+    migrations: int
+    cancelled: int
+    elapsed_seconds: float
+
+    @property
+    def solved(self) -> bool:
+        """True when some island reached the goal."""
+        return self.winner is not None
+
+    @property
+    def plan(self) -> tuple:
+        """The best plan found (empty when nothing was evaluated)."""
+        return self.best.plan if self.best is not None else ()
+
+
+class _StopToken:
+    """Shared cancellation flag checked by every island between ticks.
+
+    The deterministic race is decided at round boundaries by the driver;
+    this token exists for *hard* stops — cancelling islands mid-round once
+    a winner is final (no grace budget left) so threads do not burn a full
+    round of work that cannot change the outcome.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = Event()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._event.is_set()
+
+    def request_stop(self) -> None:
+        self._event.set()
+
+
+class _IslandWorker:
+    """Base island: owns its RNG stream, tracer buffer and metrics.
+
+    ``run_round`` is the only method executed off the driver thread; it
+    touches exclusively worker-local state, which is what makes the
+    serial and concurrent schedules produce identical trajectories.
+    """
+
+    def __init__(self, index: int, strategy: StrategySpec, buffered: bool) -> None:
+        self.index = index
+        self.strategy = strategy
+        self.label = strategy.label
+        self.scope = f"island-{index}"
+        self.metrics = MetricsRegistry()
+        self.recorder = MemoryRecorder() if buffered else None
+        self.tracer = Tracer([self.recorder]) if buffered else NULL_TRACER
+        self.ticks = 0
+        self.budget = 0
+        self.active = True
+        self.claim_tick: Optional[int] = None
+        self.candidates: List[Incumbent] = []
+        self._best_key: Optional[tuple] = None
+
+    def run_round(self, n_ticks: int, token: _StopToken, t0: float) -> None:
+        """Advance up to *n_ticks* ticks (or until solved/stopped)."""
+        raise NotImplementedError
+
+    def best_total(self) -> float:
+        """Current best combined fitness (velocity signal; GA islands only)."""
+        return -np.inf
+
+    def flush_events(self, tracer: Tracer) -> None:
+        """Re-emit this round's buffered events on the shared tracer."""
+        if self.recorder is None:
+            return
+        for event in self.recorder.events:
+            tracer.emit(event)
+        self.recorder.clear()
+
+    def drain_candidates(self) -> List[Incumbent]:
+        """This round's own-best improvements, oldest first."""
+        out, self.candidates = self.candidates, []
+        return out
+
+    def _offer(self, incumbent: Incumbent) -> None:
+        key = incumbent.sort_key()
+        if self._best_key is None or key > self._best_key:
+            self._best_key = key
+            self.candidates.append(incumbent)
+
+    def close(self) -> None:
+        """Release per-island resources (evaluators)."""
+
+
+class _GAIsland(_IslandWorker):
+    """A GA strategy island: one tick = one generation.
+
+    Breeding is deferred to the *start* of the next tick so the population
+    is always fully evaluated at round boundaries — the same
+    evaluate → migrate → breed ordering the classic island model uses.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        strategy: StrategySpec,
+        domain: PlanningDomain,
+        rng: np.random.Generator,
+        start_state: Optional[object],
+        evaluator: Evaluator,
+        buffered: bool,
+        budget: int,
+    ) -> None:
+        super().__init__(index, strategy, buffered)
+        self.run = GARun(
+            domain,
+            strategy.ga,
+            rng,
+            start_state=start_state,
+            evaluator=evaluator,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            scope=self.scope,
+        )
+        self.evaluator = evaluator
+        self.budget = min(strategy.ga.generations, budget)
+        self._needs_breed = False
+
+    def run_round(self, n_ticks: int, token: _StopToken, t0: float) -> None:
+        for _ in range(n_ticks):
+            if not self.active or token.stop_requested:
+                return
+            if self._needs_breed:
+                self.run._next_generation()
+            self.run._evaluate_and_record()
+            self._needs_breed = True
+            self.ticks += 1
+            best = self.run.best
+            if best is not None:
+                fit = best.fitness
+                self._offer(
+                    Incumbent(
+                        island=self.index,
+                        strategy=self.label,
+                        tick=self.ticks,
+                        plan=best.decoded.operations if best.decoded else (),
+                        goal_fitness=fit.goal,
+                        cost_fitness=fit.cost,
+                        plan_cost=float(
+                            self.run.domain.plan_cost(
+                                best.decoded.operations if best.decoded else ()
+                            )
+                        ),
+                        solved=fit.goal_reached,
+                        wall_s=time.perf_counter() - t0,
+                    )
+                )
+            if self.run.solved_at is not None:
+                # A solved island rests: its claim is registered and any
+                # further polishing comes from the others' grace rounds.
+                if self.claim_tick is None:
+                    self.claim_tick = self.ticks
+                self.active = False
+                return
+            if self.ticks >= self.budget:
+                self.active = False
+                return
+
+    def best_total(self) -> float:
+        best = self.run.best
+        return best.total_fitness if best is not None else -np.inf
+
+    def close(self) -> None:
+        self.evaluator.close()
+
+
+class _SearchIsland(_IslandWorker):
+    """A heuristic-search island: one tick = one bounded expansion slice."""
+
+    def __init__(
+        self,
+        index: int,
+        strategy: StrategySpec,
+        domain: PlanningDomain,
+        start_state: Optional[object],
+        buffered: bool,
+        budget: int,
+    ) -> None:
+        super().__init__(index, strategy, buffered)
+        self.domain = domain
+        self.search: ResumableSearch = make_resumable_search(
+            domain,
+            strategy.algorithm,
+            weight=strategy.weight,
+            heuristic_scale=strategy.heuristic_scale,
+            start_state=start_state,
+            max_expansions=strategy.max_expansions,
+        )
+        own = -(-strategy.max_expansions // strategy.expansions_per_tick)
+        self.budget = min(own, budget)
+
+    def run_round(self, n_ticks: int, token: _StopToken, t0: float) -> None:
+        for _ in range(n_ticks):
+            if not self.active or token.stop_requested:
+                return
+            plan = self.search.step(self.strategy.expansions_per_tick)
+            self.ticks += 1
+            if plan is not None:
+                self._offer(
+                    Incumbent(
+                        island=self.index,
+                        strategy=self.label,
+                        tick=self.ticks,
+                        plan=plan,
+                        goal_fitness=1.0,
+                        cost_fitness=cost_fitness(self.search.cost),
+                        plan_cost=float(self.search.cost),
+                        solved=True,
+                        wall_s=time.perf_counter() - t0,
+                    )
+                )
+                self.claim_tick = self.ticks
+                self.active = False
+                return
+            if self.search.done or self.ticks >= self.budget:
+                self.active = False
+                return
+
+
+class _MigrationController:
+    """Velocity-steered migration among the portfolio's GA islands.
+
+    Every round each GA island's improvement velocity (best-total delta
+    over the round) feeds the ``island_velocity`` histogram and an
+    :class:`IslandVelocity` event.  Islands always trade along the ring of
+    *active* GA islands at the base rate; with ``spec.adaptive`` a
+    stagnant island's intake grows with its stagnation streak and, from
+    two stagnant rounds on, it pulls an extra "boost" edge from the
+    current leader — stagnant islands import more, improving islands
+    (the leader first among them) export more.  All decisions are pure
+    functions of island state, so serial replay reproduces them exactly.
+    """
+
+    _EPS = 1e-12
+
+    def __init__(self, spec: PortfolioSpec) -> None:
+        self.spec = spec
+        self._last_best: dict = {}
+        self.stagnation: dict = {}
+
+    def observe(self, workers: List[_IslandWorker]) -> dict:
+        """Update velocities after a round; returns ``{island: velocity}``."""
+        velocities = {}
+        for w in workers:
+            if not isinstance(w, _GAIsland):
+                continue
+            now = w.best_total()
+            last = self._last_best.get(w.index)
+            v = 0.0 if last is None else float(now - last)
+            self._last_best[w.index] = now
+            velocities[w.index] = v
+            if last is not None and v <= self._EPS:
+                self.stagnation[w.index] = self.stagnation.get(w.index, 0) + 1
+            else:
+                self.stagnation[w.index] = 0
+        return velocities
+
+    def plan(self, workers: List[_IslandWorker]) -> List[tuple]:
+        """Migration edges ``(src, dst, k, reason)`` for this round."""
+        ga = [w for w in workers if isinstance(w, _GAIsland) and w.active]
+        if len(ga) < 2:
+            return []
+        base = self.spec.migration_size
+        edges = []
+        for i, dst in enumerate(ga):
+            src = ga[(i - 1) % len(ga)]
+            k = base
+            if self.spec.adaptive:
+                k = base + self.stagnation.get(dst.index, 0)
+            edges.append((src, dst, k, "ring"))
+        if self.spec.adaptive:
+            leader = max(ga, key=lambda w: (w.best_total(), -w.index))
+            for dst in ga:
+                if dst is leader:
+                    continue
+                if self.stagnation.get(dst.index, 0) >= 2:
+                    edges.append((leader, dst, base, "boost"))
+        return edges
+
+
+def _apply_migration(edges: List[tuple]) -> int:
+    """Execute migration edges on evaluated populations; returns migrants moved.
+
+    Emigrants are snapshotted from every source before any import, so the
+    order edges are applied in cannot feed an island its own fresh
+    immigrants.  Immigrant genomes longer than the destination's
+    ``max_len`` are skipped (their fitness would be invalid if truncated);
+    intake is clamped to leave the destination at least one native
+    survivor.
+    """
+    exports = {}
+    for src, dst, k, _reason in edges:
+        if src.index not in exports:
+            ranked = sorted(
+                src.run.population, key=lambda ind: ind.total_fitness, reverse=True
+            )
+            exports[src.index] = ranked
+    imports: dict = {}
+    for src, dst, k, _reason in edges:
+        pool = exports[src.index]
+        dst_cap = dst.strategy.ga.max_len
+        fitting = [ind for ind in pool if dst_cap is None or len(ind) <= dst_cap]
+        take = min(k, len(fitting))
+        imports.setdefault(dst.index, (dst, []))[1].extend(
+            ind.copy() for ind in fitting[:take]
+        )
+    moved = 0
+    for dst, immigrants in imports.values():
+        if not immigrants:
+            continue
+        population = dst.run.population
+        room = len(population) - 1  # keep at least one native survivor
+        immigrants = immigrants[:room]
+        ranked = sorted(population, key=lambda ind: ind.total_fitness)
+        worst = {id(ind) for ind in ranked[: len(immigrants)]}
+        survivors = [ind for ind in population if id(ind) not in worst]
+        dst.run.population = survivors + immigrants
+        moved += len(immigrants)
+    return moved
+
+
+def _build_workers(
+    spec: PortfolioSpec,
+    domain: PlanningDomain,
+    rng: np.random.Generator,
+    start_state: Optional[object],
+    evaluator_factory: Optional[Callable[[], Evaluator]],
+    buffered: bool,
+) -> List[_IslandWorker]:
+    """Construct one worker per strategy, leak-free on factory failure."""
+    rngs = rng_mod.spawn_many(rng, len(spec.strategies))
+    ga_indices = spec.ga_indices
+    if evaluator_factory is not None:
+        evaluators = build_evaluators(evaluator_factory, len(ga_indices))
+    else:
+        # Unlike the serial island model, engines are NOT shared across
+        # islands: each worker runs on its own thread.
+        evaluators = [SerialEvaluator(engine=DecodeEngine()) for _ in ga_indices]
+    by_island = dict(zip(ga_indices, evaluators))
+    budget = spec.tick_budget()
+    workers: List[_IslandWorker] = []
+    try:
+        for i, strategy in enumerate(spec.strategies):
+            # Per-island domain copies keep kernel/transition caches
+            # thread-local; domains are plain picklable data, so deepcopy
+            # is cheap and yields an identical search space.
+            try:
+                dom = copy.deepcopy(domain)
+            except Exception:
+                dom = domain
+            if strategy.kind == "ga":
+                workers.append(
+                    _GAIsland(
+                        i, strategy, dom, rngs[i], start_state,
+                        by_island[i], buffered, budget,
+                    )
+                )
+            else:
+                workers.append(
+                    _SearchIsland(i, strategy, dom, start_state, buffered, budget)
+                )
+    except BaseException:
+        for evaluator in evaluators:
+            try:
+                evaluator.close()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        raise
+    return workers
+
+
+def _run_round(
+    workers: List[_IslandWorker],
+    executor: Optional[ThreadPoolExecutor],
+    interval: int,
+    token: _StopToken,
+    t0: float,
+) -> None:
+    """Advance every active worker by one round, serially or on threads."""
+    active = []
+    for w in workers:
+        if not w.active:
+            continue
+        if w.budget - w.ticks <= 0:
+            w.active = False
+            continue
+        active.append(w)
+    if executor is None:
+        for w in active:
+            w.run_round(min(interval, w.budget - w.ticks), token, t0)
+    else:
+        futures = [
+            executor.submit(w.run_round, min(interval, w.budget - w.ticks), token, t0)
+            for w in active
+        ]
+        for future in futures:
+            future.result()
+
+
+def run_portfolio(
+    domain: PlanningDomain,
+    spec: PortfolioSpec,
+    rng: np.random.Generator,
+    start_state: Optional[object] = None,
+    evaluator_factory: Optional[Callable[[], Evaluator]] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    serial: bool = False,
+    on_incumbent: Optional[Callable[[Incumbent], None]] = None,
+) -> PortfolioResult:
+    """Race the spec's strategies on *domain*; first solution wins.
+
+    ``serial=True`` runs the islands one after another on the driver
+    thread instead of a thread pool — the ``--portfolio-serial``
+    verification mode.  Because all cross-island decisions happen at round
+    boundaries in logical time, the serial schedule reproduces the
+    concurrent run's winner, plans, migrations and event log exactly
+    (wall-clock payloads aside; see :func:`canonical_events`).
+
+    ``on_incumbent`` is invoked from the driver thread, in deterministic
+    order, each time the portfolio-wide best-so-far improves.
+    """
+    t0 = time.perf_counter()
+    tracer = tracer if tracer is not None else default_tracer()
+    metrics = metrics if metrics is not None else default_metrics()
+    # The ambient registry may be absent; driver instruments still record
+    # into a throwaway so the code path stays unconditional.
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    buffered = tracer.enabled
+    workers = _build_workers(
+        spec, domain, rng, start_state, evaluator_factory, buffered
+    )
+    token = _StopToken()
+    controller = _MigrationController(spec)
+    incumbents: List[Incumbent] = []
+    best: Optional[Incumbent] = None
+    winner: Optional[_IslandWorker] = None
+    rounds = 0
+    migrations = 0
+    executor = None
+    try:
+        if not serial:
+            executor = ThreadPoolExecutor(
+                max_workers=len(workers), thread_name_prefix="portfolio"
+            )
+
+        def drain() -> None:
+            nonlocal best
+            for w in workers:
+                w.flush_events(tracer)
+            for w in workers:
+                for cand in w.drain_candidates():
+                    if best is None or cand.sort_key() > best.sort_key():
+                        best = cand
+                        incumbents.append(cand)
+                        metrics.counter("incumbent_improvements").add()
+                        if tracer.enabled:
+                            tracer.emit(
+                                IncumbentImproved(
+                                    island=cand.island,
+                                    strategy=cand.strategy,
+                                    tick=cand.tick,
+                                    goal_fitness=cand.goal_fitness,
+                                    cost_fitness=cand.cost_fitness,
+                                    plan_length=len(cand.plan),
+                                    solved=cand.solved,
+                                )
+                            )
+                        if on_incumbent is not None:
+                            on_incumbent(cand)
+
+        while any(w.active for w in workers):
+            _run_round(workers, executor, spec.interval, token, t0)
+            rounds += 1
+            metrics.counter("portfolio_rounds").add()
+            drain()
+            claims = [
+                (w.claim_tick, w.index, w) for w in workers if w.claim_tick is not None
+            ]
+            if claims:
+                _, _, winner = min(claims, key=lambda c: (c[0], c[1]))
+                break
+            velocities = controller.observe(workers)
+            if tracer.enabled:
+                for island, velocity in sorted(velocities.items()):
+                    w = workers[island]
+                    tracer.emit(
+                        IslandVelocity(
+                            round_index=rounds,
+                            island=island,
+                            strategy=w.label,
+                            velocity=velocity,
+                            best_total=float(w.best_total()),
+                            stagnation=controller.stagnation.get(island, 0),
+                        )
+                    )
+            for velocity in velocities.values():
+                metrics.histogram("island_velocity").observe(velocity)
+            edges = controller.plan(workers)
+            if edges:
+                moved = _apply_migration(edges)
+                migrations += 1
+                metrics.counter("portfolio_migrants").add(moved)
+                for src, dst, k, reason in edges:
+                    if reason == "boost":
+                        metrics.counter("portfolio_boost_edges").add()
+                    if tracer.enabled:
+                        tracer.emit(
+                            PortfolioMigration(
+                                round_index=rounds,
+                                source=src.index,
+                                dest=dst.index,
+                                migrants=k,
+                                reason=reason,
+                            )
+                        )
+
+        cancelled = 0
+        if winner is not None:
+            if spec.grace_ms > 0:
+                # Grace window: the losers may polish the incumbent for a
+                # wall-clock budget.  The winner is already final, so this
+                # cannot change the race outcome — only improve `best`.
+                deadline = time.perf_counter() + spec.grace_ms / 1000.0
+                while (
+                    time.perf_counter() < deadline
+                    and any(w.active for w in workers)
+                ):
+                    _run_round(workers, executor, spec.interval, token, t0)
+                    rounds += 1
+                    drain()
+            token.request_stop()
+            for w in workers:
+                if w.active:
+                    w.active = False
+                    cancelled += 1
+            metrics.counter("islands_cancelled").add(cancelled)
+            if tracer.enabled:
+                tracer.emit(
+                    PortfolioCancelled(
+                        winner=winner.index,
+                        strategy=winner.label,
+                        tick=winner.claim_tick,
+                        cancelled=cancelled,
+                    )
+                )
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+        for w in workers:
+            w.close()
+    for w in workers:
+        metrics.merge(w.metrics)
+
+    first_wall = None
+    if winner is not None:
+        for inc in incumbents:
+            if inc.solved:
+                first_wall = inc.wall_s
+                break
+    return PortfolioResult(
+        best=best,
+        winner=winner.index if winner is not None else None,
+        first_solution_tick=winner.claim_tick if winner is not None else None,
+        first_solution_wall_s=first_wall,
+        incumbents=incumbents,
+        strategies=tuple(w.label for w in workers),
+        histories=[
+            w.run.history if isinstance(w, _GAIsland) else None for w in workers
+        ],
+        ticks_run=[w.ticks for w in workers],
+        rounds=rounds,
+        migrations=migrations,
+        cancelled=cancelled if winner is not None else 0,
+        elapsed_seconds=time.perf_counter() - t0,
+    )
+
+
+def default_portfolio(
+    base: GAConfig,
+    n_ga: int = 2,
+    search: Tuple[str, ...] = ("gbfs",),
+    **spec_kwargs,
+) -> PortfolioSpec:
+    """A sensible racing portfolio around one base GA config.
+
+    GA islands cycle through the crossover kinds starting from the base
+    config's own; search islands are appended after them.
+    """
+    kinds = ("random", "state-aware", "mixed")
+    start = kinds.index(base.crossover)
+    strategies = [
+        StrategySpec(kind="ga", ga=base.replace(crossover=kinds[(start + i) % 3]))
+        for i in range(n_ga)
+    ]
+    strategies += [StrategySpec(kind="search", algorithm=a) for a in search]
+    return PortfolioSpec(strategies=tuple(strategies), **spec_kwargs)
+
+
+def parse_portfolio(text: str, base: GAConfig, **spec_kwargs) -> PortfolioSpec:
+    """Build a :class:`PortfolioSpec` from a CLI strategy list.
+
+    *text* is comma-separated items: ``ga`` (base config), ``ga:<crossover>``
+    (base with that crossover), or ``search:<algorithm>``; e.g.
+    ``"ga,ga:state-aware,search:gbfs"``.
+    """
+    strategies = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        kind, _, detail = item.partition(":")
+        if kind == "ga":
+            cfg = base.replace(crossover=detail) if detail else base
+            strategies.append(StrategySpec(kind="ga", ga=cfg))
+        elif kind == "search":
+            strategies.append(
+                StrategySpec(kind="search", algorithm=detail or "gbfs")
+            )
+        else:
+            raise ValueError(f"unknown strategy {item!r} (expected ga[...]/search[...])")
+    return PortfolioSpec(strategies=tuple(strategies), **spec_kwargs)
+
+
+def canonical_events(events) -> List[dict]:
+    """Event dicts with wall-clock payloads masked, for replay comparison.
+
+    Serial replay reproduces every deterministic payload of the concurrent
+    run's event log; fields that measure wall time (``seconds`` on
+    evaluation batches) necessarily differ and are zeroed here — the same
+    convention the soak determinism suite uses for ``replan-latency``.
+    """
+    out = []
+    for event in events:
+        record = event.to_dict()
+        for key in _WALL_CLOCK_KEYS:
+            if key in record:
+                record[key] = 0.0
+        out.append(record)
+    return out

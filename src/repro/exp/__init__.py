@@ -42,6 +42,7 @@ from repro.exp.spec import Comparison, ExperimentSpec, TrialSpec, config_hash, d
 
 # Built-in paper/table specs self-register on import.
 from repro.exp import paper as _paper  # noqa: F401  (import for side effect)
+from repro.exp import islands_portfolio as _islands_portfolio  # noqa: F401  (self-registers)
 
 __all__ = [
     "ABLATION_SEEDS",

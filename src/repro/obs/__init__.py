@@ -32,9 +32,13 @@ from repro.obs.events import (
     EvaluatorDegraded,
     FaultInjected,
     GenerationComplete,
+    IncumbentImproved,
     IslandMigration,
+    IslandVelocity,
     PhaseEnd,
     PhaseStart,
+    PortfolioCancelled,
+    PortfolioMigration,
     ReplanTriggered,
     RetryAttempt,
     ReplanLatency,
@@ -89,13 +93,17 @@ __all__ = [
     "GenerationComplete",
     "GenerationLogger",
     "Histogram",
+    "IncumbentImproved",
     "IslandMigration",
+    "IslandVelocity",
     "JsonlSink",
     "MemoryRecorder",
     "MetricsRegistry",
     "NULL_TRACER",
     "PhaseEnd",
     "PhaseStart",
+    "PortfolioCancelled",
+    "PortfolioMigration",
     "ProgressSink",
     "ReplanLatency",
     "ReplanTriggered",

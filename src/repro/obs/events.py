@@ -27,6 +27,10 @@ __all__ = [
     "PhaseStart",
     "PhaseEnd",
     "IslandMigration",
+    "IslandVelocity",
+    "PortfolioMigration",
+    "PortfolioCancelled",
+    "IncumbentImproved",
     "EvaluationBatch",
     "DecodeCacheSnapshot",
     "CheckpointWrite",
@@ -121,6 +125,75 @@ class IslandMigration(RunEvent):
     migration: int
     n_islands: int
     migrants_per_island: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class IslandVelocity(RunEvent):
+    """One portfolio island's improvement velocity over the last round.
+
+    ``velocity`` is the change in the island's best total fitness across
+    the round; ``stagnation`` counts consecutive rounds with no measurable
+    improvement (the adaptive-migration controller's steering signal).
+    """
+
+    kind: ClassVar[str] = "island-velocity"
+    round_index: int
+    island: int
+    strategy: str
+    velocity: float
+    best_total: float
+    stagnation: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class PortfolioMigration(RunEvent):
+    """One directed migration edge executed by the portfolio controller.
+
+    ``reason`` is ``"ring"`` for the baseline ring edge or ``"boost"`` for
+    an extra leader→stagnant-island edge added by the adaptive controller.
+    """
+
+    kind: ClassVar[str] = "portfolio-migration"
+    round_index: int
+    source: int
+    dest: int
+    migrants: int
+    reason: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class PortfolioCancelled(RunEvent):
+    """First-solution cancellation fired: the race has a winner.
+
+    ``tick`` is the winner's logical tick at its first solution;
+    ``cancelled`` counts the islands stopped before exhausting their own
+    budgets (after any grace window).
+    """
+
+    kind: ClassVar[str] = "portfolio-cancelled"
+    winner: int
+    strategy: str
+    tick: int
+    cancelled: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class IncumbentImproved(RunEvent):
+    """The portfolio-wide best-so-far plan improved (anytime API).
+
+    Deliberately excludes wall-clock time so serial replay produces a
+    byte-identical event log; wall times live on the
+    :class:`~repro.core.portfolio.Incumbent` records in the result.
+    """
+
+    kind: ClassVar[str] = "incumbent"
+    island: int
+    strategy: str
+    tick: int
+    goal_fitness: float
+    cost_fitness: float
+    plan_length: int
+    solved: bool
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -368,6 +441,10 @@ EVENT_KINDS: Dict[str, Type[RunEvent]] = {
         PhaseStart,
         PhaseEnd,
         IslandMigration,
+        IslandVelocity,
+        PortfolioMigration,
+        PortfolioCancelled,
+        IncumbentImproved,
         EvaluationBatch,
         DecodeCacheSnapshot,
         CheckpointWrite,

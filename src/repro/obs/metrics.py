@@ -47,7 +47,19 @@ name               instrument meaning
 ``request_duration`` histogram simulated seconds from arrival to completion
 ``placement_attempts`` counter broker placement attempts (incl. successes)
 ``placement_backoff_s`` counter total simulated backoff accumulated by retries
+``portfolio_rounds`` counter  fork-join rounds driven by the portfolio engine
+``portfolio_migrants`` counter individuals moved by portfolio migration edges
+``portfolio_boost_edges`` counter extra leader→stagnant edges added by the
+                              adaptive-migration controller
+``islands_cancelled`` counter islands stopped by first-solution cancellation
+``incumbent_improvements`` counter portfolio-wide best-so-far improvements
+``island_velocity`` histogram per-island per-round best-fitness deltas
 ================== ========== ==================================================
+
+Concurrent layers (the portfolio engine's thread-backed islands) give each
+worker its *own* registry and fold them into the parent's with
+:meth:`MetricsRegistry.merge` at a join point, preserving the no-locks
+rule.
 """
 
 from __future__ import annotations
@@ -188,6 +200,38 @@ class MetricsRegistry:
         if h is None:
             h = self.histograms[name] = Histogram(name, sample_size)
         return h
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s instruments into this registry, name by name.
+
+        Counters add, timers combine their accumulations, histograms
+        concatenate (the bounded sample keeps the earliest values).  This
+        is how per-island registries from concurrent portfolio workers
+        reach the run-level registry without sharing mutable state across
+        threads; merging in a fixed island order keeps the result
+        deterministic.
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).add(counter.value)
+        for name, timer in other.timers.items():
+            mine = self.timer(name)
+            mine.count += timer.count
+            mine.total += timer.total
+            if timer.min < mine.min:
+                mine.min = timer.min
+            if timer.max > mine.max:
+                mine.max = timer.max
+        for name, hist in other.histograms.items():
+            mine = self.histogram(name, sample_size=hist.sample_size)
+            mine.count += hist.count
+            mine.total += hist.total
+            if hist.min < mine.min:
+                mine.min = hist.min
+            if hist.max > mine.max:
+                mine.max = hist.max
+            room = mine.sample_size - len(mine._sample)
+            if room > 0:
+                mine._sample.extend(hist._sample[:room])
 
     def summary(self) -> dict:
         """All instruments as one JSON-friendly dict."""

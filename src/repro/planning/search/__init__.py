@@ -17,10 +17,15 @@ from repro.planning.search.heuristics import (
     zero_heuristic,
 )
 from repro.planning.search.local import greedy_best_first, hill_climbing, random_walk_planner
+from repro.planning.search.resumable import (
+    SEARCH_ALGORITHMS,
+    ResumableSearch,
+    make_resumable_search,
+)
 
 __all__ = [
-    "PlanningGraph", "SearchResult", "astar", "breadth_first_search", "goal_count",
-    "goal_gap", "graphplan", "greedy_best_first", "hill_climbing", "idastar",
-    "make_h_add", "make_h_max", "random_walk_planner", "uniform_cost_search",
-    "weighted_astar", "zero_heuristic",
+    "PlanningGraph", "ResumableSearch", "SEARCH_ALGORITHMS", "SearchResult", "astar",
+    "breadth_first_search", "goal_count", "goal_gap", "graphplan", "greedy_best_first",
+    "hill_climbing", "idastar", "make_h_add", "make_h_max", "make_resumable_search",
+    "random_walk_planner", "uniform_cost_search", "weighted_astar", "zero_heuristic",
 ]

@@ -1,0 +1,206 @@
+"""Resumable best-first search: classical search in tick-sized slices.
+
+The classical planners in :mod:`repro.planning.search.classical` run to
+completion inside one call, which makes them unusable as *racing islands*
+in the portfolio engine (DESIGN.md §14): an island must advance a bounded
+amount of work per tick, yield control so the driver can check the shared
+stop token and migrate GA islands, then resume from exactly where it left
+off.  :class:`ResumableSearch` keeps the frontier, cost map and parent
+pointers as instance state and exposes :meth:`step`, which performs at most
+``budget`` node expansions per call.
+
+One class covers the whole best-first family by parameterising the
+priority: A* (``f = g + h``), weighted A* (``f = g + w·h``), greedy
+best-first (``f = h``) and uniform-cost / Dijkstra (``h ≡ 0``).  Expansion
+order is deterministic: the open heap breaks ties FIFO via a monotone
+counter, exactly like :func:`repro.planning.search.classical.astar`, so a
+resumable run expands the same nodes in the same order as the one-shot
+version regardless of how the budget is sliced.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Optional
+
+from repro.planning.search.heuristics import goal_gap
+from repro.protocol import PlanningDomain
+
+__all__ = ["SEARCH_ALGORITHMS", "ResumableSearch", "make_resumable_search"]
+
+#: Algorithm names accepted by :func:`make_resumable_search` (and by
+#: ``StrategySpec(kind="search", algorithm=...)`` in the portfolio spec).
+SEARCH_ALGORITHMS = ("astar", "wastar", "gbfs", "ucs")
+
+Heuristic = Callable[[object], float]
+
+
+class ResumableSearch:
+    """Best-first search over a :class:`PlanningDomain`, advanced in slices.
+
+    Parameters
+    ----------
+    domain:
+        The planning domain to search.
+    heuristic:
+        State-value estimate; ``None`` means ``h ≡ 0`` (uniform-cost).
+    weight:
+        Heuristic weight ``w`` in ``f = g + w·h``.  Must be >= 0; ``0``
+        reduces to uniform-cost regardless of the heuristic.
+    greedy:
+        Order the frontier by ``h`` alone (greedy best-first).  ``g`` is
+        still tracked so the reported plan cost is exact.
+    start_state:
+        Where to search from; defaults to ``domain.initial_state``.
+    max_expansions:
+        Hard budget across all :meth:`step` calls; the search reports
+        itself done (unsolved) once it is exceeded.
+    """
+
+    def __init__(
+        self,
+        domain: PlanningDomain,
+        heuristic: Optional[Heuristic] = None,
+        *,
+        weight: float = 1.0,
+        greedy: bool = False,
+        start_state: Optional[object] = None,
+        max_expansions: int = 1_000_000,
+    ) -> None:
+        if weight < 0:
+            raise ValueError(f"weight must be >= 0, got {weight}")
+        if max_expansions < 1:
+            raise ValueError(f"max_expansions must be >= 1, got {max_expansions}")
+        self.domain = domain
+        self.h: Heuristic = heuristic or (lambda s: 0.0)
+        self.weight = weight
+        self.greedy = greedy
+        self.max_expansions = max_expansions
+        self.expanded = 0
+        self.generated = 0
+        self.exhausted = False
+        self.plan: Optional[tuple] = None
+        self.cost = math.inf
+        state = start_state if start_state is not None else domain.initial_state
+        key = domain.state_key(state)
+        self._counter = itertools.count()  # FIFO tie-break keeps the heap stable
+        self._open = [(self._priority(0.0, state), next(self._counter), state, key)]
+        self._g = {key: 0.0}
+        self._parents: dict = {key: None}
+        self._closed: set = set()
+        if domain.is_goal(state):
+            self.plan = ()
+            self.cost = 0.0
+
+    def _priority(self, g: float, state) -> float:
+        hv = self.h(state)
+        return hv if self.greedy else g + self.weight * hv
+
+    @property
+    def solved(self) -> bool:
+        """True once a plan to the goal has been found."""
+        return self.plan is not None
+
+    @property
+    def done(self) -> bool:
+        """True when no further :meth:`step` call can change the outcome."""
+        return (
+            self.solved
+            or self.exhausted
+            or not self._open
+            or self.expanded >= self.max_expansions
+        )
+
+    def _reconstruct(self, key) -> tuple:
+        ops = []
+        while True:
+            entry = self._parents[key]
+            if entry is None:
+                break
+            key, op = entry
+            ops.append(op)
+        ops.reverse()
+        return tuple(ops)
+
+    def step(self, budget: int) -> Optional[tuple]:
+        """Expand up to *budget* nodes; return the plan if the goal is hit.
+
+        Returns ``None`` while the search is still inconclusive.  Calling
+        :meth:`step` after :attr:`done` is a no-op returning the plan (or
+        ``None`` when the space was exhausted / the budget ran out).
+        """
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        domain = self.domain
+        spent = 0
+        while self._open and spent < budget:
+            if self.solved or self.expanded >= self.max_expansions:
+                break
+            _f, _, state, key = heapq.heappop(self._open)
+            if key in self._closed:
+                continue
+            if domain.is_goal(state):
+                self.plan = self._reconstruct(key)
+                self.cost = self._g[key]
+                break
+            self._closed.add(key)
+            self.expanded += 1
+            spent += 1
+            g = self._g[key]
+            for op in domain.valid_operations(state):
+                nxt = domain.apply(state, op)
+                nkey = domain.state_key(nxt)
+                ng = g + domain.operation_cost(op)
+                if nkey in self._closed or ng >= self._g.get(nkey, math.inf):
+                    continue
+                self._g[nkey] = ng
+                self._parents[nkey] = (key, op)
+                self.generated += 1
+                prio = self._priority(ng, nxt)
+                if prio == math.inf:
+                    continue
+                heapq.heappush(self._open, (prio, next(self._counter), nxt, nkey))
+        if not self._open and not self.solved:
+            self.exhausted = True
+        return self.plan
+
+
+def make_resumable_search(
+    domain: PlanningDomain,
+    algorithm: str = "gbfs",
+    *,
+    weight: float = 2.0,
+    heuristic_scale: float = 1.0,
+    start_state: Optional[object] = None,
+    max_expansions: int = 1_000_000,
+) -> ResumableSearch:
+    """Build a :class:`ResumableSearch` from an algorithm name.
+
+    ``algorithm`` is one of :data:`SEARCH_ALGORITHMS`: ``"astar"`` (A*,
+    w=1), ``"wastar"`` (weighted A* with *weight*), ``"gbfs"`` (greedy
+    best-first) or ``"ucs"`` (uniform-cost, no heuristic).  All but
+    ``"ucs"`` use :func:`repro.planning.search.heuristics.goal_gap` scaled
+    by *heuristic_scale*, which works on any :class:`PlanningDomain` — the
+    same goal-distance signal the GA's fitness rewards.
+    """
+    if algorithm not in SEARCH_ALGORITHMS:
+        raise ValueError(f"algorithm must be one of {SEARCH_ALGORITHMS}, got {algorithm!r}")
+    h = None if algorithm == "ucs" else goal_gap(domain, scale=heuristic_scale)
+    if algorithm == "astar":
+        w, greedy = 1.0, False
+    elif algorithm == "wastar":
+        w, greedy = weight, False
+    elif algorithm == "gbfs":
+        w, greedy = 1.0, True
+    else:  # ucs
+        w, greedy = 0.0, False
+    return ResumableSearch(
+        domain,
+        heuristic=h,
+        weight=w,
+        greedy=greedy,
+        start_state=start_state,
+        max_expansions=max_expansions,
+    )

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import GAConfig, IslandConfig, make_rng, run_islands
+from repro.core.parallel import SerialEvaluator
 from repro.domains import HanoiDomain
 
 
@@ -34,6 +35,90 @@ class TestConfigValidation:
             _cfg(migration_size=0)
         with pytest.raises(ValueError):
             _cfg(migration_size=20)  # == island population
+
+
+class TestPerIslandConfigs:
+    def _hetero(self, *pops, migration_size=2):
+        per = tuple(
+            GAConfig(
+                population_size=p, generations=12, max_len=35, init_length=7,
+                stop_on_goal=False,
+            )
+            for p in pops
+        )
+        return IslandConfig(
+            n_islands=len(per), migration_interval=5,
+            migration_size=migration_size, island=per[0], per_island=per,
+        )
+
+    def test_per_island_length_must_match(self):
+        cfg = GAConfig(population_size=20, generations=10, max_len=35, init_length=7)
+        with pytest.raises(ValueError, match="per_island must list 3"):
+            IslandConfig(n_islands=3, island=cfg, per_island=(cfg, cfg))
+
+    def test_migration_validated_against_smallest_island(self):
+        # 8-strong island cannot donate/absorb 8 migrants even though the
+        # base island config is much larger.
+        with pytest.raises(ValueError, match="smallest island population"):
+            self._hetero(40, 8, 40, migration_size=8)
+        self._hetero(40, 8, 40, migration_size=7)  # below the floor: fine
+
+    def test_heterogeneous_run_preserves_island_sizes(self, hanoi3):
+        cfg = self._hetero(24, 12, 18)
+        result = run_islands(hanoi3, cfg, make_rng(6))
+        assert len(result.histories) == 3
+        for history in result.histories:
+            assert len(history) == 12
+
+    def test_heterogeneous_reproducible(self, hanoi3):
+        cfg = self._hetero(24, 12, 18)
+        a = run_islands(hanoi3, cfg, make_rng(7))
+        b = run_islands(hanoi3, cfg, make_rng(7))
+        assert np.array_equal(a.best.genes, b.best.genes)
+        assert a.best_island == b.best_island
+
+
+class TestEvaluatorLifetimes:
+    def test_factory_failure_closes_built_evaluators(self, hanoi3):
+        built, closed = [], []
+
+        def factory():
+            if len(built) == 2:
+                raise RuntimeError("third evaluator fails")
+            evaluator = SerialEvaluator()
+            evaluator.close = lambda ev=evaluator: closed.append(ev)
+            built.append(evaluator)
+            return evaluator
+
+        with pytest.raises(RuntimeError, match="third evaluator fails"):
+            run_islands(hanoi3, _cfg(), make_rng(0), evaluator_factory=factory)
+        assert closed == built  # both pre-built evaluators released
+
+    def test_mid_migration_exception_closes_all_evaluators(self, hanoi3):
+        closed = []
+
+        class Exploding(SerialEvaluator):
+            calls = 0
+
+            def evaluate_buffer(self, buffer, context):
+                Exploding.calls += 1
+                if Exploding.calls > 4:
+                    raise RuntimeError("mid-run failure")
+                return super().evaluate_buffer(buffer, context)
+
+            def evaluate(self, population, context):
+                Exploding.calls += 1
+                if Exploding.calls > 4:
+                    raise RuntimeError("mid-run failure")
+                return super().evaluate(population, context)
+
+            def close(self):
+                closed.append(self)
+                super().close()
+
+        with pytest.raises(RuntimeError, match="mid-run failure"):
+            run_islands(hanoi3, _cfg(), make_rng(0), evaluator_factory=Exploding)
+        assert len(closed) == 3
 
 
 class TestRunIslands:

@@ -1,0 +1,311 @@
+"""Portfolio engine: racing, cancellation, anytime API, deterministic replay."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GAConfig,
+    GAPlanner,
+    PortfolioSpec,
+    StrategySpec,
+    build_evaluators,
+    canonical_events,
+    default_portfolio,
+    make_rng,
+    parse_portfolio,
+    run_portfolio,
+)
+from repro.core.parallel import SerialEvaluator
+from repro.domains import HanoiDomain
+from repro.obs import MemoryRecorder, MetricsRegistry, Tracer
+
+
+def _ga(pop=24, gens=40, **kw):
+    return GAConfig(
+        population_size=pop, generations=gens, max_len=40, init_length=10, **kw
+    )
+
+
+def _spec(*strategies, **kw):
+    kw.setdefault("interval", 3)
+    kw.setdefault("migration_size", 2)
+    return PortfolioSpec(strategies=tuple(strategies), **kw)
+
+
+#: Three strategy mixes exercised by the determinism suite: GA-only (full
+#: migration churn), GA + search race, and engine-heterogeneous GAs.
+MIXES = {
+    "ga-only": _spec(
+        StrategySpec(kind="ga", ga=_ga()),
+        StrategySpec(kind="ga", ga=_ga(pop=16, crossover="state-aware")),
+        StrategySpec(kind="ga", ga=_ga(crossover="mixed", mutation_rate=0.05)),
+    ),
+    "ga-vs-search": _spec(
+        StrategySpec(kind="ga", ga=_ga()),
+        StrategySpec(kind="ga", ga=_ga(crossover="state-aware")),
+        StrategySpec(kind="search", algorithm="gbfs", expansions_per_tick=8),
+    ),
+    "engines": _spec(
+        StrategySpec(kind="ga", ga=_ga(batched=False, decode_engine=False)),
+        StrategySpec(kind="ga", ga=_ga(vector_decode=False)),
+        StrategySpec(kind="search", algorithm="astar", expansions_per_tick=16),
+    ),
+}
+
+
+class TestSpecValidation:
+    def test_strategy_requires_ga_config(self):
+        with pytest.raises(ValueError, match="requires a GAConfig"):
+            StrategySpec(kind="ga")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            StrategySpec(kind="annealing")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown search algorithm"):
+            StrategySpec(kind="search", algorithm="dfs")
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError, match="at least one strategy"):
+            PortfolioSpec(strategies=())
+
+    def test_migration_validated_against_smallest_ga_island(self):
+        small = StrategySpec(kind="ga", ga=_ga(pop=8))
+        big = StrategySpec(kind="ga", ga=_ga(pop=100))
+        with pytest.raises(ValueError, match="smallest GA island"):
+            PortfolioSpec(strategies=(small, big), migration_size=8)
+        # fine when below the smallest population
+        PortfolioSpec(strategies=(small, big), migration_size=7)
+
+    def test_labels(self):
+        assert StrategySpec(kind="ga", ga=_ga()).label == "ga:random"
+        assert StrategySpec(kind="search", algorithm="ucs").label == "search:ucs"
+        assert StrategySpec(kind="search", name="mine").label == "mine"
+
+    def test_parse_portfolio(self):
+        spec = parse_portfolio("ga, ga:state-aware ,search:gbfs", _ga())
+        assert [s.label for s in spec.strategies] == [
+            "ga:random", "ga:state-aware", "search:gbfs",
+        ]
+        with pytest.raises(ValueError, match="unknown strategy"):
+            parse_portfolio("ga,annealing", _ga())
+
+    def test_default_portfolio_shape(self):
+        spec = default_portfolio(_ga(), n_ga=2, search=("gbfs",))
+        assert len(spec.strategies) == 3
+        assert spec.ga_indices == (0, 1)
+
+
+class TestRace:
+    def test_search_island_wins_and_cancels_gas(self, hanoi5):
+        res = run_portfolio(hanoi5, MIXES["ga-vs-search"], make_rng(7))
+        assert res.solved
+        assert res.winner == 2  # gbfs cracks hanoi-5 in a handful of ticks
+        assert res.cancelled == 2
+        assert res.first_solution_tick is not None
+        assert res.first_solution_wall_s is not None
+        # the winning plan actually reaches the goal
+        state = hanoi5.initial_state
+        for op in res.plan:
+            state = hanoi5.apply(state, op)
+        assert hanoi5.is_goal(state)
+
+    def test_ga_only_portfolio_solves_hanoi3(self, hanoi3):
+        res = run_portfolio(hanoi3, MIXES["ga-only"], make_rng(3))
+        assert res.solved
+        assert res.strategies[res.winner].startswith("ga:")
+        assert res.histories[res.winner] is not None
+
+    def test_no_thread_leak(self, hanoi3):
+        before = threading.active_count()
+        run_portfolio(hanoi3, MIXES["ga-vs-search"], make_rng(1))
+        assert threading.active_count() == before
+
+    def test_unsolved_portfolio_reports_best_effort(self, hanoi5):
+        # Tiny budgets: nobody solves, but the GA best-so-far is reported.
+        spec = _spec(
+            StrategySpec(kind="ga", ga=_ga(gens=2)),
+            StrategySpec(kind="ga", ga=_ga(gens=2, crossover="state-aware")),
+            max_ticks=2,
+        )
+        res = run_portfolio(hanoi5, spec, make_rng(0))
+        assert not res.solved
+        assert res.winner is None and res.cancelled == 0
+        assert res.best is not None and 0.0 <= res.best.goal_fitness < 1.0
+
+    def test_grace_window_keeps_winner(self, hanoi5):
+        spec = MIXES["ga-vs-search"].replace(grace_ms=50.0)
+        res = run_portfolio(hanoi5, spec, make_rng(7))
+        base = run_portfolio(hanoi5, MIXES["ga-vs-search"], make_rng(7))
+        assert res.winner == base.winner
+        assert res.plan == base.plan
+
+    def test_incumbents_monotone_improving(self, hanoi5):
+        res = run_portfolio(hanoi5, MIXES["ga-vs-search"], make_rng(11))
+        keys = [inc.sort_key() for inc in res.incumbents]
+        assert keys == sorted(keys)
+        assert all(a < b for a, b in zip(keys, keys[1:]))
+
+
+class TestDeterministicReplay:
+    """`--portfolio-serial` must reproduce the concurrent run exactly."""
+
+    @staticmethod
+    def _run(domain, spec, seed, serial):
+        recorder = MemoryRecorder()
+        metrics = MetricsRegistry()
+        result = run_portfolio(
+            domain,
+            spec,
+            make_rng(seed),
+            tracer=Tracer([recorder]),
+            metrics=metrics,
+            serial=serial,
+        )
+        return result, canonical_events(recorder.events), metrics.summary()
+
+    @pytest.mark.parametrize("mix", sorted(MIXES))
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=2, deadline=None)
+    def test_serial_reproduces_concurrent_run(self, mix, seed):
+        domain = HanoiDomain(3)
+        conc, conc_events, conc_metrics = self._run(domain, MIXES[mix], seed, False)
+        ser, ser_events, ser_metrics = self._run(domain, MIXES[mix], seed, True)
+        assert ser.winner == conc.winner
+        assert ser.plan == conc.plan
+        assert ser.first_solution_tick == conc.first_solution_tick
+        assert ser.ticks_run == conc.ticks_run
+        assert ser.rounds == conc.rounds
+        assert ser.migrations == conc.migrations
+        assert ser_events == conc_events
+        assert ser_metrics["counters"] == conc_metrics["counters"]
+
+    def test_event_stream_has_portfolio_vocabulary(self, hanoi3):
+        _, events, _ = self._run(hanoi3, MIXES["ga-only"], 5, True)
+        kinds = {e["kind"] for e in events}
+        assert "generation" in kinds
+        assert "incumbent" in kinds
+        assert "portfolio-cancelled" in kinds or "island-velocity" in kinds
+
+
+class TestEvaluatorLifetimes:
+    def test_factory_failure_closes_built_evaluators(self, hanoi3):
+        built = []
+
+        def factory():
+            if len(built) == 1:
+                raise RuntimeError("boom")
+            evaluator = SerialEvaluator()
+            built.append(evaluator)
+            return evaluator
+
+        closed = []
+        original = SerialEvaluator.close
+
+        def tracking_close(self):
+            closed.append(self)
+            original(self)
+
+        SerialEvaluator.close = tracking_close
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                run_portfolio(hanoi3, MIXES["ga-only"], make_rng(0), evaluator_factory=factory)
+        finally:
+            SerialEvaluator.close = original
+        assert closed == built
+
+    def test_mid_run_exception_closes_evaluators(self, hanoi3):
+        closed = []
+
+        class Exploding(SerialEvaluator):
+            calls = 0
+
+            def evaluate_buffer(self, buffer, context):
+                Exploding.calls += 1
+                if Exploding.calls > 4:
+                    raise RuntimeError("mid-run failure")
+                return super().evaluate_buffer(buffer, context)
+
+            def evaluate(self, population, context):
+                Exploding.calls += 1
+                if Exploding.calls > 4:
+                    raise RuntimeError("mid-run failure")
+                return super().evaluate(population, context)
+
+            def close(self):
+                closed.append(self)
+                super().close()
+
+        with pytest.raises(RuntimeError, match="mid-run failure"):
+            run_portfolio(
+                hanoi3, MIXES["ga-only"], make_rng(0), evaluator_factory=Exploding
+            )
+        assert len(closed) == 3  # one per GA island, all closed on error
+
+    def test_build_evaluators_helper(self):
+        calls = []
+
+        def factory():
+            if len(calls) == 2:
+                raise RuntimeError("third build fails")
+            evaluator = SerialEvaluator()
+            calls.append(evaluator)
+            return evaluator
+
+        with pytest.raises(RuntimeError, match="third build fails"):
+            build_evaluators(factory, 3)
+
+
+class TestPlannerIntegration:
+    def test_portfolio_mode_outcome(self, hanoi3):
+        planner = GAPlanner(
+            hanoi3, _ga(), seed=3, portfolio=default_portfolio(_ga(), n_ga=2)
+        )
+        assert planner.mode == "portfolio"
+        outcome = planner.solve()
+        assert outcome.mode == "portfolio"
+        assert outcome.solved
+        assert outcome.incumbents
+        assert outcome.incumbents[-1].solved
+        assert outcome.plan_length == len(outcome.plan)
+
+    def test_int_convenience_builds_default_portfolio(self, hanoi3):
+        planner = GAPlanner(hanoi3, _ga(), seed=1, portfolio=2)
+        assert planner.mode == "portfolio"
+        assert len(planner.portfolio.strategies) == 3  # 2 GA + 1 search
+
+    def test_on_incumbent_callback_streams(self, hanoi3):
+        seen = []
+        planner = GAPlanner(hanoi3, _ga(), seed=3, portfolio=2)
+        outcome = planner.solve(on_incumbent=seen.append)
+        assert tuple(seen) == outcome.incumbents
+
+    def test_on_incumbent_rejected_outside_portfolio(self, hanoi3):
+        planner = GAPlanner(hanoi3, _ga(), seed=3)
+        with pytest.raises(ValueError, match="portfolio"):
+            planner.solve(on_incumbent=lambda inc: None)
+
+    def test_solve_stream_iterates_then_exposes_outcome(self, hanoi3):
+        planner = GAPlanner(hanoi3, _ga(), seed=3, portfolio=2)
+        stream = planner.solve_stream()
+        seen = list(stream)
+        assert seen
+        assert stream.outcome.solved
+        assert tuple(seen) == stream.outcome.incumbents
+
+    def test_portfolio_serial_flag_same_outcome(self, hanoi3):
+        spec = MIXES["ga-vs-search"]
+        a = GAPlanner(hanoi3, _ga(), seed=9, portfolio=spec).solve()
+        b = GAPlanner(
+            hanoi3, _ga(), seed=9, portfolio=spec, portfolio_serial=True
+        ).solve()
+        assert a.plan == b.plan
+        assert a.detail.winner == b.detail.winner
+
+    def test_conflicting_sub_configs_rejected(self, hanoi3):
+        with pytest.raises(ValueError, match="at most one"):
+            GAPlanner(hanoi3, _ga(), seed=0, islands=2, portfolio=2)

@@ -13,9 +13,13 @@ from repro.obs import (
     EvaluatorDegraded,
     FaultInjected,
     GenerationComplete,
+    IncumbentImproved,
     IslandMigration,
+    IslandVelocity,
     PhaseEnd,
     PhaseStart,
+    PortfolioCancelled,
+    PortfolioMigration,
     ReplanLatency,
     ReplanTriggered,
     RequestArrived,
@@ -38,6 +42,16 @@ SAMPLES = [
     PhaseStart(scope="phase-2", phase=2),
     PhaseEnd(scope="phase-2", phase=2, generations=100, plan_length=31, goal_fitness=1.0, solved=True),
     IslandMigration(generation=9, migration=1, n_islands=4, migrants_per_island=2),
+    IslandVelocity(
+        round_index=3, island=1, strategy="ga:state-aware", velocity=0.02,
+        best_total=0.71, stagnation=0,
+    ),
+    PortfolioMigration(round_index=3, source=0, dest=1, migrants=3, reason="boost"),
+    PortfolioCancelled(winner=2, strategy="search:gbfs", tick=4, cancelled=2),
+    IncumbentImproved(
+        island=2, strategy="search:gbfs", tick=4, goal_fitness=1.0,
+        cost_fitness=0.05, plan_length=31, solved=True,
+    ),
     EvaluationBatch(n_evaluated=200, seconds=0.5, mode="process", chunks=13, cache_hits=10, cache_misses=3),
     DecodeCacheSnapshot(hits=100, misses=25),
     CheckpointWrite(path="/tmp/c.pkl", generation=50),

@@ -1,0 +1,79 @@
+"""Tests for the resumable (sliceable) best-first search used by portfolios."""
+
+import pytest
+
+from repro.domains import HanoiDomain
+from repro.planning.search import (
+    SEARCH_ALGORITHMS,
+    ResumableSearch,
+    astar,
+    goal_gap,
+    make_resumable_search,
+    uniform_cost_search,
+)
+
+
+class TestResumableSearch:
+    @pytest.mark.parametrize("algorithm", SEARCH_ALGORITHMS)
+    def test_every_algorithm_solves_hanoi3(self, hanoi3, algorithm):
+        search = make_resumable_search(hanoi3, algorithm=algorithm)
+        plan = None
+        while not search.done:
+            plan = search.step(64)
+            if plan is not None:
+                break
+        assert search.solved
+        assert hanoi3.is_goal(hanoi3.execute(plan))
+
+    def test_slice_invariance(self, hanoi3):
+        """Stepping in slices of 1 visits the same nodes as one big step."""
+        sliced = make_resumable_search(hanoi3, algorithm="astar")
+        while not sliced.done and sliced.step(1) is None:
+            pass
+        bulk = make_resumable_search(hanoi3, algorithm="astar")
+        bulk.step(1_000_000)
+        assert sliced.plan == bulk.plan
+        assert sliced.expanded == bulk.expanded
+
+    def test_astar_matches_one_shot(self, hanoi3):
+        resumable = make_resumable_search(hanoi3, algorithm="astar")
+        resumable.step(1_000_000)
+        one_shot = astar(hanoi3, heuristic=goal_gap(hanoi3))
+        assert list(resumable.plan) == list(one_shot.plan)
+        assert resumable.cost == one_shot.cost
+
+    def test_ucs_is_optimal(self):
+        domain = HanoiDomain(4)
+        resumable = make_resumable_search(domain, algorithm="ucs")
+        resumable.step(1_000_000)
+        reference = uniform_cost_search(domain)
+        assert resumable.solved
+        assert len(resumable.plan) == domain.optimal_length == reference.plan_length
+
+    def test_budget_respected(self, hanoi3):
+        search = make_resumable_search(hanoi3, algorithm="ucs")
+        assert search.step(5) is None or search.expanded <= 5
+        assert search.expanded <= 5
+
+    def test_exhaustion_and_done(self, hanoi3):
+        search = make_resumable_search(hanoi3, algorithm="gbfs", max_expansions=3)
+        while not search.done:
+            search.step(2)
+        assert not search.solved
+        assert search.plan is None
+
+    def test_start_state_override(self, hanoi3):
+        goal = ((), (3, 2, 1), ())
+        search = make_resumable_search(hanoi3, algorithm="gbfs", start_state=goal)
+        plan = search.step(4)
+        assert search.solved and len(plan) == 0
+
+    def test_unknown_algorithm_rejected(self, hanoi3):
+        with pytest.raises(ValueError, match="algorithm must be one of"):
+            make_resumable_search(hanoi3, algorithm="dfs")
+
+    def test_direct_construction_greedy(self, hanoi3):
+        search = ResumableSearch(hanoi3, heuristic=goal_gap(hanoi3), greedy=True)
+        while not search.done and search.step(32) is None:
+            pass
+        assert search.solved
