@@ -485,6 +485,99 @@ def _cmd_exp_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.obs import default_metrics, default_tracer
+    from repro.service import serve
+
+    tracer = default_tracer()
+    serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_cap=args.queue_cap,
+        fair_share=not args.no_fair_share,
+        slice_gens=args.slice_gens,
+        warm_cache=not args.no_warm_cache,
+        metrics=default_metrics(),
+        tracer=tracer if tracer is not None and tracer.enabled else None,
+    )
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from repro.service import PlanRequest, ServiceClient
+
+    if args.stats:
+        with ServiceClient(host=args.host, port=args.port, timeout=args.timeout) as client:
+            stats = client.stats()
+        print(f"queues:    {stats['queues']}")
+        print(f"running:   {stats['running']}")
+        for name, value in stats["counters"].items():
+            print(f"{name + ':':<24} {value}")
+        for name, value in stats["derived"].items():
+            print(f"{name + ':':<24} {value}")
+        print(f"cache:     {stats['cache']}")
+        return 0
+    if args.domain is None:
+        print("error: a domain argument is required unless --stats is given")
+        return 2
+    request = PlanRequest(
+        domain=args.domain,
+        size=args.size,
+        tenant=args.tenant,
+        seed=args.seed,
+        population=args.population,
+        budget=args.budget,
+        max_len=args.max_len,
+        deadline_s=args.deadline,
+        mode="portfolio" if args.portfolio else "ga",
+        portfolio=args.portfolio,
+        stream=args.stream,
+        evaluator=args.evaluator,
+        vector=args.vector,
+    )
+
+    def on_frame(frame: dict) -> None:
+        kind = frame["type"]
+        if kind == "accepted":
+            print(f"accepted:      id {frame['id']} (queue depth {frame['queue_depth']})")
+        elif kind == "incumbent":
+            print(
+                f"incumbent:     tick {frame['tick']} goal {frame['goal_fitness']:.3f} "
+                f"length {frame['plan_length']} solved {frame['solved']}"
+            )
+        elif kind == "event" and args.stream:
+            event = frame["event"]
+            if event.get("kind") == "service-slice":
+                print(
+                    f"slice:         #{event['slice_index']} "
+                    f"(+{event['generations']} generations)"
+                )
+
+    with ServiceClient(host=args.host, port=args.port, timeout=args.timeout) as client:
+        final = client.plan(request, on_frame=on_frame)
+    kind = final["type"]
+    if kind == "shed":
+        print(f"shed:          {final['reason']}")
+        return 2
+    if kind == "error":
+        print(f"error:         {final['message']}")
+        return 2
+    print(f"solved:        {final['solved']}")
+    print(f"timed out:     {final['timed_out']}")
+    print(f"goal fitness:  {final['goal_fitness']:.3f}")
+    print(f"plan length:   {final['plan_length']}")
+    print(f"generations:   {final['generations']}")
+    print(f"slices:        {final['slices']}")
+    print(f"warm engine:   {final['warm']}")
+    print(f"wall clock:    {final['seconds']:.3f}s")
+    if args.show_plan and final["plan"]:
+        print("plan:")
+        for op in final["plan"]:
+            print(f"  {op}")
+    return 0 if final["solved"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -624,6 +717,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the canonical deterministic event log before the summary",
     )
     p.set_defaults(func=_cmd_soak)
+
+    p = sub.add_parser("serve", help="run the planning service (TCP/JSON-lines)")
+    p.add_argument("--host", default="127.0.0.1", help="interface to bind (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=7421, help="TCP port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2, help="worker threads slicing requests")
+    p.add_argument(
+        "--queue-cap", type=int, default=8, metavar="N",
+        help="max queued+running requests before submits are shed (429 analogue)",
+    )
+    p.add_argument(
+        "--slice-gens", type=int, default=4, metavar="G",
+        help="generations per scheduling slice (the fair-share tick size)",
+    )
+    p.add_argument(
+        "--no-fair-share", action="store_true",
+        help="pick runs global-FIFO instead of per-tenant deficit round-robin",
+    )
+    p.add_argument(
+        "--no-warm-cache", action="store_true",
+        help="disable cross-request engine reuse (every request cold-starts)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("client", help="submit one planning request to a running service")
+    p.add_argument("domain", nargs="?", default=None,
+                   help="registered domain name (see repro.domains.registry)")
+    p.add_argument("--size", type=int, default=5, help="domain size argument")
+    p.add_argument("--host", default="127.0.0.1", help="service host")
+    p.add_argument("--port", type=int, default=7421, help="service port")
+    p.add_argument("--tenant", default="default", help="fair-share accounting key")
+    p.add_argument("--seed", type=int, default=0, help="GA seed (same seed = same plan)")
+    p.add_argument("--population", type=int, default=30)
+    p.add_argument("--budget", type=int, default=40, metavar="GENS",
+                   help="generation budget for the request")
+    p.add_argument("--max-len", type=int, default=None,
+                   help="plan-length bound (required for domains without a derived bound)")
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="seconds from arrival before the request is shed (queued) or "
+        "returns its best-so-far plan (running)",
+    )
+    p.add_argument(
+        "--portfolio", metavar="SPEC", default=None,
+        help="race a portfolio instead of one GA, e.g. 'ga,ga:state-aware,search:gbfs'",
+    )
+    p.add_argument("--stream", action="store_true",
+                   help="print per-slice progress events as they happen")
+    p.add_argument(
+        "--evaluator", choices=("serial", "resilient"), default="serial",
+        help="serial shares the warm engine; resilient adds the retry/degrade ladder",
+    )
+    p.add_argument(
+        "--vector", action="store_true",
+        help="use the vectorised decode (faster cold, but skips warm-cache reuse)",
+    )
+    p.add_argument("--timeout", type=float, default=60.0, help="socket timeout in seconds")
+    p.add_argument("--show-plan", action="store_true")
+    p.add_argument("--stats", action="store_true",
+                   help="print the server's live counters instead of planning")
+    p.set_defaults(func=_cmd_client)
 
     p = sub.add_parser("exp", help="declarative experiment sweeps")
     exp_sub = p.add_subparsers(dest="exp_command", required=True)

@@ -387,6 +387,13 @@ class DecodeEngine:
     ``dedup``) for ablation benchmarks; a fully-disabled engine still
     memoises valid-operation lists, matching the legacy ``DecodeCache``
     behaviour.
+
+    ``adaptive_memo=False`` turns off the memo's low-hit-rate pause below:
+    within one run duplicate genomes are rare early, so the probe window
+    rightly drops the memo — but an engine shared *across* runs (the
+    planning service's warm cross-request cache) sees repeated requests
+    replay whole genome populations, and pausing would discard exactly the
+    state that makes those repeats cheap.
     """
 
     def __init__(
@@ -396,6 +403,7 @@ class DecodeEngine:
         dedup: bool = True,
         max_entries: int = 200_000,
         memo_entries: int = 100_000,
+        adaptive_memo: bool = True,
     ) -> None:
         if memo_entries < 1:
             raise ValueError(f"memo_entries must be >= 1, got {memo_entries}")
@@ -404,6 +412,7 @@ class DecodeEngine:
         self.dedup = dedup
         self.max_entries = max_entries
         self.memo_entries = memo_entries
+        self.adaptive_memo = adaptive_memo
         # Memo admission control: every `memo_probe_interval` stores the
         # window hit rate is probed; under ~1% the memo is dropped and paused
         # until the next signature change.  A memo that never hits only costs
@@ -475,7 +484,7 @@ class DecodeEngine:
         memo[fingerprint] = (decoded, fitness)
         self._memo_window_stores += 1
         if self._memo_window_stores >= self.memo_probe_interval:
-            if self._memo_window_hits * 100 < self._memo_window_stores:
+            if self.adaptive_memo and self._memo_window_hits * 100 < self._memo_window_stores:
                 # Workload with (almost) no duplicate genomes: drop the memo
                 # and stop admitting until the next bind() signature change.
                 self._memo_paused = True

@@ -47,6 +47,10 @@ from repro.obs.events import (
     RequestShed,
     RunEvent,
     SchedulerGeneration,
+    ServiceAdmitted,
+    ServiceCompleted,
+    ServiceShed,
+    ServiceSlice,
     SimulationComplete,
     SweepProgress,
     TrialFinished,
@@ -54,12 +58,21 @@ from repro.obs.events import (
     event_from_dict,
 )
 from repro.obs.metrics import (
+    CANONICAL_INSTRUMENTS,
+    DERIVED_METRICS,
     Counter,
     Histogram,
+    InstrumentSpec,
     MetricsRegistry,
     Timer,
     planner_summary,
+    service_summary,
     soak_summary,
+)
+from repro.obs.reference import (
+    render_derived_table,
+    render_event_table,
+    render_instrument_table,
 )
 from repro.obs.runlog import GenerationLogger, read_log
 from repro.obs.sinks import (
@@ -80,11 +93,13 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "CANONICAL_INSTRUMENTS",
     "CSV_COLUMNS",
     "CheckpointRecovered",
     "CheckpointWrite",
     "Counter",
     "CsvSummarySink",
+    "DERIVED_METRICS",
     "DecodeCacheSnapshot",
     "EVENT_KINDS",
     "EvaluationBatch",
@@ -94,6 +109,7 @@ __all__ = [
     "GenerationLogger",
     "Histogram",
     "IncumbentImproved",
+    "InstrumentSpec",
     "IslandMigration",
     "IslandVelocity",
     "JsonlSink",
@@ -113,6 +129,10 @@ __all__ = [
     "RetryAttempt",
     "RunEvent",
     "SchedulerGeneration",
+    "ServiceAdmitted",
+    "ServiceCompleted",
+    "ServiceShed",
+    "ServiceSlice",
     "SimulationComplete",
     "Sink",
     "SweepProgress",
@@ -127,5 +147,9 @@ __all__ = [
     "planner_summary",
     "read_log",
     "read_trace",
+    "render_derived_table",
+    "render_event_table",
+    "render_instrument_table",
+    "service_summary",
     "soak_summary",
 ]

@@ -45,6 +45,10 @@ __all__ = [
     "RequestCompleted",
     "RequestShed",
     "ReplanLatency",
+    "ServiceAdmitted",
+    "ServiceShed",
+    "ServiceSlice",
+    "ServiceCompleted",
     "TrialStarted",
     "TrialFinished",
     "SweepProgress",
@@ -375,6 +379,78 @@ class ReplanLatency(RunEvent):
 
 
 @dataclass(frozen=True, kw_only=True)
+class ServiceAdmitted(RunEvent):
+    """The planning service accepted a request into its run queue.
+
+    ``queue_depth`` is the number of queued-or-running requests *after*
+    admission (the admission-control signal the next arrival is judged
+    against); ``tenant`` is the fair-share accounting key.
+    """
+
+    kind: ClassVar[str] = "service-admitted"
+    request_id: int
+    tenant: str
+    domain_hash: str
+    queue_depth: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServiceShed(RunEvent):
+    """Admission control or deadline policy dropped a service request.
+
+    ``reason`` is one of ``queue-full`` (the 429 analogue: queue cap hit at
+    submit time), ``deadline-queued`` (the deadline expired before the
+    first slice ran), ``cancelled`` (the client disconnected before
+    completion) or ``failed`` (the run raised; details in the error frame).
+    """
+
+    kind: ClassVar[str] = "service-shed"
+    request_id: int
+    tenant: str
+    reason: str
+    queue_depth: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServiceSlice(RunEvent):
+    """The run scheduler executed one tick-sized slice of a request.
+
+    ``generations`` counts generations evolved in this slice (portfolio
+    requests run as a single slice and report their total tick count);
+    ``done`` marks the slice that finished the request.
+    """
+
+    kind: ClassVar[str] = "service-slice"
+    request_id: int
+    tenant: str
+    slice_index: int
+    generations: int
+    done: bool
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServiceCompleted(RunEvent):
+    """A service request produced its final result frame.
+
+    ``timed_out`` marks anytime completions: the deadline expired while the
+    request was running, so the best-so-far plan was returned instead of
+    planning to the full budget.  ``seconds`` is wall-clock time from
+    arrival to completion (excluded from determinism comparisons, like
+    every wall-clock payload).
+    """
+
+    kind: ClassVar[str] = "service-completed"
+    request_id: int
+    tenant: str
+    solved: bool
+    timed_out: bool
+    generations: int
+    plan_length: int
+    slices: int
+    seconds: float
+
+
+@dataclass(frozen=True, kw_only=True)
 class SchedulerGeneration(RunEvent):
     """One generation of the GA task mapper (makespan objective)."""
 
@@ -459,6 +535,10 @@ EVENT_KINDS: Dict[str, Type[RunEvent]] = {
         RequestCompleted,
         RequestShed,
         ReplanLatency,
+        ServiceAdmitted,
+        ServiceShed,
+        ServiceSlice,
+        ServiceCompleted,
         TrialStarted,
         TrialFinished,
         SweepProgress,

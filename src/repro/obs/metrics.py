@@ -7,57 +7,16 @@ process-pool evaluator aggregates worker-side numbers into the parent's
 registry itself), and render to either a ``summary()`` dict or a
 human-readable table.
 
-Canonical instrument names used by the planner stack (see DESIGN.md §7):
+The canonical instrument names every layer agrees on are declared as data
+in :data:`CANONICAL_INSTRUMENTS` (and the derived headline metrics in
+:data:`DERIVED_METRICS`); the rendered reference lives in
+``docs/observability.md``, whose generated tables a docs-tier test keeps
+in exact sync with these declarations.  See DESIGN.md §7 for the design
+rationale.
 
-================== ========== ==================================================
-name               instrument meaning
-================== ========== ==================================================
-``evals``          counter    individuals evaluated
-``eval_batch``     timer      wall time of whole-population evaluation calls
-``decode``         timer      genome decoding (serial evaluator, per batch)
-``fitness``        timer      fitness scoring (serial evaluator, per batch)
-``dispatch``       timer      parent-side wait on process-pool chunk results
-``worker_eval``    timer      in-worker chunk evaluation time (summed)
-``selection``      timer      parent selection per generation
-``variation``      timer      crossover + mutation per generation
-``decode_cache_hits`` /
-``decode_cache_misses`` counter valid-operation decode-cache outcomes
-``decode_cache_evictions`` counter entries dropped by decode-cache resets
-``transition_cache_hits`` /
-``transition_cache_misses`` counter transition-table outcomes (decode engine)
-``transition_cache_evictions`` counter transition entries dropped by resets
-``evals_skipped``  counter    evaluations satisfied by the fitness memo / dedup
-``genes_reused``   counter    genes satisfied from retained parent prefixes
-``decode_fallbacks`` counter  prefix resumes abandoned for a full decode
-``memo_evictions`` counter    fitness-memo entries dropped by resets
-``batched_generations`` counter generations bred on the PopulationBuffer path
-``shm_bytes_published`` counter bytes written into the shared-memory segment
-                              (header + index arrays + gene arena) per batch
-``dispatch_bytes_saved`` counter gene-payload bytes that skipped pickling
-                              thanks to shared-memory dispatch (lower bound)
-``soak_requests``  counter    workflow requests that arrived in a soak run
-``soak_completed`` counter    soak requests that delivered their goal
-``soak_shed``      counter    soak requests dropped by the degradation ladder
-``soak_replans``   counter    churn-triggered replanning rounds
-``soak_repairs``   counter    replans resolved by prefix repair (ladder rung 1)
-``soak_ga_replans`` counter   replans resolved by a GA replan (warm or cold)
-``soak_greedy_fallbacks`` counter replans resolved by the greedy fallback rung
-``soak_soft_churn`` counter   grid events that invalidated no in-flight plan
-``replan_latency`` histogram  wall-clock seconds per replanning round
-``request_duration`` histogram simulated seconds from arrival to completion
-``placement_attempts`` counter broker placement attempts (incl. successes)
-``placement_backoff_s`` counter total simulated backoff accumulated by retries
-``portfolio_rounds`` counter  fork-join rounds driven by the portfolio engine
-``portfolio_migrants`` counter individuals moved by portfolio migration edges
-``portfolio_boost_edges`` counter extra leader→stagnant edges added by the
-                              adaptive-migration controller
-``islands_cancelled`` counter islands stopped by first-solution cancellation
-``incumbent_improvements`` counter portfolio-wide best-so-far improvements
-``island_velocity`` histogram per-island per-round best-fitness deltas
-================== ========== ==================================================
-
-Concurrent layers (the portfolio engine's thread-backed islands) give each
-worker its *own* registry and fold them into the parent's with
+Concurrent layers (the portfolio engine's thread-backed islands, the
+planning service's per-request registries) give each worker its *own*
+registry and fold them into the parent's with
 :meth:`MetricsRegistry.merge` at a join point, preserving the no-locks
 rule.
 """
@@ -67,16 +26,214 @@ from __future__ import annotations
 import math
 import time
 from contextlib import contextmanager
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "Counter",
     "Timer",
     "Histogram",
     "MetricsRegistry",
+    "InstrumentSpec",
+    "CANONICAL_INSTRUMENTS",
+    "DERIVED_METRICS",
     "planner_summary",
     "soak_summary",
+    "service_summary",
 ]
+
+
+@dataclass(frozen=True)
+class InstrumentSpec:
+    """One canonical instrument: its name, kind and one-line meaning.
+
+    ``kind`` is ``"counter"``, ``"timer"`` or ``"histogram"``; ``layer``
+    names the subsystem that owns the instrument (``core``, ``grid``,
+    ``scheduling``, ``exp``, ``soak``, ``service``) so reference tables can
+    group related names.
+    """
+
+    name: str
+    kind: str
+    layer: str
+    meaning: str
+
+
+#: Every instrument name the planner stack ticks, as introspectable data.
+#: ``docs/observability.md`` renders this tuple; ``tests/docs`` diffs the
+#: rendered tables against it and greps the source tree so an instrument
+#: cannot be added without being documented here.
+CANONICAL_INSTRUMENTS: Tuple[InstrumentSpec, ...] = (
+    # -- core GA engine -------------------------------------------------------
+    InstrumentSpec("evals", "counter", "core", "individuals evaluated"),
+    InstrumentSpec("eval_batch", "timer", "core", "wall time of whole-population evaluation calls"),
+    InstrumentSpec("decode", "timer", "core", "genome decoding (serial evaluator, per batch)"),
+    InstrumentSpec("fitness", "timer", "core", "fitness scoring (serial evaluator, per batch)"),
+    InstrumentSpec("dispatch", "timer", "core", "parent-side wait on process-pool chunk results"),
+    InstrumentSpec("worker_eval", "timer", "core", "in-worker chunk evaluation time (summed)"),
+    InstrumentSpec("selection", "timer", "core", "parent selection per generation"),
+    InstrumentSpec("variation", "timer", "core", "crossover + mutation per generation"),
+    InstrumentSpec("decode_cache_hits", "counter", "core", "valid-operation decode-cache hits"),
+    InstrumentSpec("decode_cache_misses", "counter", "core", "valid-operation decode-cache misses"),
+    InstrumentSpec(
+        "decode_cache_evictions", "counter", "core", "entries dropped by decode-cache resets"
+    ),
+    InstrumentSpec(
+        "transition_cache_hits", "counter", "core", "transition-table hits (decode engine)"
+    ),
+    InstrumentSpec(
+        "transition_cache_misses", "counter", "core", "transition-table misses (decode engine)"
+    ),
+    InstrumentSpec(
+        "transition_cache_evictions", "counter", "core", "transition entries dropped by resets"
+    ),
+    InstrumentSpec(
+        "evals_skipped", "counter", "core", "evaluations satisfied by the fitness memo / dedup"
+    ),
+    InstrumentSpec(
+        "genes_reused", "counter", "core", "genes satisfied from retained parent prefixes"
+    ),
+    InstrumentSpec(
+        "decode_fallbacks", "counter", "core", "prefix resumes abandoned for a full decode"
+    ),
+    InstrumentSpec("memo_evictions", "counter", "core", "fitness-memo entries dropped by resets"),
+    InstrumentSpec(
+        "batched_generations", "counter", "core", "generations bred on the PopulationBuffer path"
+    ),
+    InstrumentSpec(
+        "shm_bytes_published",
+        "counter",
+        "core",
+        "bytes written into the shared-memory segment per batch",
+    ),
+    InstrumentSpec(
+        "dispatch_bytes_saved",
+        "counter",
+        "core",
+        "gene-payload bytes that skipped pickling via shared-memory dispatch",
+    ),
+    InstrumentSpec("vector_rows", "counter", "core", "population rows decoded by the vector path"),
+    InstrumentSpec("vector_genes", "counter", "core", "genes consumed by the vector decode path"),
+    InstrumentSpec("checkpoints_recovered", "counter", "core", "corrupt checkpoints skipped"),
+    InstrumentSpec(
+        "retries", "counter", "core", "fault-tolerant retry attempts (broker + evaluator)"
+    ),
+    InstrumentSpec(
+        "degradations", "counter", "core", "resilient evaluators permanently degraded to serial"
+    ),
+    # -- portfolio engine -----------------------------------------------------
+    InstrumentSpec(
+        "portfolio_rounds", "counter", "core", "fork-join rounds driven by the portfolio engine"
+    ),
+    InstrumentSpec(
+        "portfolio_migrants", "counter", "core", "individuals moved by portfolio migration edges"
+    ),
+    InstrumentSpec(
+        "portfolio_boost_edges",
+        "counter",
+        "core",
+        "extra leader-to-stagnant edges added by adaptive migration",
+    ),
+    InstrumentSpec(
+        "islands_cancelled", "counter", "core", "islands stopped by first-solution cancellation"
+    ),
+    InstrumentSpec(
+        "incumbent_improvements", "counter", "core", "portfolio-wide best-so-far improvements"
+    ),
+    InstrumentSpec(
+        "island_velocity", "histogram", "core", "per-island per-round best-fitness deltas"
+    ),
+    # -- grid simulator + coordination ----------------------------------------
+    InstrumentSpec("faults_injected", "counter", "grid", "fault-timeline events applied"),
+    InstrumentSpec("replans", "counter", "grid", "coordination rounds triggered by grid changes"),
+    InstrumentSpec(
+        "placement_attempts", "counter", "grid", "broker placement attempts (incl. successes)"
+    ),
+    InstrumentSpec(
+        "placement_backoff_s", "counter", "grid", "total simulated backoff accumulated by retries"
+    ),
+    InstrumentSpec("sim_tasks_done", "counter", "grid", "simulated activities completed"),
+    InstrumentSpec("sim_tasks_failed", "counter", "grid", "simulated activities failed"),
+    InstrumentSpec("sim_execute", "timer", "grid", "wall time of simulator execution calls"),
+    InstrumentSpec("plan_latency", "timer", "grid", "wall time of coordination planning rounds"),
+    # -- ETC scheduling study -------------------------------------------------
+    InstrumentSpec("sched_evals", "counter", "scheduling", "GA task-mapper chromosomes evaluated"),
+    InstrumentSpec(
+        "sched_objective", "timer", "scheduling", "GA task-mapper objective evaluation time"
+    ),
+    # -- experiment orchestration ---------------------------------------------
+    InstrumentSpec("trials_completed", "counter", "exp", "sweep trials recorded ok"),
+    InstrumentSpec("trials_failed", "counter", "exp", "sweep trials that exhausted their retries"),
+    InstrumentSpec("trials_skipped", "counter", "exp", "sweep trials skipped by resume"),
+    InstrumentSpec("trial", "timer", "exp", "wall time per executed sweep trial"),
+    # -- soak mode ------------------------------------------------------------
+    InstrumentSpec("soak_requests", "counter", "soak", "workflow requests that arrived in a soak"),
+    InstrumentSpec("soak_completed", "counter", "soak", "soak requests that delivered their goal"),
+    InstrumentSpec(
+        "soak_shed", "counter", "soak", "soak requests dropped by the degradation ladder"
+    ),
+    InstrumentSpec("soak_replans", "counter", "soak", "churn-triggered replanning rounds"),
+    InstrumentSpec(
+        "soak_repairs", "counter", "soak", "replans resolved by prefix repair (ladder rung 1)"
+    ),
+    InstrumentSpec(
+        "soak_ga_replans", "counter", "soak", "replans resolved by a GA replan (warm or cold)"
+    ),
+    InstrumentSpec(
+        "soak_greedy_fallbacks", "counter", "soak", "replans resolved by the greedy fallback rung"
+    ),
+    InstrumentSpec(
+        "soak_soft_churn", "counter", "soak", "grid events that invalidated no in-flight plan"
+    ),
+    InstrumentSpec(
+        "soak_deadline_met", "counter", "soak", "completed soak requests inside their deadline"
+    ),
+    InstrumentSpec(
+        "replan_latency", "histogram", "soak", "wall-clock seconds per replanning round"
+    ),
+    InstrumentSpec(
+        "request_duration", "histogram", "soak", "simulated seconds from arrival to completion"
+    ),
+    # -- planning service -----------------------------------------------------
+    InstrumentSpec("service_requests", "counter", "service", "planning requests submitted"),
+    InstrumentSpec("service_admitted", "counter", "service", "requests accepted into the queue"),
+    InstrumentSpec(
+        "service_shed", "counter", "service", "requests dropped (queue cap, deadline, cancel)"
+    ),
+    InstrumentSpec("service_completed", "counter", "service", "requests that returned a result"),
+    InstrumentSpec("service_failed", "counter", "service", "requests that raised mid-run"),
+    InstrumentSpec(
+        "service_slices", "counter", "service", "tick-sized slices executed by the run scheduler"
+    ),
+    InstrumentSpec(
+        "service_warm_hits", "counter", "service", "runs served a pre-warmed decode engine"
+    ),
+    InstrumentSpec(
+        "service_warm_misses", "counter", "service", "runs that had to build a cold decode engine"
+    ),
+    InstrumentSpec(
+        "service_latency", "histogram", "service", "wall seconds from submit to final frame"
+    ),
+    InstrumentSpec(
+        "service_queue_wait", "histogram", "service", "wall seconds from submit to first slice"
+    ),
+)
+
+
+#: Derived headline metrics computed by the ``*_summary`` helpers below —
+#: names only ever appear in summaries, never as registry instruments.
+DERIVED_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("evals_per_sec", "individuals scored per second of evaluation wall time"),
+    ("decode_cache_hit_rate", "valid-operation decode-cache hit fraction"),
+    ("transition_cache_hit_rate", "transition-table hit fraction (decode engine)"),
+    ("vector_genes_per_sec", "genes consumed per second by the vector decode path"),
+    ("goal_completion_rate", "completed soak requests over completed + shed"),
+    ("replan_latency_p50_ms", "median wall-clock replan latency (soak)"),
+    ("replan_latency_p99_ms", "99th-percentile wall-clock replan latency (soak)"),
+    ("service_shed_rate", "shed service requests over all submitted requests"),
+    ("service_latency_p50_ms", "median wall-clock service request latency"),
+    ("service_latency_p99_ms", "99th-percentile wall-clock service request latency"),
+)
 
 
 class Counter:
@@ -267,7 +424,7 @@ class MetricsRegistry:
                     f"    {name:<24} n {h.count:<8} mean {h.mean:9.4f}  "
                     f"min {h.min:9.4f}  max {h.max:9.4f}"
                 )
-        derived = {**planner_summary(self), **soak_summary(self)}
+        derived = {**planner_summary(self), **soak_summary(self), **service_summary(self)}
         if derived:
             lines.append("  derived:")
             for name, value in derived.items():
@@ -330,4 +487,27 @@ def soak_summary(metrics: Optional[MetricsRegistry]) -> dict:
     if latency is not None and latency.count:
         out["replan_latency_p50_ms"] = round(latency.percentile(50) * 1e3, 3)
         out["replan_latency_p99_ms"] = round(latency.percentile(99) * 1e3, 3)
+    return out
+
+
+def service_summary(metrics: Optional[MetricsRegistry]) -> dict:
+    """Headline planning-service numbers derived from the canonical instruments.
+
+    Returns ``service_shed_rate`` (shed requests over all submitted requests)
+    when the service counters recorded anything, plus
+    ``service_latency_p50_ms`` / ``service_latency_p99_ms`` when any request
+    completed; an empty dict otherwise.
+    """
+    if metrics is None:
+        return {}
+    out: dict = {}
+    requests = metrics.counters.get("service_requests")
+    shed = metrics.counters.get("service_shed")
+    total = requests.value if requests else 0
+    if total:
+        out["service_shed_rate"] = round((shed.value if shed else 0) / total, 4)
+    latency = metrics.histograms.get("service_latency")
+    if latency is not None and latency.count:
+        out["service_latency_p50_ms"] = round(latency.percentile(50) * 1e3, 3)
+        out["service_latency_p99_ms"] = round(latency.percentile(99) * 1e3, 3)
     return out

@@ -1,0 +1,164 @@
+"""Markdown reference-table renderers for the observability surface.
+
+``docs/observability.md`` carries three generated tables — event types,
+canonical instruments, derived metrics — between ``<!-- BEGIN GENERATED:
+name -->`` / ``<!-- END GENERATED: name -->`` marker pairs.  The renderers
+here are the single source of those tables: a docs-tier test diffs the
+committed markdown against the rendered output, so adding an event class
+or instrument without regenerating the page fails CI.
+
+Regenerate in place with::
+
+    PYTHONPATH=src python -m repro.obs.reference docs/observability.md
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import sys
+from typing import Dict, List
+
+from repro.obs.events import EVENT_KINDS, RunEvent
+from repro.obs.metrics import CANONICAL_INSTRUMENTS, DERIVED_METRICS
+
+__all__ = [
+    "render_event_table",
+    "render_instrument_table",
+    "render_derived_table",
+    "GENERATED_SECTIONS",
+    "rewrite_generated_sections",
+]
+
+_BASE_FIELDS = {f.name for f in dataclasses.fields(RunEvent)}
+
+#: Human-readable layer headings, in the order instrument tables group them.
+_LAYER_TITLES = (
+    ("core", "Core GA engine"),
+    ("grid", "Grid simulator + coordination"),
+    ("scheduling", "ETC scheduling study"),
+    ("exp", "Experiment orchestration"),
+    ("soak", "Soak mode"),
+    ("service", "Planning service"),
+)
+
+
+def _first_doc_line(cls: type) -> str:
+    doc = (cls.__doc__ or "").strip()
+    return doc.splitlines()[0].rstrip(".") if doc else ""
+
+
+def render_event_table() -> str:
+    """Markdown table of every registered :class:`RunEvent` type.
+
+    One row per entry in :data:`repro.obs.events.EVENT_KINDS`, sorted by
+    wire kind: the kind string, the event class, its payload fields (base
+    ``scope`` excluded) and the first docstring line.
+    """
+    lines = [
+        "| kind | class | payload fields | meaning |",
+        "| --- | --- | --- | --- |",
+    ]
+    for kind in sorted(EVENT_KINDS):
+        cls = EVENT_KINDS[kind]
+        payload = [f.name for f in dataclasses.fields(cls) if f.name not in _BASE_FIELDS]
+        fields = ", ".join(f"`{name}`" for name in payload) or "—"
+        lines.append(f"| `{kind}` | `{cls.__name__}` | {fields} | {_first_doc_line(cls)} |")
+    return "\n".join(lines)
+
+
+def render_instrument_table() -> str:
+    """Markdown tables of every canonical instrument, grouped by layer.
+
+    Renders :data:`repro.obs.metrics.CANONICAL_INSTRUMENTS` as one table
+    per owning layer, preserving declaration order within each group.
+    """
+    by_layer: Dict[str, List[str]] = {}
+    for spec in CANONICAL_INSTRUMENTS:
+        by_layer.setdefault(spec.layer, []).append(
+            f"| `{spec.name}` | {spec.kind} | {spec.meaning} |"
+        )
+    chunks: List[str] = []
+    for layer, title in _LAYER_TITLES:
+        rows = by_layer.pop(layer, None)
+        if not rows:
+            continue
+        chunks.append(
+            "\n".join(
+                [f"**{title}**", "", "| name | instrument | meaning |", "| --- | --- | --- |"]
+                + rows
+            )
+        )
+    for layer in sorted(by_layer):  # pragma: no cover - unknown-layer safety net
+        chunks.append(
+            "\n".join(
+                [f"**{layer}**", "", "| name | instrument | meaning |", "| --- | --- | --- |"]
+                + by_layer[layer]
+            )
+        )
+    return "\n\n".join(chunks)
+
+
+def render_derived_table() -> str:
+    """Markdown table of the derived headline metrics.
+
+    One row per entry in :data:`repro.obs.metrics.DERIVED_METRICS`, in
+    declaration order; these names appear only in ``*_summary`` outputs,
+    never as registry instruments.
+    """
+    lines = ["| name | meaning |", "| --- | --- |"]
+    for name, meaning in DERIVED_METRICS:
+        lines.append(f"| `{name}` | {meaning} |")
+    return "\n".join(lines)
+
+
+#: Generated-section name → renderer, as referenced by the markdown markers.
+GENERATED_SECTIONS = {
+    "events": render_event_table,
+    "instruments": render_instrument_table,
+    "derived": render_derived_table,
+}
+
+
+def rewrite_generated_sections(text: str) -> str:
+    """Return ``text`` with every marked generated section re-rendered.
+
+    Sections are delimited by ``<!-- BEGIN GENERATED: name -->`` /
+    ``<!-- END GENERATED: name -->`` pairs whose ``name`` keys
+    :data:`GENERATED_SECTIONS`; unknown names raise ``KeyError`` so a typo
+    in the markdown cannot silently skip regeneration.
+    """
+
+    def _replace(match: "re.Match[str]") -> str:
+        name = match.group("name")
+        body = GENERATED_SECTIONS[name]()
+        return f"<!-- BEGIN GENERATED: {name} -->\n{body}\n<!-- END GENERATED: {name} -->"
+
+    return re.sub(
+        r"<!-- BEGIN GENERATED: (?P<name>[\w-]+) -->\n.*?<!-- END GENERATED: (?P=name) -->",
+        _replace,
+        text,
+        flags=re.DOTALL,
+    )
+
+
+def main(argv: List[str]) -> int:
+    """Rewrite the generated sections of each markdown file in ``argv``."""
+    if not argv:
+        print("usage: python -m repro.obs.reference DOC.md [DOC.md ...]", file=sys.stderr)
+        return 2
+    for path in argv:
+        with open(path, encoding="utf-8") as fh:
+            original = fh.read()
+        updated = rewrite_generated_sections(original)
+        if updated != original:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(updated)
+            print(f"rewrote {path}")
+        else:
+            print(f"unchanged {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,64 @@
+"""repro.service — planning-as-a-service over the GA planner stack.
+
+The ROADMAP's production axis made concrete: an asyncio TCP front end
+(:mod:`~repro.service.server`) speaking a JSON-lines protocol
+(:mod:`~repro.service.protocol`), a run scheduler multiplexing concurrent
+requests over a shared worker pool in tick-sized slices with admission
+control and per-tenant fair share (:mod:`~repro.service.scheduler`), and
+warm cross-request reuse of decode-engine state keyed by domain
+config-hash (:mod:`~repro.service.cache`).  ``docs/service.md`` is the
+operations guide; ``benchmarks/bench_service.py`` is the load harness.
+"""
+
+from repro.service.cache import EngineCache, EngineLease, config_hash
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameReader,
+    PlanRequest,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    parse_plan_request,
+)
+from repro.service.scheduler import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SHED,
+    RunScheduler,
+    ServicePool,
+    ServiceRun,
+    default_max_len,
+    service_canonical_events,
+)
+from repro.service.server import PlanningServer, serve
+
+__all__ = [
+    "DONE",
+    "EngineCache",
+    "EngineLease",
+    "FAILED",
+    "FrameReader",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "PlanRequest",
+    "PlanningServer",
+    "ProtocolError",
+    "QUEUED",
+    "RUNNING",
+    "RunScheduler",
+    "SHED",
+    "ServiceClient",
+    "ServicePool",
+    "ServiceRun",
+    "config_hash",
+    "decode_frame",
+    "default_max_len",
+    "encode_frame",
+    "parse_plan_request",
+    "serve",
+    "service_canonical_events",
+]

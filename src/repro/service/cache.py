@@ -1,0 +1,139 @@
+"""Warm cross-request engine reuse, keyed by domain config-hash.
+
+:class:`~repro.core.decode_engine.DecodeEngine` binds by domain
+*identity*: rebinding the same domain instance keeps its transition tables
+and (same start/weights) fitness memo hot, while a structurally-equal but
+fresh instance silently cold-starts.  The cache therefore stores the
+``(domain, engine)`` pair together, keyed by :func:`config_hash` over the
+domain name and constructor args, and leases whole pairs for a run's
+lifetime — two concurrent same-domain requests get *separate* pairs (no
+shared mutable state mid-run), and a released pair is the next same-domain
+request's warm start.
+
+Warmth never changes results: the decode engine's exactness contract means
+a warm request computes bit-identical fitness to a cold one, just faster.
+Disable the cache (``enabled=False``) for the cold ablation in
+``benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.decode_engine import DecodeEngine
+from repro.domains import registry as domain_registry
+from repro.domains.base import PlanningDomain
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["config_hash", "EngineLease", "EngineCache"]
+
+
+def config_hash(domain: str, args: Sequence[object] = ()) -> str:
+    """Stable short hash of a domain name + constructor args.
+
+    Two requests share cache entries iff they hash equal, so the hash must
+    cover everything that changes domain semantics — name and every
+    positional arg — and nothing that doesn't (seeds, budgets, tenants).
+    """
+    payload = json.dumps([domain, list(args)], sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class EngineLease:
+    """One checked-out ``(domain, engine)`` pair; hold for the run's lifetime.
+
+    ``warm`` records whether the pair came from the idle pool (a previous
+    request's caches intact) or was built cold for this lease.
+    """
+
+    key: str
+    domain: PlanningDomain
+    engine: DecodeEngine
+    warm: bool
+    released: bool = field(default=False, repr=False)
+
+
+class EngineCache:
+    """Pool of idle ``(domain, engine)`` pairs per domain config-hash.
+
+    Thread-safe: the run scheduler's worker threads lease and release
+    concurrently.  ``max_idle_per_key`` bounds retained pairs per key
+    (excess releases are dropped); ``enabled=False`` turns every lease into
+    a cold build and every release into a drop — the cold-cache ablation.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_idle_per_key: int = 4,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_idle_per_key < 1:
+            raise ValueError(f"max_idle_per_key must be >= 1, got {max_idle_per_key}")
+        self.enabled = enabled
+        self.max_idle_per_key = max_idle_per_key
+        self.metrics = metrics
+        self.warm_hits = 0
+        self.warm_misses = 0
+        self._lock = threading.Lock()
+        self._idle: Dict[str, List[Tuple[PlanningDomain, DecodeEngine]]] = {}
+
+    def lease(self, domain_name: str, args: Sequence[object] = ()) -> EngineLease:
+        """Check out a pair for *domain_name(args)*, warm when available.
+
+        Unknown domain names raise ``KeyError`` (from the registry) — the
+        scheduler turns that into an ``error`` frame.
+        """
+        key = config_hash(domain_name, args)
+        pair: Optional[Tuple[PlanningDomain, DecodeEngine]] = None
+        if self.enabled:
+            with self._lock:
+                idle = self._idle.get(key)
+                if idle:
+                    pair = idle.pop()
+        if pair is not None:
+            self.warm_hits += 1
+            if self.metrics is not None:
+                self.metrics.counter("service_warm_hits").add(1)
+            return EngineLease(key=key, domain=pair[0], engine=pair[1], warm=True)
+        domain = domain_registry.create(domain_name, *args)
+        self.warm_misses += 1
+        if self.metrics is not None:
+            self.metrics.counter("service_warm_misses").add(1)
+        # adaptive_memo=False: a shared-lifetime engine must keep its
+        # fitness memo across requests — repeated same-seed requests replay
+        # whole populations out of it (see DecodeEngine's docstring).
+        engine = DecodeEngine(adaptive_memo=False)
+        return EngineLease(key=key, domain=domain, engine=engine, warm=False)
+
+    def release(self, lease: EngineLease) -> None:
+        """Return a lease's pair to the idle pool (idempotent).
+
+        With the cache disabled, or when the per-key idle pool is full, the
+        pair is simply dropped.
+        """
+        if lease.released:
+            return
+        lease.released = True
+        if not self.enabled:
+            return
+        with self._lock:
+            idle = self._idle.setdefault(lease.key, [])
+            if len(idle) < self.max_idle_per_key:
+                idle.append((lease.domain, lease.engine))
+
+    def stats(self) -> dict:
+        """Warm hit/miss totals and current idle-pool occupancy."""
+        with self._lock:
+            idle = {key: len(pairs) for key, pairs in self._idle.items() if pairs}
+        return {
+            "enabled": self.enabled,
+            "warm_hits": self.warm_hits,
+            "warm_misses": self.warm_misses,
+            "idle": idle,
+        }

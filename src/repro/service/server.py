@@ -1,0 +1,208 @@
+"""Asyncio TCP front end for the planning service (stdlib-only).
+
+One :class:`PlanningServer` owns a :class:`~repro.service.scheduler.
+RunScheduler` plus a :class:`~repro.service.scheduler.ServicePool` and
+serves JSON-lines frames (see :mod:`repro.service.protocol`) to any number
+of concurrent connections.  Worker threads deliver a run's frames through
+``loop.call_soon_threadsafe`` onto a per-connection :class:`asyncio.Queue`
+drained by a sender task — the only thread/event-loop boundary in the
+system.  A client disconnecting mid-stream cancels every live run it
+submitted, so abandoned work stops consuming slices at the next boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    decode_frame,
+    parse_plan_request,
+)
+from repro.service.cache import EngineCache
+from repro.service.scheduler import RunScheduler, ServicePool, ServiceRun
+
+__all__ = ["PlanningServer", "serve"]
+
+
+class PlanningServer:
+    """The asyncio front end: accept connections, bridge frames to workers.
+
+    Construct, then either ``await start()`` + ``await serve_forever()``
+    inside a running loop, or call :func:`serve` from synchronous code (the
+    CLI does).  ``port=0`` binds an ephemeral port, exposed as
+    :attr:`port` after :meth:`start` — tests and the smoke job rely on it.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        queue_cap: int = 8,
+        fair_share: bool = True,
+        slice_gens: int = 4,
+        warm_cache: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.scheduler = RunScheduler(
+            engine_cache=EngineCache(enabled=warm_cache, metrics=self.metrics),
+            queue_cap=queue_cap,
+            fair_share=fair_share,
+            slice_gens=slice_gens,
+            metrics=self.metrics,
+            tracer=tracer,
+        )
+        self.pool = ServicePool(self.scheduler, workers=workers)
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> "PlanningServer":
+        """Bind the listening socket and start the worker pool."""
+        self.pool.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``start()`` must have completed)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, join the worker pool, release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.pool.stop()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        outbox: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
+        live: Dict[int, ServiceRun] = {}
+
+        def subscriber(frame: dict) -> None:
+            # Called from worker threads; hop onto the loop thread.
+            loop.call_soon_threadsafe(outbox.put_nowait, frame)
+
+        sender = asyncio.ensure_future(self._send_loop(outbox, writer))
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = decode_frame(line)
+                    self._dispatch(frame, subscriber, live, outbox)
+                except ProtocolError as exc:
+                    outbox.put_nowait({"type": "error", "id": None, "message": str(exc)})
+        finally:
+            for run in live.values():
+                if not run.finished:
+                    self.scheduler.cancel(run)
+            outbox.put_nowait(None)  # sentinel: flush then stop the sender
+            with contextlib.suppress(Exception):
+                await sender
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    def _dispatch(
+        self,
+        frame: dict,
+        subscriber,
+        live: Dict[int, ServiceRun],
+        outbox: "asyncio.Queue[Optional[dict]]",
+    ) -> None:
+        kind = frame["type"]
+        if kind == "ping":
+            outbox.put_nowait({"type": "pong", "version": PROTOCOL_VERSION})
+        elif kind == "stats":
+            outbox.put_nowait({"type": "stats", **self.scheduler.stats()})
+        elif kind == "plan":
+            request = parse_plan_request(frame)
+            run = self.scheduler.submit(request, subscriber=subscriber)
+            if not run.finished:
+                live[run.request_id] = run
+        else:
+            raise ProtocolError(f"unknown frame type {kind!r}")
+
+    @staticmethod
+    async def _send_loop(
+        outbox: "asyncio.Queue[Optional[dict]]", writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            frame = await outbox.get()
+            if frame is None:
+                return
+            writer.write(encode_frame(frame))
+            try:
+                await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                return
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 7421,
+    workers: int = 2,
+    queue_cap: int = 8,
+    fair_share: bool = True,
+    slice_gens: int = 4,
+    warm_cache: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    ready: Optional["object"] = None,
+) -> None:
+    """Run a :class:`PlanningServer` until interrupted (blocking).
+
+    *ready*, when given, must have a ``set()`` method (a
+    ``threading.Event``) and is signalled once the socket is bound —
+    letting tests and the smoke job start the server in a thread and wait
+    deterministically instead of sleeping.  The bound port is attached as
+    ``ready.port`` first, so ``port=0`` (ephemeral) callers can find it.
+    """
+
+    async def _main() -> None:
+        server = PlanningServer(
+            host=host,
+            port=port,
+            workers=workers,
+            queue_cap=queue_cap,
+            fair_share=fair_share,
+            slice_gens=slice_gens,
+            warm_cache=warm_cache,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        await server.start()
+        print(f"repro service listening on {server.host}:{server.port}", flush=True)
+        if ready is not None:
+            ready.port = server.port
+            ready.set()
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,49 @@
+"""The architecture page's module map tracks the actual package tree."""
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC = REPO_ROOT / "docs" / "architecture.md"
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def top_level_packages():
+    """Every ``repro.*`` package shipped in ``src`` (has an ``__init__.py``)."""
+    return sorted(
+        child.name
+        for child in SRC.iterdir()
+        if child.is_dir() and (child / "__init__.py").exists()
+    )
+
+
+def package_map_rows(text):
+    """First-column package names of the ``## Package map`` table."""
+    section = text.split("## Package map", 1)[1].split("##", 1)[0]
+    return re.findall(r"^\| `(repro[.\w]*)` \|", section, re.MULTILINE)
+
+
+class TestPackageMap:
+    def test_every_shipped_package_has_a_map_row(self):
+        rows = package_map_rows(DOC.read_text(encoding="utf-8"))
+        missing = [
+            name for name in top_level_packages() if f"repro.{name}" not in rows
+        ]
+        assert missing == [], (
+            f"packages missing from the docs/architecture.md map: {missing}"
+        )
+
+    def test_every_map_row_names_a_real_module(self):
+        for row in package_map_rows(DOC.read_text(encoding="utf-8")):
+            relative = Path(*row.split("."))
+            package = REPO_ROOT / "src" / relative
+            assert (package / "__init__.py").exists() or package.with_suffix(
+                ".py"
+            ).exists(), f"map row {row!r} does not exist under src/"
+
+    def test_known_recent_packages_are_mapped(self):
+        # The rows PRs 8-9 added; a regression here means the map went stale.
+        text = DOC.read_text(encoding="utf-8")
+        rows = package_map_rows(text)
+        assert "repro.soak" in rows and "repro.service" in rows
+        assert "portfolio" in text  # the core row must mention the portfolio engine

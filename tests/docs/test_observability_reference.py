@@ -1,0 +1,142 @@
+"""The observability reference stays honest: docs diff against code.
+
+``docs/observability.md`` carries three generated tables (events,
+instruments, derived metrics).  These tests re-render them from
+``repro.obs`` introspection and diff against the committed page, and
+sweep the source tree so every instrument literal is declared in the
+canonical inventory — documentation drift fails here, not in review.
+"""
+
+import dataclasses
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs import CANONICAL_INSTRUMENTS, DERIVED_METRICS, InstrumentSpec
+from repro.obs.events import EVENT_KINDS, RunEvent
+from repro.obs.reference import (
+    GENERATED_SECTIONS,
+    render_derived_table,
+    render_event_table,
+    render_instrument_table,
+    rewrite_generated_sections,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC = REPO_ROOT / "docs" / "observability.md"
+
+#: instrument-creation literals: .counter("name") / .timer(...) / .histogram(...)
+_INSTRUMENT_CALL = re.compile(r'\.(counter|timer|histogram)\(\s*"([A-Za-z0-9_]+)"')
+
+
+class TestGeneratedSectionsMatchCode:
+    def test_committed_page_is_a_fixed_point_of_the_renderer(self):
+        text = DOC.read_text(encoding="utf-8")
+        regenerated = rewrite_generated_sections(text)
+        assert regenerated == text, (
+            "docs/observability.md is stale — regenerate with:\n"
+            "  PYTHONPATH=src python -m repro.obs.reference docs/observability.md"
+        )
+
+    def test_page_carries_every_generated_section(self):
+        text = DOC.read_text(encoding="utf-8")
+        for name in GENERATED_SECTIONS:
+            assert f"<!-- BEGIN GENERATED: {name} -->" in text
+            assert f"<!-- END GENERATED: {name} -->" in text
+
+    def test_unknown_section_names_fail_loudly(self):
+        bogus = "<!-- BEGIN GENERATED: nope -->\nx\n<!-- END GENERATED: nope -->"
+        with pytest.raises(KeyError):
+            rewrite_generated_sections(bogus)
+
+
+class TestEventTable:
+    def test_every_registered_kind_has_a_row(self):
+        table = render_event_table()
+        for kind, cls in EVENT_KINDS.items():
+            assert f"| `{kind}` | `{cls.__name__}` |" in table
+
+    def test_rows_carry_payload_fields_without_base_scope(self):
+        table = render_event_table()
+        base = {f.name for f in dataclasses.fields(RunEvent)}
+        for cls in EVENT_KINDS.values():
+            for field in dataclasses.fields(cls):
+                if field.name in base:
+                    continue
+                assert f"`{field.name}`" in table
+        assert "| `scope` |" not in table
+
+    def test_documented_kinds_exactly_match_introspection(self):
+        documented = re.findall(r"^\| `([a-z0-9-]+)` \|", render_event_table(), re.MULTILINE)
+        assert sorted(documented) == documented  # table is kind-sorted
+        assert set(documented) == set(EVENT_KINDS)
+
+
+class TestInstrumentInventory:
+    def test_every_source_literal_is_declared(self):
+        # One-directional on purpose: some instruments are ticked through
+        # variables (e.g. rung-counter maps), so the reverse containment
+        # cannot be checked by grepping literals.
+        declared = {(spec.name, spec.kind) for spec in CANONICAL_INSTRUMENTS}
+        undeclared = {}
+        for path in (REPO_ROOT / "src").rglob("*.py"):
+            for kind, name in _INSTRUMENT_CALL.findall(path.read_text(encoding="utf-8")):
+                if (name, kind) not in declared:
+                    undeclared.setdefault(f"{name} ({kind})", str(path.relative_to(REPO_ROOT)))
+        assert undeclared == {}, (
+            f"instruments missing from CANONICAL_INSTRUMENTS: {undeclared}"
+        )
+
+    def test_inventory_names_are_unique(self):
+        names = [spec.name for spec in CANONICAL_INSTRUMENTS]
+        assert len(names) == len(set(names))
+
+    def test_inventory_shape(self):
+        for spec in CANONICAL_INSTRUMENTS:
+            assert isinstance(spec, InstrumentSpec)
+            assert spec.kind in ("counter", "timer", "histogram")
+            assert spec.meaning
+        assert {spec.layer for spec in CANONICAL_INSTRUMENTS} == {
+            "core", "grid", "scheduling", "exp", "soak", "service",
+        }
+
+    def test_instrument_table_names_every_instrument(self):
+        table = render_instrument_table()
+        for spec in CANONICAL_INSTRUMENTS:
+            assert f"| `{spec.name}` | {spec.kind} |" in table
+
+
+class TestDerivedTable:
+    def test_every_derived_metric_has_a_row(self):
+        table = render_derived_table()
+        for name, meaning in DERIVED_METRICS:
+            assert f"| `{name}` |" in table
+
+    def test_summary_outputs_only_use_declared_names(self):
+        from repro.obs.metrics import (
+            MetricsRegistry,
+            planner_summary,
+            service_summary,
+            soak_summary,
+        )
+
+        metrics = MetricsRegistry()
+        metrics.counter("evals").add(100)
+        metrics.timer("eval_batch").record(0.5)
+        metrics.counter("decode_cache_hits").add(8)
+        metrics.counter("decode_cache_misses").add(2)
+        metrics.counter("service_requests").add(10)
+        metrics.counter("service_shed").add(1)
+        metrics.histogram("service_latency").observe(0.05)
+        metrics.histogram("replan_latency").observe(0.01)
+        metrics.counter("soak_completed").add(4)
+        metrics.counter("soak_shed").add(1)
+        derived = {
+            **planner_summary(metrics),
+            **soak_summary(metrics),
+            **service_summary(metrics),
+        }
+        declared = {name for name, _ in DERIVED_METRICS}
+        assert derived, "expected at least one derived metric"
+        assert set(derived) <= declared

@@ -27,6 +27,10 @@ from repro.obs import (
     RequestShed,
     RetryAttempt,
     SchedulerGeneration,
+    ServiceAdmitted,
+    ServiceCompleted,
+    ServiceShed,
+    ServiceSlice,
     SimulationComplete,
     SweepProgress,
     TrialFinished,
@@ -76,6 +80,21 @@ SAMPLES = [
     ReplanLatency(
         scope="soak", request_id=4, at=40.0, rung="repair",
         reused=4, repaired=2, plan_length=6, seconds=0.004,
+    ),
+    ServiceAdmitted(
+        scope="service", request_id=1, tenant="alpha", domain_hash="ab12cd34ef56ab12",
+        queue_depth=3,
+    ),
+    ServiceShed(
+        scope="service", request_id=2, tenant="bravo", reason="queue-full", queue_depth=8,
+    ),
+    ServiceSlice(
+        scope="service", request_id=1, tenant="alpha", slice_index=2, generations=5,
+        done=False,
+    ),
+    ServiceCompleted(
+        scope="service", request_id=1, tenant="alpha", solved=True, timed_out=False,
+        generations=15, plan_length=7, slices=3, seconds=0.21,
     ),
 ]
 

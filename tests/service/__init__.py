@@ -1,0 +1,1 @@
+"""Tests for the planning service (`repro.service`)."""

@@ -1,0 +1,94 @@
+"""Engine-cache tests: warm reuse, pooling bounds, the cold ablation."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.service import EngineCache, config_hash
+
+
+class TestConfigHash:
+    def test_same_config_same_hash(self):
+        assert config_hash("hanoi", (4,)) == config_hash("hanoi", (4,))
+
+    def test_hash_covers_name_and_args(self):
+        assert config_hash("hanoi", (4,)) != config_hash("hanoi", (5,))
+        assert config_hash("hanoi", (4,)) != config_hash("tile", (4,))
+
+    def test_hash_is_short_and_stable_across_arg_container(self):
+        digest = config_hash("hanoi", [4])
+        assert len(digest) == 16
+        assert digest == config_hash("hanoi", (4,))
+
+
+class TestEngineCache:
+    def test_first_lease_is_cold(self):
+        cache = EngineCache()
+        lease = cache.lease("hanoi", (3,))
+        assert lease.warm is False
+        assert cache.stats()["warm_misses"] == 1
+
+    def test_release_then_lease_is_warm_with_same_pair(self):
+        cache = EngineCache()
+        first = cache.lease("hanoi", (3,))
+        cache.release(first)
+        second = cache.lease("hanoi", (3,))
+        assert second.warm is True
+        assert second.domain is first.domain and second.engine is first.engine
+
+    def test_concurrent_leases_get_distinct_pairs(self):
+        cache = EngineCache()
+        a = cache.lease("hanoi", (3,))
+        b = cache.lease("hanoi", (3,))
+        assert a.engine is not b.engine and a.domain is not b.domain
+
+    def test_different_configs_never_share(self):
+        cache = EngineCache()
+        cache.release(cache.lease("hanoi", (3,)))
+        assert cache.lease("hanoi", (4,)).warm is False
+
+    def test_release_is_idempotent(self):
+        cache = EngineCache(max_idle_per_key=4)
+        lease = cache.lease("hanoi", (3,))
+        cache.release(lease)
+        cache.release(lease)  # double release must not double-pool the pair
+        assert cache.stats()["idle"][lease.key] == 1
+
+    def test_idle_pool_is_bounded_per_key(self):
+        cache = EngineCache(max_idle_per_key=2)
+        leases = [cache.lease("hanoi", (3,)) for _ in range(4)]
+        for lease in leases:
+            cache.release(lease)
+        assert cache.stats()["idle"][leases[0].key] == 2
+
+    def test_disabled_cache_never_warms(self):
+        cache = EngineCache(enabled=False)
+        lease = cache.lease("hanoi", (3,))
+        cache.release(lease)
+        assert cache.lease("hanoi", (3,)).warm is False
+        assert cache.stats() == {
+            "enabled": False,
+            "warm_hits": 0,
+            "warm_misses": 2,
+            "idle": {},
+        }
+
+    def test_metrics_tick_warm_counters(self):
+        metrics = MetricsRegistry()
+        cache = EngineCache(metrics=metrics)
+        cache.release(cache.lease("hanoi", (3,)))
+        cache.lease("hanoi", (3,))
+        assert metrics.counters["service_warm_misses"].value == 1
+        assert metrics.counters["service_warm_hits"].value == 1
+
+    def test_unknown_domain_raises_from_registry(self):
+        with pytest.raises(KeyError):
+            EngineCache().lease("no-such-domain", ())
+
+    def test_cache_engines_keep_their_memo_unconditionally(self):
+        # The adaptive low-hit-rate pause is wrong for shared-lifetime
+        # engines: cross-request warmth is the whole point of the pool.
+        assert EngineCache().lease("hanoi", (3,)).engine.adaptive_memo is False
+
+    def test_bad_pool_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_idle_per_key"):
+            EngineCache(max_idle_per_key=0)

@@ -1,0 +1,275 @@
+"""Run-scheduler tests: admission, fair share, deadlines, slicing, frames."""
+
+import pytest
+
+from repro.obs import MemoryRecorder, MetricsRegistry, Tracer
+from repro.service import (
+    DONE,
+    FAILED,
+    QUEUED,
+    SHED,
+    EngineCache,
+    PlanRequest,
+    RunScheduler,
+    ServicePool,
+    default_max_len,
+)
+
+
+class FakeClock:
+    """Deterministic clock advancing *step* seconds per reading."""
+
+    def __init__(self, step=0.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def make_scheduler(**kwargs):
+    kwargs.setdefault("metrics", MetricsRegistry())
+    return RunScheduler(**kwargs)
+
+
+def request(**overrides):
+    base = dict(domain="hanoi", size=3, seed=3, budget=20, population=20)
+    base.update(overrides)
+    return PlanRequest(**base)
+
+
+class TestLifecycle:
+    def test_submit_drain_produces_result_frames_in_order(self):
+        scheduler = make_scheduler()
+        frames = []
+        run = scheduler.submit(request(), subscriber=frames.append)
+        assert run.state == QUEUED
+        scheduler.drain()
+        assert run.state == DONE
+        assert frames[0]["type"] == "accepted" and frames[0]["queue_depth"] == 1
+        assert frames[-1]["type"] == "result"
+        assert frames[-1]["solved"] is True and frames[-1]["plan_length"] == 7
+        kinds = {f["type"] for f in frames[1:-1]}
+        assert kinds <= {"incumbent"}  # no stream=True, so no event frames
+
+    def test_long_requests_take_multiple_slices(self):
+        scheduler = make_scheduler(slice_gens=2)
+        run = scheduler.submit(request(seed=0, budget=9, population=10))
+        scheduler.drain()
+        assert run.state == DONE
+        assert run.slices >= 2
+        assert run.result["slices"] == run.slices
+
+    def test_incumbent_frames_improve_monotonically(self):
+        scheduler = make_scheduler()
+        frames = []
+        scheduler.submit(request(), subscriber=frames.append)
+        scheduler.drain()
+        goals = [f["goal_fitness"] for f in frames if f["type"] == "incumbent"]
+        assert goals, "expected at least one incumbent frame"
+        assert goals == sorted(goals)
+        assert any(f["solved"] for f in frames if f["type"] == "incumbent")
+
+    def test_stream_requests_get_per_slice_event_frames(self):
+        scheduler = make_scheduler(slice_gens=2)
+        frames = []
+        run = scheduler.submit(
+            request(seed=0, budget=6, population=10, stream=True),
+            subscriber=frames.append,
+        )
+        scheduler.drain()
+        events = [f for f in frames if f["type"] == "event"]
+        assert len(events) == run.slices
+        assert all(f["event"]["kind"] == "service-slice" for f in events)
+        assert events[-1]["event"]["done"] is True
+
+    def test_second_same_config_request_is_warm(self):
+        scheduler = make_scheduler()
+        cold = scheduler.submit(request())
+        scheduler.drain()
+        warm = scheduler.submit(request())
+        scheduler.drain()
+        assert cold.result["warm"] is False and warm.result["warm"] is True
+
+    def test_per_request_metrics_merge_into_shared_registry(self):
+        metrics = MetricsRegistry()
+        scheduler = make_scheduler(metrics=metrics)
+        scheduler.submit(request())
+        scheduler.drain()
+        assert metrics.counters["evals"].value > 0
+        assert metrics.counters["service_completed"].value == 1
+        assert metrics.histograms["service_latency"].count == 1
+
+    def test_portfolio_mode_races_and_streams_incumbents(self):
+        scheduler = make_scheduler()
+        frames = []
+        run = scheduler.submit(
+            request(mode="portfolio", portfolio="ga,search:gbfs", budget=10, population=10),
+            subscriber=frames.append,
+        )
+        scheduler.drain()
+        assert run.state == DONE and run.result["solved"] is True
+        assert run.result["slices"] == 1
+        assert any(f["type"] == "incumbent" for f in frames)
+
+
+class TestAdmission:
+    def test_queue_cap_sheds_with_queue_full(self):
+        scheduler = make_scheduler(queue_cap=2)
+        frames = []
+        first = scheduler.submit(request(seed=1))
+        second = scheduler.submit(request(seed=2))
+        third = scheduler.submit(request(seed=3), subscriber=frames.append)
+        assert first.state == QUEUED and second.state == QUEUED
+        assert third.state == SHED and third.shed_reason == "queue-full"
+        assert frames == [{"type": "shed", "id": 3, "reason": "queue-full"}]
+        assert scheduler.metrics.counters["service_shed"].value == 1
+
+    def test_unknown_domain_fails_with_error_frame(self):
+        scheduler = make_scheduler()
+        frames = []
+        run = scheduler.submit(
+            PlanRequest(domain="nope", size=3), subscriber=frames.append
+        )
+        assert run.state == FAILED and "unknown domain" in run.error
+        assert frames[0]["type"] == "error"
+        assert scheduler.metrics.counters["service_failed"].value == 1
+
+    def test_underivable_max_len_fails(self):
+        assert default_max_len("blocks", 4) is None
+        run = make_scheduler().submit(PlanRequest(domain="blocks", size=4))
+        assert run.state == FAILED and "max_len" in run.error
+
+    def test_portfolio_mode_without_spec_fails(self):
+        run = make_scheduler().submit(request(mode="portfolio"))
+        assert run.state == FAILED and "portfolio" in run.error
+
+    def test_cancel_before_execution_sheds_as_cancelled(self):
+        scheduler = make_scheduler()
+        run = scheduler.submit(request())
+        scheduler.cancel(run)
+        scheduler.drain()
+        assert run.state == SHED and run.shed_reason == "cancelled"
+
+
+class TestFairShare:
+    def completion_order(self, fair_share):
+        scheduler = make_scheduler(fair_share=fair_share, queue_cap=10)
+        order = []
+
+        def subscriber_for(name):
+            def subscriber(frame):
+                if frame["type"] == "result":
+                    order.append(name)
+
+            return subscriber
+
+        for i in range(3):
+            scheduler.submit(
+                request(tenant="flood", seed=i, budget=2, population=10),
+                subscriber=subscriber_for(f"flood-{i}"),
+            )
+        scheduler.submit(
+            request(tenant="alpha", seed=9, budget=2, population=10),
+            subscriber=subscriber_for("alpha"),
+        )
+        scheduler.drain()
+        return order
+
+    def test_deficit_round_robin_interleaves_tenants(self):
+        # alpha arrived last but has no consumed slices, so it runs second.
+        assert self.completion_order(fair_share=True) == [
+            "flood-0",
+            "alpha",
+            "flood-1",
+            "flood-2",
+        ]
+
+    def test_fifo_ablation_starves_the_light_tenant(self):
+        assert self.completion_order(fair_share=False) == [
+            "flood-0",
+            "flood-1",
+            "flood-2",
+            "alpha",
+        ]
+
+
+class TestDeadlines:
+    def test_deadline_expired_while_queued_is_shed_without_running(self):
+        # Each clock reading advances 3s: the first request's completion
+        # pushes time past the second's 5s deadline before it is picked.
+        scheduler = make_scheduler(clock=FakeClock(step=3.0))
+        first = scheduler.submit(request(seed=1, budget=2, population=10))
+        late = scheduler.submit(
+            request(seed=2, budget=2, population=10, deadline_s=5.0)
+        )
+        scheduler.drain()
+        assert first.state == DONE
+        assert late.state == SHED and late.shed_reason == "deadline-queued"
+        assert late.slices == 0  # never executed
+
+    def test_deadline_expired_while_running_returns_timed_out_result(self):
+        # Deadline outlives the pick check (3s elapsed <= 5s) but expires
+        # during the first slice, so the run completes as timed_out with
+        # its best incumbent instead of being shed.
+        scheduler = make_scheduler(clock=FakeClock(step=3.0))
+        run = scheduler.submit(request(seed=0, budget=30, deadline_s=5.0))
+        scheduler.drain()
+        assert run.state == DONE
+        assert run.result["timed_out"] is True
+        assert run.slices == 1
+        assert run.result["generations"] < 30
+
+    def test_no_deadline_never_times_out(self):
+        scheduler = make_scheduler(clock=FakeClock(step=10.0))
+        run = scheduler.submit(request(seed=0, budget=6, population=10))
+        scheduler.drain()
+        assert run.state == DONE and run.result["timed_out"] is False
+
+
+class TestIntrospection:
+    def test_stats_snapshot_shape(self):
+        scheduler = make_scheduler()
+        scheduler.submit(request())
+        scheduler.drain()
+        stats = scheduler.stats()
+        assert stats["counters"]["service_requests"] == 1
+        assert stats["counters"]["service_completed"] == 1
+        assert stats["running"] == 0 and stats["queues"] == {}
+        assert stats["cache"]["warm_misses"] == 1
+        assert "service_latency_p50_ms" in stats["derived"]
+
+    def test_service_tracer_sees_admission_and_completion(self):
+        recorder = MemoryRecorder()
+        scheduler = make_scheduler(tracer=Tracer([recorder]))
+        scheduler.submit(request())
+        scheduler.drain()
+        kinds = [e.kind for e in recorder.events]
+        assert kinds[0] == "service-admitted"
+        assert kinds[-1] == "service-completed"
+        assert "service-slice" in kinds
+
+    def test_cold_cache_scheduler_never_warms(self):
+        metrics = MetricsRegistry()
+        scheduler = make_scheduler(
+            metrics=metrics, engine_cache=EngineCache(enabled=False, metrics=metrics)
+        )
+        for seed in (1, 1):
+            scheduler.submit(request(seed=seed))
+        scheduler.drain()
+        assert metrics.counters["service_warm_misses"].value == 2
+        assert "service_warm_hits" not in metrics.counters
+
+
+class TestServicePool:
+    def test_pool_completes_all_requests(self):
+        scheduler = make_scheduler(queue_cap=10)
+        runs = [scheduler.submit(request(seed=s, budget=10)) for s in range(5)]
+        with ServicePool(scheduler, workers=3):
+            assert scheduler.wait_idle(timeout=120)
+        assert all(run.state == DONE for run in runs)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ServicePool(make_scheduler(), workers=0)
