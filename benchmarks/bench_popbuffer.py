@@ -14,11 +14,20 @@ evaluation variants of DESIGN.md §11:
   receive row ranges, return packed fitness arrays in place);
 - ``serial-vector``   — whole-population vectorised decode over the domain
   kernel's int tables (``vector_decode=True``, DESIGN.md §12);
-- ``pool-vector-shm`` — vectorised decode inside shm pool workers.
+- ``pool-vector-shm`` — vectorised decode inside shm pool workers;
+- ``serial-fused``    — the fused per-row decode backend (DESIGN.md §16):
+  jit-compiled when numba is installed, else the pure-Python twin of the
+  compiled loop (slower, but it measures the same algorithm and must
+  produce the same trajectory);
+- ``pool-fused-shm``  — fused decode inside shm pool workers (resolves to
+  the numpy walk when numba is absent — pool workers only take the fused
+  loop through the JIT).
 
-The object-path variants pin ``vector_decode=False`` so the ablation keeps
-isolating one axis at a time (the default auto-probe would silently take
-the vector path on kernel-backed domains).
+The object-path variants pin ``vector_decode=False``, and the vector
+variants pin ``decode_backend="numpy"``, so the ablation keeps isolating
+one axis at a time (the auto-probes would otherwise silently take the
+fastest path available).  Every row records the ``backend`` that actually
+ran.
 
 Per variant the run is warmed for a few generations, then measured with a
 fresh metrics registry.  Headline numbers: ``evals_per_sec`` (the ``evals``
@@ -50,6 +59,7 @@ from pathlib import Path
 
 from repro.exp.defaults import DECODE_BENCH_SEED
 from repro.core import GAConfig, GARun, ProcessPoolEvaluator, SerialEvaluator, make_rng
+from repro.core.fused_decode import FusedDecoder, numba_available
 from repro.domains import HanoiDomain, SlidingTileDomain
 from repro.obs import MetricsRegistry
 
@@ -63,6 +73,8 @@ VARIANTS = (
     "pool-batched-shm",
     "serial-vector",
     "pool-vector-shm",
+    "serial-fused",
+    "pool-fused-shm",
 )
 
 COUNTER_KEYS = (
@@ -73,6 +85,8 @@ COUNTER_KEYS = (
     "vector_rows",
     "vector_genes",
     "genes_reused",
+    "fused_rows_decoded",
+    "jit_compile_ms",
 )
 
 
@@ -91,17 +105,44 @@ def pool_processes() -> int:
     return max(2, min(4, os.cpu_count() or 2))
 
 
+def variant_backend(variant: str) -> str:
+    """The walk implementation a variant actually measures on this host."""
+    if "fused" in variant:
+        if numba_available():
+            return "fused-jit"
+        # Serial runs exercise the pure-Python twin of the compiled loop;
+        # pool workers resolve the auto-probe to numpy without numba.
+        return "fused-python" if variant.startswith("serial") else "numpy"
+    if "vector" in variant:
+        return "numpy"
+    return "engine"
+
+
 def build_run(domain, config: GAConfig, seed: int, variant: str) -> GARun:
-    vector = "vector" in variant
+    vector = "vector" in variant or "fused" in variant
     batched = vector or "batched" in variant
-    cfg = config.replace(batched=batched, vector_decode=vector)
+    backend = None
+    if "fused" in variant:
+        backend = "fused" if numba_available() else None
+    elif vector:
+        backend = "numpy"  # pin: keep the backend axis out of vector rows
+    cfg = config.replace(batched=batched, vector_decode=vector,
+                         decode_backend=backend)
     if variant.startswith("pool"):
         evaluator = ProcessPoolEvaluator(
             processes=pool_processes(), shm=variant.endswith("shm")
         )
     else:
         evaluator = SerialEvaluator()
-    return GARun(domain, cfg, make_rng(seed), evaluator=evaluator)
+    run = GARun(domain, cfg, make_rng(seed), evaluator=evaluator)
+    if variant == "serial-fused" and not numba_available():
+        # Force the pure-Python fused loop so the fused algorithm (not its
+        # numpy fallback) is what the variant measures without the JIT.
+        decoder = FusedDecoder(domain.kernel(), jit=False)
+        decoder.warmup()
+        evaluator._vdec = decoder
+        evaluator._vdec_backend = None
+    return run
 
 
 def measure_variant(domain, config: GAConfig, seed: int, variant: str,
@@ -127,6 +168,7 @@ def measure_variant(domain, config: GAConfig, seed: int, variant: str,
     step_s = metrics.timers["selection"].total + metrics.timers["variation"].total
     row = {
         "variant": variant,
+        "backend": variant_backend(variant),
         "evals": evals,
         "eval_batch_s": round(batch_s, 6),
         "generation_step_s": round(step_s, 6),
@@ -162,17 +204,19 @@ def run_tile4(quick: bool, seed: int) -> dict:
     )
     rows = {}
     trajectories = {}
-    for variant in ("serial-batched", "serial-vector"):
+    for variant in ("serial-batched", "serial-vector", "serial-fused"):
         row, trajectory, _ = measure_variant(
             SlidingTileDomain(4), config, seed, variant, warmup, measured
         )
         rows[variant] = row
         trajectories[variant] = trajectory
-        print(f"[tile4]  {variant:<18} {row['evals_per_sec']} evals/s")
-    assert trajectories["serial-vector"] == trajectories["serial-batched"], (
-        "tile4 vector decode diverged from the object engine"
-    )
-    obj, vec = rows["serial-batched"], rows["serial-vector"]
+        print(f"[tile4]  {variant:<18} {row['evals_per_sec']} evals/s "
+              f"({row['backend']})")
+    for variant in ("serial-vector", "serial-fused"):
+        assert trajectories[variant] == trajectories["serial-batched"], (
+            f"tile4 {variant} diverged from the object engine"
+        )
+    obj = rows["serial-batched"]
     for variant in rows:
         eps = rows[variant]["evals_per_sec"]
         rows[variant]["speedup_vs_baseline"] = (
@@ -185,6 +229,7 @@ def run_tile4(quick: bool, seed: int) -> dict:
         "variants": rows,
         "trajectory_identical": True,
         "vector_speedup_vs_engine": rows["serial-vector"]["speedup_vs_baseline"],
+        "fused_speedup_vs_engine": rows["serial-fused"]["speedup_vs_baseline"],
     }
 
 
@@ -274,12 +319,14 @@ def main(argv=None) -> int:
         f"over the object path"
     )
     vec = report["variants"]["serial-vector"]
+    fused = report["variants"]["serial-fused"]
     tile = report["tile4"]
     print(
         f"hanoi7: vector decode {vec['evals_per_sec']} evals/s serial "
         f"({vec['speedup_vs_baseline']}x over serial-object); "
-        f"tile4: vector {tile['vector_speedup_vs_engine']}x over the "
-        f"object decode engine"
+        f"fused [{fused['backend']}] {fused['evals_per_sec']} evals/s; "
+        f"tile4: vector {tile['vector_speedup_vs_engine']}x, fused "
+        f"{tile['fused_speedup_vs_engine']}x over the object decode engine"
     )
     return 0
 

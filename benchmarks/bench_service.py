@@ -21,6 +21,13 @@ layers, not socket syscalls) and writes ``BENCH_service.json``:
   concurrently (worker pool), asserting byte-identical canonical traces
   (wall-clock and cache-warmth payloads masked) — the exactness contract
   the warm cache rides on.
+- **thread_scaling** — a saturated closed-loop batch of vector-decode
+  requests across ``workers in (1, 2, 4)`` × decode backend (numpy vs
+  fused, DESIGN.md §16), reporting sustained evals/sec per cell.  The
+  fused walk releases the GIL under numba, so its throughput should scale
+  with workers where the numpy walk's cannot; without numba the fused
+  column resolves to numpy and the cells document that (the CI speed leg
+  measures the real thing).
 
 Usage::
 
@@ -42,6 +49,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.fused_decode import numba_available
 from repro.faults.spec import parse_fault_spec
 from repro.obs import MetricsRegistry
 from repro.service import (
@@ -250,16 +258,77 @@ def run_determinism(seed: int, n_requests: int = 6, workers: int = 3) -> dict:
     }
 
 
+def run_thread_scaling(
+    seed: int, n_requests: int, workers_grid: Tuple[int, ...] = (1, 2, 4)
+) -> dict:
+    """Saturated vector-request batch across workers × decode backend.
+
+    Every cell replays the identical batch (``vector=True``, distinct
+    seeds so the warm cache cannot interfere — the vector path is
+    stateless anyway) and reports sustained evals/sec over the batch
+    makespan plus the scaling ratio against that backend's one-worker
+    cell.
+    """
+    cells: Dict[str, dict] = {}
+    for requested in ("numpy", "fused"):
+        # Without numba a hard "fused" request fails by design; the cell
+        # then measures the auto-probe resolution (numpy) and says so.
+        available = requested != "fused" or numba_available()
+        wire: Optional[str] = requested if available else None
+        resolved = requested if available else "numpy"
+        base_eps: Optional[float] = None
+        for workers in workers_grid:
+            metrics = MetricsRegistry()
+            scheduler = RunScheduler(metrics=metrics, queue_cap=n_requests + 1)
+            runs = [
+                scheduler.submit(
+                    PlanRequest(
+                        domain="hanoi",
+                        size=6,
+                        seed=seed + i,
+                        budget=12,
+                        population=40,
+                        vector=True,
+                        backend=wire,
+                    )
+                )
+                for i in range(n_requests)
+            ]
+            started = time.perf_counter()
+            with ServicePool(scheduler, workers=workers, idle_wait=5.0):
+                assert scheduler.wait_idle(timeout=600), "scaling cell stalled"
+            makespan = time.perf_counter() - started
+            assert all(r.state == DONE for r in runs), [r.error for r in runs]
+            evals = metrics.counters.get("evals")
+            eps = round((evals.value if evals else 0) / makespan, 1)
+            if workers == workers_grid[0]:
+                base_eps = eps
+            cells[f"{requested}-w{workers}"] = {
+                "requested_backend": requested,
+                "resolved_backend": resolved,
+                "workers": workers,
+                "requests": n_requests,
+                "makespan_s": round(makespan, 3),
+                "evals_per_sec": eps,
+                "scaling_vs_w1": round(eps / base_eps, 2) if base_eps else None,
+            }
+    return {
+        "workers_grid": list(workers_grid),
+        "numba_available": numba_available(),
+        "cells": cells,
+    }
+
+
 def run_bench(quick: bool = False, full: bool = False, seed: int = BENCH_SEED) -> dict:
     """All scenarios; asserts the warm-speedup and determinism criteria."""
     if quick:
-        repeat_n, distinct = 12, 3
+        repeat_n, distinct, scaling_n = 12, 3, 6
         spec = "arrival:rate=20,n=10;arrival:rate=20,n=10;arrival:rate=60,n=25"
     elif full:
-        repeat_n, distinct = 200, 8
+        repeat_n, distinct, scaling_n = 200, 8, 60
         spec = "arrival:rate=40,n=400;arrival:rate=40,n=400;arrival:rate=120,n=1200"
     else:
-        repeat_n, distinct = 40, 4
+        repeat_n, distinct, scaling_n = 40, 4, 16
         spec = "arrival:rate=30,n=60;arrival:rate=30,n=60;arrival:rate=90,n=180"
 
     cold, _ = run_repeat(warm=False, n_requests=repeat_n, distinct_seeds=distinct, seed=seed)
@@ -274,6 +343,7 @@ def run_bench(quick: bool = False, full: bool = False, seed: int = BENCH_SEED) -
     mixed_nofair = run_mixed(spec, seed, fair_share=False, warm=True)
     mixed_cold = run_mixed(spec, seed, fair_share=True, warm=False)
     determinism = run_determinism(seed)
+    thread_scaling = run_thread_scaling(seed, scaling_n)
 
     return {
         "bench": "service",
@@ -288,6 +358,7 @@ def run_bench(quick: bool = False, full: bool = False, seed: int = BENCH_SEED) -
             "cold_cache": mixed_cold,
         },
         "determinism": determinism,
+        "thread_scaling": thread_scaling,
     }
 
 
@@ -324,6 +395,13 @@ def main(argv=None) -> int:
         f"determinism: {report['determinism']['events_compared']} events "
         f"byte-identical serial vs concurrent"
     )
+    scaling = report["thread_scaling"]
+    for key, cell in scaling["cells"].items():
+        print(
+            f"scaling: {key:<10} [{cell['resolved_backend']}] "
+            f"{cell['evals_per_sec']} evals/s "
+            f"({cell['scaling_vs_w1']}x vs 1 worker)"
+        )
     return 0
 
 

@@ -88,6 +88,16 @@ class GAConfig:
         Results are bit-identical either way.  Requires ``decode_engine``
         and ``batched`` (the vector path rides the buffer pipeline and
         replaces the engine, not the naive decoder).
+    decode_backend:
+        Which walk implementation the vector path uses (DESIGN.md §16).
+        ``None`` (the default) auto-probes numba and runs the fused
+        compiled per-row backend when it is importable, the numpy
+        :class:`~repro.core.vector_decode.VectorDecoder` otherwise;
+        ``"numpy"`` forces the numpy walk; ``"fused"`` demands the
+        compiled backend (decoder construction raises when numba is
+        missing).  Results are bit-identical across backends.  Only
+        meaningful on the vector path, so it must stay ``None`` when
+        ``vector_decode=False``.
     """
 
     population_size: int = 200
@@ -106,6 +116,7 @@ class GAConfig:
     decode_engine: bool = True
     batched: bool = True
     vector_decode: Optional[bool] = None
+    decode_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         """Validate field ranges and cross-field invariants."""
@@ -160,6 +171,16 @@ class GAConfig:
                     "vector_decode=True requires batched=True: whole-population "
                     "decoding runs on the structure-of-arrays buffer pipeline"
                 )
+        if self.decode_backend not in (None, "numpy", "fused"):
+            raise ValueError(
+                f"decode_backend must be None, 'numpy' or 'fused', got "
+                f"{self.decode_backend!r}"
+            )
+        if self.decode_backend is not None and self.vector_decode is False:
+            raise ValueError(
+                "decode_backend selects the vector path's walk implementation; "
+                "it must stay None when vector_decode=False"
+            )
 
     def replace(self, **changes) -> "GAConfig":
         """A copy of this config with some fields changed."""

@@ -1,0 +1,331 @@
+"""Fused per-row decode: compiled scalar loops over the kernel tables.
+
+The numpy :class:`~repro.core.vector_decode.VectorDecoder` advances the
+whole population one gene per iteration with ~10 array dispatches per
+step; for short active sets that dispatch overhead — not arithmetic — is
+the bound (BENCH_popbuffer's tile4 section).  This module flips the loop
+nesting: :class:`FusedDecoder` walks **each row to completion** in one
+tight scalar loop over the flat kernel tables (``valid_count`` /
+``succ`` / ``goal_mask`` / ``op_cost`` plus the gene arena and
+offsets/lengths), compiled with numba when it is installed
+(``@njit(nogil=True, cache=True)``) and executed as the *identical*
+pure-Python function otherwise.
+
+Because lazily-filled kernels mark unexpanded transitions with ``-1`` and
+expansion needs the object API, the compiled loop cannot intern states
+itself.  Instead it runs a **stall-resume protocol**: a row that hits an
+unfilled ``succ`` entry parks (its ``cur``/``pos``/``cost`` frozen at the
+stall point) and reports the missing ``(state id, slot)`` pair; the
+Python driver materialises all stalled transitions in one
+:meth:`~repro.protocol.DomainKernel.fill_transitions` call, re-exports
+the (possibly reallocated) tables via
+:meth:`~repro.protocol.DomainKernel.tables`, and re-enters the loop with
+only the stalled rows.  Dense kernels (Hanoi) never stall; lazy kernels
+stall at most once per distinct new transition.
+
+Exactness contract: :class:`FusedDecoder` overrides only
+:meth:`~repro.core.vector_decode.VectorDecoder._walk` — hint processing,
+fitness combination and plan reconstruction are inherited — and the
+scalar loop reproduces the numpy walk step-for-step: ``int(gene * k)``
+truncation, clamp to ``k - 1``, goal-mask stop *before* consuming a gene,
+dead-end stop on ``valid_count == 0``, and left-to-right cost
+accumulation (``acc += 1.0`` per step, or the gathered ``op_cost`` entry)
+in gene order.  IEEE float64 arithmetic is identical scalar-by-scalar or
+array-wise, so results are bit-identical across backends — enforced by
+``tests/core/test_fused_decode.py``.
+
+The jitted loop releases the GIL, so threads sharing one process (the
+service layer's :class:`~repro.service.scheduler.ServicePool`) decode
+concurrently on real cores; see DESIGN.md §16.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.vector_decode import VectorDecoder
+from repro.protocol import DomainKernel
+
+__all__ = [
+    "FusedDecoder",
+    "fused_walk_rows",
+    "make_decoder",
+    "numba_available",
+    "resolve_backend",
+]
+
+#: Valid ``decode_backend`` settings (``None`` = auto-probe numba).
+BACKEND_CHOICES = (None, "numpy", "fused")
+
+#: Memoised result of the numba import probe (None = not yet probed).
+_NUMBA_OK: Optional[bool] = None
+
+#: Placeholder trace/cost arrays so the compiled signature never sees
+#: ``None`` (numba needs concrete array types for every argument).
+_NO_TRACE = np.empty((0, 0), dtype=np.int32)
+_NO_COST = np.empty((0, 0), dtype=np.float64)
+
+
+def numba_available() -> bool:
+    """Whether numba can be imported (probed once, result memoised)."""
+    global _NUMBA_OK
+    if _NUMBA_OK is None:
+        try:
+            import numba  # noqa: F401
+        except Exception:
+            _NUMBA_OK = False
+        else:
+            _NUMBA_OK = True
+    return _NUMBA_OK
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolve a tri-state ``decode_backend`` setting to a concrete one.
+
+    ``None`` auto-probes numba ("fused" when importable, "numpy"
+    otherwise); ``"numpy"`` always resolves to itself; ``"fused"`` demands
+    numba and raises a :class:`RuntimeError` naming the ``[speed]`` extra
+    when it is missing.
+    """
+    if backend not in BACKEND_CHOICES:
+        raise ValueError(
+            f"decode_backend must be one of {BACKEND_CHOICES}, got {backend!r}"
+        )
+    if backend == "numpy":
+        return "numpy"
+    if backend == "fused" and not numba_available():
+        raise RuntimeError(
+            "decode_backend='fused' requires numba, which is not installed "
+            "(pip install 'repro[speed]'); use decode_backend=None to "
+            "auto-select or 'numpy' for the vectorised fallback"
+        )
+    if backend == "fused":
+        return "fused"
+    return "fused" if numba_available() else "numpy"
+
+
+def make_decoder(
+    kernel: DomainKernel, backend: Optional[str] = None
+) -> VectorDecoder:
+    """Build the decoder for *kernel* under a ``decode_backend`` setting.
+
+    Returns a warmed :class:`FusedDecoder` (JIT compiled up front, the
+    compile time recorded on ``jit_compile_ms`` and so excluded from
+    decode timings) when the setting resolves to "fused", else a plain
+    numpy :class:`~repro.core.vector_decode.VectorDecoder`.
+    """
+    if resolve_backend(backend) == "fused":
+        decoder = FusedDecoder(kernel)
+        decoder.warmup()
+        return decoder
+    return VectorDecoder(kernel)
+
+
+def fused_walk_rows(
+    arena,
+    offsets,
+    lengths,
+    vc,
+    succ,
+    gmask,
+    opcost,
+    unit,
+    truncate,
+    trace,
+    cur,
+    pos,
+    cost,
+    rows,
+    slot_tr,
+    id_tr,
+    stall_rows,
+    stall_sids,
+    stall_slots,
+):
+    """Walk each row in *rows* to its stop or first unfilled transition.
+
+    The compiled core (and its own pure-Python fallback — this very
+    function runs under numba and CPython unchanged).  Updates ``cur`` /
+    ``pos`` / ``cost`` in place, fills the ``slot_tr`` / ``id_tr`` trace
+    matrices when *trace* is set, and records rows parked on a ``-1``
+    ``succ`` entry into the ``stall_*`` buffers.  Returns
+    ``(n_stalled, genes_stepped)``.
+    """
+    n_stall = 0
+    genes = 0
+    for r in range(rows.shape[0]):
+        i = rows[r]
+        c = cur[i]
+        p = pos[i]
+        acc = cost[i]
+        off = offsets[i]
+        length = lengths[i]
+        while p < length:
+            if truncate and gmask[c]:
+                break
+            k = vc[c]
+            if k == 0:
+                break
+            idx = int(arena[off + p] * k)
+            if idx > k - 1:
+                idx = k - 1
+            nxt = succ[c, idx]
+            if nxt < 0:
+                stall_rows[n_stall] = i
+                stall_sids[n_stall] = c
+                stall_slots[n_stall] = idx
+                n_stall += 1
+                break
+            if trace:
+                slot_tr[i, p] = idx
+                id_tr[i, p] = nxt
+            if unit:
+                acc += 1.0
+            else:
+                acc += opcost[c, idx]
+            p += 1
+            c = nxt
+            genes += 1
+        cur[i] = c
+        pos[i] = p
+        cost[i] = acc
+    return n_stall, genes
+
+
+#: The jit-compiled twin of :func:`fused_walk_rows`, built on first use.
+_JIT_WALK: Optional[Callable] = None
+
+
+def _jit_walk() -> Callable:
+    """Compile (once) and return the jitted :func:`fused_walk_rows`."""
+    global _JIT_WALK
+    if _JIT_WALK is None:
+        from numba import njit
+
+        _JIT_WALK = njit(nogil=True, cache=True)(fused_walk_rows)
+    return _JIT_WALK
+
+
+class FusedDecoder(VectorDecoder):
+    """:class:`VectorDecoder` whose walk runs as fused per-row loops.
+
+    ``jit=None`` (the default) compiles with numba when available and
+    falls back to the pure-Python loop otherwise; ``jit=True`` demands
+    numba; ``jit=False`` forces the Python loop (the equivalence suites
+    use this to test the fused algorithm without numba installed).
+    """
+
+    def __init__(self, kernel: DomainKernel, jit: Optional[bool] = None) -> None:
+        super().__init__(kernel)
+        if jit is None:
+            jit = numba_available()
+        elif jit and not numba_available():
+            raise RuntimeError(
+                "FusedDecoder(jit=True) requires numba, which is not "
+                "installed (pip install 'repro[speed]')"
+            )
+        self.jit = bool(jit)
+        self.backend_name = "fused-jit" if self.jit else "fused-python"
+        self._step = _jit_walk() if self.jit else fused_walk_rows
+        # Counters on top of the VectorDecoder set.
+        self.fused_rows = 0
+        self.jit_compile_ms = 0.0
+        self._warm = not self.jit  # the Python loop needs no warmup
+
+    def warmup(self) -> float:
+        """Force JIT specialisation now; returns (and records) the ms spent.
+
+        Called at construction sites (serial evaluator, pool worker
+        initialiser, service lease) so compile time lands *outside* every
+        decode/eval timer — it is reported separately through the
+        ``jit_compile_ms`` counter.  A disk-cached compile makes this
+        nearly free.  No-op for the Python fallback and on repeat calls.
+        """
+        if self._warm:
+            return 0.0
+        t0 = time.perf_counter()
+        one_i64 = np.zeros(1, dtype=np.int64)
+        self._step(
+            np.zeros(1, dtype=np.float64),
+            one_i64,
+            one_i64,
+            np.zeros(1, dtype=np.int32),
+            np.full((1, 1), -1, dtype=np.int32),
+            np.zeros(1, dtype=bool),
+            _NO_COST,
+            True,
+            True,
+            False,
+            one_i64.copy(),
+            one_i64.copy(),
+            np.zeros(1, dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+            _NO_TRACE,
+            _NO_TRACE,
+            one_i64.copy(),
+            one_i64.copy(),
+            one_i64.copy(),
+        )
+        ms = (time.perf_counter() - t0) * 1000.0
+        self._warm = True
+        self.jit_compile_ms += ms
+        return ms
+
+    def _walk(self, arena, offsets, lengths, cur, pos, cost, active, slot_tr, id_tr):
+        """Stall-resume driver around the compiled per-row loop."""
+        kernel = self.kernel
+        trace = slot_tr is not None
+        if not trace:
+            slot_tr = id_tr = _NO_TRACE
+        unit = bool(kernel.unit_cost)
+        truncate = bool(self._truncate)
+        step = self._step
+        arena = np.ascontiguousarray(arena, dtype=np.float64)
+        self.fused_rows += int(active.size)
+        rows = active
+        while rows.size:
+            tables = kernel.tables()
+            opcost = tables["op_cost"]
+            n = int(rows.size)
+            stall_rows = np.empty(n, dtype=np.int64)
+            stall_sids = np.empty(n, dtype=np.int64)
+            stall_slots = np.empty(n, dtype=np.int64)
+            n_stall, genes = step(
+                arena,
+                offsets,
+                lengths,
+                tables["valid_count"],
+                tables["succ"],
+                tables["goal_mask"],
+                _NO_COST if opcost is None else opcost,
+                unit,
+                truncate,
+                trace,
+                cur,
+                pos,
+                cost,
+                rows,
+                slot_tr,
+                id_tr,
+                stall_rows,
+                stall_sids,
+                stall_slots,
+            )
+            self.vector_genes += int(genes)
+            if not n_stall:
+                break
+            # Materialise every stalled transition in one bulk call, then
+            # re-enter with only the parked rows (tables re-exported: the
+            # interning side of fill_transitions may have reallocated them).
+            kernel.fill_transitions(stall_sids[:n_stall], stall_slots[:n_stall])
+            rows = stall_rows[:n_stall]
+
+    def counters(self) -> dict:
+        """VectorDecoder counters plus the fused/jit additions."""
+        flat = super().counters()
+        flat["fused_rows_decoded"] = self.fused_rows
+        flat["jit_compile_ms"] = self.jit_compile_ms
+        return flat

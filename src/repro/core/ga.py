@@ -150,6 +150,7 @@ class GARun:
             truncate_at_goal=config.truncate_at_goal,
             memoize=config.decode_engine,
             vector=getattr(config, "vector_decode", None),
+            backend=getattr(config, "decode_backend", None),
         )
         self.evaluator = evaluator if evaluator is not None else SerialEvaluator()
         self.tracer = tracer if tracer is not None else default_tracer()

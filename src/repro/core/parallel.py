@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.decode_engine import DecodeEngine
 from repro.core.encoding import DecodeCache, decode
 from repro.core.fitness import FitnessFunction, FitnessResult
+from repro.core.fused_decode import make_decoder
 from repro.core.vector_decode import VectorDecoder
 from repro.obs.events import EvaluationBatch
 from repro.obs.metrics import MetricsRegistry
@@ -100,6 +101,12 @@ class EvaluationContext:
     otherwise), ``False`` forces the object path.  Only buffer-based
     evaluation consults it; the list-of-Individuals API always decodes
     through the object engine.
+
+    ``backend`` selects the vector path's walk implementation (DESIGN.md
+    §16), wired from ``GAConfig.decode_backend``: ``None`` auto-probes
+    numba for the fused compiled backend, ``"numpy"`` / ``"fused"`` force
+    one.  Consulted wherever a decoder is built — the serial evaluator,
+    each pool worker's initialiser, and the service layer's leases.
     """
 
     def __init__(
@@ -110,6 +117,7 @@ class EvaluationContext:
         truncate_at_goal: bool = True,
         memoize: bool = True,
         vector: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.domain = domain
         self.start_state = start_state
@@ -117,6 +125,7 @@ class EvaluationContext:
         self.truncate_at_goal = truncate_at_goal
         self.memoize = memoize
         self.vector = vector
+        self.backend = backend
 
     def resolve_vector(self) -> bool:
         """Whether buffer evaluation should run the vectorised decode path."""
@@ -229,6 +238,7 @@ class SerialEvaluator(Evaluator):
         self._cache_domain: Optional[PlanningDomain] = None
         self._engine = engine
         self._vdec: Optional[VectorDecoder] = None
+        self._vdec_backend: Optional[str] = None
 
     def _vector_decoder(self, context: EvaluationContext) -> Optional[VectorDecoder]:
         """The (cached) vector decoder for *context*, or None for object path."""
@@ -236,8 +246,19 @@ class SerialEvaluator(Evaluator):
         if resolve is None or not resolve():
             return None
         kernel = context.domain.kernel()
-        if self._vdec is None or self._vdec.kernel is not kernel:
-            self._vdec = VectorDecoder(kernel)
+        backend = getattr(context, "backend", None)
+        if (
+            self._vdec is None
+            or self._vdec.kernel is not kernel
+            or self._vdec_backend != backend
+        ):
+            self._vdec = make_decoder(kernel, backend)
+            self._vdec_backend = backend
+            # JIT warmup happened inside make_decoder, outside every eval
+            # timer; surface the compile cost as its own counter.
+            ms = getattr(self._vdec, "jit_compile_ms", 0.0)
+            if ms and self._metrics is not None:
+                self._metrics.counter("jit_compile_ms").add(ms)
         return self._vdec
 
     def vector_counters(self) -> Optional[dict]:
@@ -431,8 +452,13 @@ class SerialEvaluator(Evaluator):
             m.counter("vector_rows").add(delta["vector_rows"])
             m.counter("vector_genes").add(delta["vector_genes"])
             m.counter("genes_reused").add(delta["vector_genes_reused"])
-            for name in ("vector_prefix_fallbacks", "vector_kernel_resets"):
-                if delta[name]:
+            for name in (
+                "vector_prefix_fallbacks",
+                "vector_kernel_resets",
+                "fused_rows_decoded",
+                "jit_compile_ms",
+            ):
+                if delta.get(name):
                     m.counter(name).add(delta[name])
         if self._tracer.enabled:
             self._tracer.emit(
@@ -594,9 +620,13 @@ def _init_worker(context: EvaluationContext) -> None:
         # Each worker builds its own kernel (tables never cross the process
         # boundary — the domain pickles without them) and keeps it warm for
         # the life of the process, like the engine's transition tables.
+        # make_decoder warms the fused backend's JIT here, in the pool
+        # initialiser, so compile time never lands inside a chunk timing.
         resolve = getattr(context, "resolve_vector", None)
         if resolve is not None and resolve():
-            _WORKER_VDEC = VectorDecoder(context.domain.kernel())
+            _WORKER_VDEC = make_decoder(
+                context.domain.kernel(), getattr(context, "backend", None)
+            )
     else:
         _WORKER_CACHE = DecodeCache(context.domain)
         _WORKER_ENGINE = None

@@ -157,6 +157,24 @@ class PopulationBuffer:
         dirty = int(self.dirty_from[i])
         return (prefix, dirty) if dirty >= 0 else (None, None)
 
+    def pending_hints(self):
+        """``(pending, hints)``: unevaluated row indices plus resume hints.
+
+        ``pending`` is the int array of rows with ``evaluated`` unset (in
+        row order) and ``hints[j]`` is row ``pending[j]``'s
+        ``(prefix_plan, dirty_from)`` pair, or ``None`` when the row has
+        no usable hint — exactly the shape
+        :meth:`~repro.core.vector_decode.VectorDecoder.decode_rows`
+        consumes, so whole-population decoders gather their work list in
+        one call.
+        """
+        pending = np.flatnonzero(~self.evaluated)
+        hints = []
+        for i in pending:
+            plan, dirty = self.prefix_hint(int(i))
+            hints.append((plan, dirty) if plan is not None else None)
+        return pending, hints
+
     def fitness_result(self, i: int) -> FitnessResult:
         """Rebuild the row's :class:`FitnessResult` from the packed arrays."""
         return FitnessResult(

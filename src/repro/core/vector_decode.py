@@ -65,7 +65,16 @@ class VectorDecoder:
     :class:`~repro.core.decode_engine.DecodeEngine`): :meth:`bind` is
     called once per batch with the current evaluation context and
     re-interns the start state only when it, or the kernel epoch, changed.
+
+    The walk itself — advance every active row to its stopping point — is
+    isolated in :meth:`_walk` so alternative backends
+    (:class:`~repro.core.fused_decode.FusedDecoder`) can replace just the
+    inner loop while inheriting hint processing, fitness combination and
+    plan reconstruction verbatim, keeping bit-identity by construction.
     """
+
+    #: Tag identifying the walk implementation in summaries and benches.
+    backend_name = "numpy"
 
     def __init__(self, kernel: DomainKernel) -> None:
         self.kernel = kernel
@@ -202,6 +211,8 @@ class VectorDecoder:
             max_len = int(lengths.max()) if n else 0
             slot_tr = np.full((n, max_len), -1, dtype=np.int32)
             id_tr = np.full((n, max_len), -1, dtype=np.int32)
+        else:
+            slot_tr = id_tr = None
 
         active = np.arange(n, dtype=np.int64)
         if copied:
@@ -216,37 +227,8 @@ class VectorDecoder:
             stop |= kernel.goal_mask[cur[active]]
         active = active[~stop]
 
-        while active.size:
-            # Re-read tables each iteration: fill_transitions may reallocate.
-            k = kernel.valid_count[cur[active]].astype(np.int64)
-            alive = k > 0  # k == 0: dead end, row is finished
-            if not alive.all():
-                active = active[alive]
-                if not active.size:
-                    break
-                k = k[alive]
-            g = arena[offsets[active] + pos[active]]
-            idx = (g * k).astype(np.int64)
-            np.minimum(idx, k - 1, out=idx)
-            nxt = kernel.succ[cur[active], idx].astype(np.int64)
-            miss = nxt < 0
-            if miss.any():
-                kernel.fill_transitions(cur[active][miss], idx[miss])
-                nxt[miss] = kernel.succ[cur[active][miss], idx[miss]]
-            if keep_plans:
-                slot_tr[active, pos[active]] = idx
-                id_tr[active, pos[active]] = nxt
-            if unit:
-                cost[active] += 1.0
-            else:
-                cost[active] += kernel.op_cost[cur[active], idx]
-            pos[active] += 1
-            cur[active] = nxt
-            self.vector_genes += int(active.size)
-            stop = pos[active] >= lengths[active]
-            if self._truncate:
-                stop |= kernel.goal_mask[cur[active]]
-            active = active[~stop]
+        if active.size:
+            self._walk(arena, offsets, lengths, cur, pos, cost, active, slot_tr, id_tr)
 
         # Fitness from the tables, vectorised with FitnessFunction's exact
         # arithmetic (validate range, clamp, combine).
@@ -301,6 +283,63 @@ class VectorDecoder:
                     )
         self.vector_rows += n
         return total, gfit, costf, reached, used, plans
+
+    def _walk(
+        self,
+        arena: np.ndarray,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        cur: np.ndarray,
+        pos: np.ndarray,
+        cost: np.ndarray,
+        active: np.ndarray,
+        slot_tr: Optional[np.ndarray],
+        id_tr: Optional[np.ndarray],
+    ) -> None:
+        """Advance every row in *active* to its stopping point, in place.
+
+        ``cur`` / ``pos`` / ``cost`` are the per-row state arrays (updated
+        in place); ``slot_tr`` / ``id_tr`` are the trace matrices to fill
+        when plans are kept (``None`` otherwise).  Rows enter having
+        already passed the initial stop test.  Overridable backend hook:
+        this numpy implementation advances the whole active set one gene
+        per iteration; the fused backend walks each row to completion in a
+        compiled scalar loop.  Both must leave identical state behind.
+        """
+        kernel = self.kernel
+        unit = kernel.unit_cost
+        keep_plans = slot_tr is not None
+        while active.size:
+            # Re-read tables each iteration: fill_transitions may reallocate.
+            k = kernel.valid_count[cur[active]].astype(np.int64)
+            alive = k > 0  # k == 0: dead end, row is finished
+            if not alive.all():
+                active = active[alive]
+                if not active.size:
+                    break
+                k = k[alive]
+            g = arena[offsets[active] + pos[active]]
+            idx = (g * k).astype(np.int64)
+            np.minimum(idx, k - 1, out=idx)
+            nxt = kernel.succ[cur[active], idx].astype(np.int64)
+            miss = nxt < 0
+            if miss.any():
+                kernel.fill_transitions(cur[active][miss], idx[miss])
+                nxt[miss] = kernel.succ[cur[active][miss], idx[miss]]
+            if keep_plans:
+                slot_tr[active, pos[active]] = idx
+                id_tr[active, pos[active]] = nxt
+            if unit:
+                cost[active] += 1.0
+            else:
+                cost[active] += kernel.op_cost[cur[active], idx]
+            pos[active] += 1
+            cur[active] = nxt
+            self.vector_genes += int(active.size)
+            stop = pos[active] >= lengths[active]
+            if self._truncate:
+                stop |= kernel.goal_mask[cur[active]]
+            active = active[~stop]
 
     def _prefill_keys(self, id_tr: np.ndarray) -> None:
         """Bulk-memoise every lookup the plan rebuild loop will make.
@@ -433,16 +472,12 @@ class VectorDecoder:
         can carry prefix hints even under the random crossover (only
         shared-memory dispatch legitimately skips plans).
         """
-        pending = np.flatnonzero(~buffer.evaluated)
+        pending, hints = buffer.pending_hints()
         if pending.size == 0:
             return 0
         if keep_plans is None:
             keep_plans = buffer.keep_plans
         self.bind(context)
-        hints: List[Optional[Tuple[DecodedPlan, int]]] = []
-        for i in pending:
-            plan, dirty = buffer.prefix_hint(int(i))
-            hints.append((plan, dirty) if plan is not None else None)
         total, gfit, costf, reached, used, plans = self.decode_rows(
             buffer.genes,
             buffer.offsets[pending],

@@ -83,6 +83,7 @@ class ServiceClient:
             "stream",
             "evaluator",
             "vector",
+            "backend",
         ):
             value = getattr(request, field)
             if value != getattr(defaults, field):

@@ -28,6 +28,7 @@ from typing import Callable, Deque, Dict, List, Optional
 import numpy as np
 
 from repro.core.config import GAConfig
+from repro.core.fused_decode import resolve_backend
 from repro.core.ga import GARun
 from repro.core.parallel import SerialEvaluator
 from repro.core.portfolio import canonical_events
@@ -141,6 +142,9 @@ class ServiceRun:
         self.result: Optional[dict] = None
         self.slices = 0
         self.warm: Optional[bool] = None
+        #: Resolved decode backend tag ("engine", "numpy" or "fused"),
+        #: echoed in the result frame so clients see what actually ran.
+        self.backend: Optional[str] = None
         self.cancel_requested = False
         self.recorder = MemoryRecorder()
         self.tracer = Tracer([self.recorder])
@@ -373,8 +377,15 @@ class RunScheduler:
             # The engine path is the warmable one; vector decode is faster
             # cold but stateless across requests (see PlanRequest.vector).
             vector_decode=bool(request.vector),
+            decode_backend=request.backend if request.vector else None,
             **kwargs,
         )
+        if request.vector:
+            # Resolve now so a missing numba under backend="fused" fails
+            # the request with a clear error frame instead of mid-slice.
+            run.backend = resolve_backend(request.backend)
+        else:
+            run.backend = "engine"
         evaluator = SerialEvaluator(engine=lease.engine)
         if request.evaluator == "resilient":
             from repro.core.resilient import ResiliencePolicy, ResilientEvaluator
@@ -606,6 +617,7 @@ class RunScheduler:
             "generations": generations,
             "slices": run.slices,
             "warm": bool(run.warm),
+            "backend": run.backend,
             "seconds": seconds,
         }
         self._release(run)
@@ -658,6 +670,17 @@ class RunScheduler:
                 return True
             return self._work.wait(timeout)
 
+    def wake_all(self) -> None:
+        """Wake every thread parked on the work condition.
+
+        ``submit`` / ``_complete`` already notify for work-driven wakes;
+        this is for lifecycle ones — :meth:`ServicePool.stop` calls it so
+        workers parked in :meth:`wait_for_work` re-check their stop flag
+        immediately instead of sleeping out the idle-wait bound.
+        """
+        with self._work:
+            self._work.notify_all()
+
     def wait_idle(self, timeout: Optional[float] = None) -> bool:
         """Block until no request is queued or running; ``False`` on timeout."""
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -694,15 +717,32 @@ class ServicePool:
     """Daemon worker threads cooperatively slicing a :class:`RunScheduler`.
 
     Workers loop ``step()``; when no run is pickable they park on the
-    scheduler's work condition, so an idle pool burns no CPU.  ``stop()``
-    joins every worker; in-flight slices finish, queued work stays queued.
+    scheduler's work condition until :meth:`RunScheduler.submit` notifies
+    it (bounded by *idle_wait*, a liveness backstop rather than a poll
+    interval — a submitted request is picked up at notification time, not
+    after sleeping out the bound).  ``stop()`` wakes parked workers
+    through :meth:`RunScheduler.wake_all` and joins every worker;
+    in-flight slices finish, queued work stays queued.
+
+    With the fused decode backend (DESIGN.md §16) the jitted walk releases
+    the GIL, so several workers slicing concurrent requests decode on real
+    cores in one process — see BENCH_service.json's thread-scaling
+    ablation.
     """
 
-    def __init__(self, scheduler: RunScheduler, workers: int = 2) -> None:
+    def __init__(
+        self,
+        scheduler: RunScheduler,
+        workers: int = 2,
+        idle_wait: float = 1.0,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if idle_wait <= 0:
+            raise ValueError(f"idle_wait must be > 0, got {idle_wait}")
         self.scheduler = scheduler
         self.workers = workers
+        self.idle_wait = idle_wait
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
 
@@ -722,11 +762,14 @@ class ServicePool:
     def _loop(self) -> None:
         while not self._stop.is_set():
             if not self.scheduler.step():
-                self.scheduler.wait_for_work(0.05)
+                self.scheduler.wait_for_work(self.idle_wait)
 
     def stop(self) -> None:
         """Signal and join every worker (current slices run to completion)."""
         self._stop.set()
+        # Parked workers wake on the condition, see the stop flag, and
+        # exit — without this, stop() would block up to idle_wait.
+        self.scheduler.wake_all()
         for thread in self._threads:
             thread.join()
         self._threads.clear()

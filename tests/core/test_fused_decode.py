@@ -1,0 +1,398 @@
+"""Fused-vs-numpy decode bit-identity and backend selection (DESIGN.md §16).
+
+The fused backend's exactness contract says :class:`FusedDecoder` and the
+numpy :class:`VectorDecoder` produce bit-identical fitness, cost, traces
+and plans.  This suite drives both through the vector path's corners —
+dead ends, empty genomes, dirty-prefix resumes at row boundaries,
+evicted-transition fallback, non-unit operation costs — comparing them
+row for row.  ``FusedDecoder(jit=False)`` forces the pure-Python twin of
+the compiled loop, so every identity test runs without numba installed;
+the jit leg re-runs a representative slice under numba and is skipped
+when it is absent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GAConfig, Individual, make_rng, run_ga
+from repro.core.fitness import FitnessFunction
+from repro.core.fused_decode import (
+    FusedDecoder,
+    make_decoder,
+    numba_available,
+    resolve_backend,
+)
+from repro.core.parallel import EvaluationContext, SerialEvaluator
+from repro.core.popbuffer import PopulationBuffer
+from repro.core.vector_decode import VectorDecoder
+from repro.domains import HanoiDomain, SlidingTileDomain
+from repro.domains.kernels import TableKernel, cached_kernel
+from repro.protocol import PlanningDomain
+
+requires_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed (the [speed] extra)"
+)
+
+
+class TrapChainDomain(PlanningDomain):
+    """A line 0 → 1 → … → n where every inner state can also jump into a
+    dead end (state -1, zero valid operations).  Same shape as the vector
+    decoder's edge-case domain: small enough for :class:`TableKernel`,
+    rich enough to stall rows mid-walk.
+    """
+
+    name = "trap-chain-fused"
+
+    def __init__(self, n: int = 6, max_states: int = 200_000) -> None:
+        self.n = n
+        self._max_states = max_states
+
+    @property
+    def initial_state(self) -> int:
+        return 0
+
+    def valid_operations(self, state: int):
+        if state == -1 or state >= self.n:
+            return ()
+        return ("step", "trap")
+
+    def apply(self, state: int, op: str) -> int:
+        return state + 1 if op == "step" else -1
+
+    def goal_fitness(self, state: int) -> float:
+        if state == self.n:
+            return 1.0
+        if state == -1:
+            return 0.0
+        return state / (2.0 * self.n)
+
+    def kernel(self):
+        return cached_kernel(
+            self, lambda d: TableKernel(d, max_states=self._max_states)
+        )
+
+
+class WeightedTrapDomain(TrapChainDomain):
+    """Trap chain with non-unit operation costs (exercises ``op_cost``)."""
+
+    name = "weighted-trap-fused"
+
+    def __init__(self, n: int = 6, max_states: int = 200_000) -> None:
+        super().__init__(n, max_states)
+
+    def valid_operations(self, state: int):
+        if state == -1 or state >= self.n:
+            return ()
+        return ("step", "trap", "skip")
+
+    def apply(self, state: int, op: str) -> int:
+        if op == "trap":
+            return -1
+        return state + (2 if op == "skip" else 1)
+
+    def operation_cost(self, op: str) -> float:
+        return {"step": 1.0, "trap": 0.25, "skip": 2.5}[op]
+
+    def goal_fitness(self, state: int) -> float:
+        if state >= self.n:
+            return 1.0
+        if state == -1:
+            return 0.0
+        return state / (2.0 * self.n)
+
+
+def _context(domain, truncate=True):
+    return EvaluationContext(
+        domain=domain,
+        start_state=domain.initial_state,
+        fitness=FitnessFunction(domain, 0.7, 0.3),
+        truncate_at_goal=truncate,
+        memoize=True,
+        vector=True,
+    )
+
+
+def _buffer_of(genes_rows):
+    inds = [Individual(np.asarray(g, dtype=np.float64)) for g in genes_rows]
+    return PopulationBuffer.from_individuals(inds, keep_plans=True)
+
+
+def _pair(domain_factory, jit=False):
+    """A (fused, numpy) decoder pair over *independent* kernel instances.
+
+    Independent instances matter: interning order may differ between the
+    backends (the fused stall-resume protocol fills transitions in bulk),
+    and sharing one kernel would let the first decode warm the second.
+    """
+    fused_domain, numpy_domain = domain_factory(), domain_factory()
+    fused = FusedDecoder(fused_domain.kernel(), jit=jit)
+    fused.warmup()
+    return fused, VectorDecoder(numpy_domain.kernel())
+
+
+def _decode(dec, domain, rows, hints=None, truncate=True):
+    dec.bind(_context(domain, truncate=truncate))
+    arena = np.concatenate(
+        [np.asarray(r, dtype=np.float64) for r in rows]
+        or [np.empty(0, dtype=np.float64)]
+    )
+    lengths = np.asarray([len(r) for r in rows], dtype=np.int64)
+    offsets = np.zeros(len(rows), dtype=np.int64)
+    if len(rows) > 1:
+        offsets[1:] = np.cumsum(lengths[:-1])
+    return dec.decode_rows(
+        arena, offsets, lengths, keep_plans=True, hints=hints
+    )
+
+
+def assert_outputs_identical(got, want):
+    """Bitwise identity of decode_rows outputs (arrays and plans)."""
+    for g, w in zip(got[:5], want[:5]):
+        np.testing.assert_array_equal(g, w)
+    for pg, pw in zip(got[5], want[5]):
+        assert (pg is None) == (pw is None)
+        if pg is not None:
+            assert pg.operations == pw.operations
+            assert pg.state_keys == pw.state_keys
+            assert pg.match_keys == pw.match_keys
+            assert pg.used_genes == pw.used_genes
+            assert pg.cost == pw.cost
+            assert pg.goal_reached == pw.goal_reached
+
+
+def _random_rows(rng, count, max_len):
+    return [rng.random(int(rng.integers(1, max_len + 1))) for _ in range(count)]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: HanoiDomain(4),
+            lambda: SlidingTileDomain(3),
+            lambda: TrapChainDomain(6),
+            lambda: WeightedTrapDomain(6),
+        ],
+        ids=["hanoi4", "tile3", "trap-chain", "weighted-costs"],
+    )
+    def test_random_populations_match(self, factory):
+        fused, ref = _pair(factory)
+        rows = _random_rows(make_rng(5), 48, 14)
+        out = _decode(fused, factory(), rows)
+        want = _decode(ref, factory(), rows)
+        assert_outputs_identical(out, want)
+        assert fused.fused_rows == 48
+
+    def test_no_truncate_walks_full_rows(self):
+        factory = lambda: TrapChainDomain(3)  # noqa: E731 - local fixture
+        fused, ref = _pair(factory)
+        rows = _random_rows(make_rng(9), 24, 10)
+        out = _decode(fused, factory(), rows, truncate=False)
+        want = _decode(ref, factory(), rows, truncate=False)
+        assert_outputs_identical(out, want)
+
+    def test_dead_end_rows_stop_identically(self):
+        fused, ref = _pair(lambda: TrapChainDomain(5))
+        rows = _random_rows(make_rng(0), 32, 8)
+        out = _decode(fused, TrapChainDomain(5), rows)
+        want = _decode(ref, TrapChainDomain(5), rows)
+        assert_outputs_identical(out, want)
+        assert any(
+            p.used_genes < len(r) and not p.goal_reached
+            for p, r in zip(out[5], rows)
+        )
+
+    def test_empty_genome_rows(self):
+        # Zero-length rows between walked neighbours: fitness of the
+        # untouched start state, no genes consumed, on both backends.
+        fused, ref = _pair(lambda: HanoiDomain(3))
+        rows = [[0.4, 0.9], [], [0.1], []]
+        out = _decode(fused, HanoiDomain(3), rows)
+        want = _decode(ref, HanoiDomain(3), rows)
+        assert_outputs_identical(out, want)
+        assert out[4][1] == 0 and out[4][3] == 0
+
+    def test_zero_rows_batch(self):
+        fused, _ = _pair(lambda: HanoiDomain(3))
+        out = _decode(fused, HanoiDomain(3), [])
+        assert out[0].shape == (0,) and out[5] == []
+
+
+class TestPrefixResumeBoundaries:
+    @pytest.mark.parametrize("dirty", [1, 4, 8])
+    def test_resume_matches_numpy_resume(self, dirty):
+        # Decode once, then resume with a dirty suffix on both backends;
+        # the fused walk must reuse exactly as many genes as numpy does.
+        fused, ref = _pair(lambda: HanoiDomain(3))
+        genes = make_rng(7).random(8)
+        out_parent = _decode(fused, HanoiDomain(3), [genes])
+        want_parent = _decode(ref, HanoiDomain(3), [genes])
+        assert_outputs_identical(out_parent, want_parent)
+        hints = [(out_parent[5][0], dirty)]
+        out = _decode(fused, HanoiDomain(3), [genes], hints=hints)
+        want = _decode(ref, HanoiDomain(3), [genes], hints=[(want_parent[5][0], dirty)])
+        assert_outputs_identical(out, want)
+        assert fused.genes_reused == ref.genes_reused
+
+    def test_resume_through_stalled_transitions(self):
+        # The parent walk fills the lazy tables; a fresh fused kernel must
+        # stall, bulk-fill, and still match the resumed numpy decode.
+        genes = np.full(12, 0.2, dtype=np.float64)  # always "step"
+        fused, ref = _pair(lambda: TrapChainDomain(40))
+        out_parent = _decode(fused, TrapChainDomain(40), [genes])
+        want_parent = _decode(ref, TrapChainDomain(40), [genes])
+        hints_f = [(out_parent[5][0], 6)]
+        hints_n = [(want_parent[5][0], 6)]
+        out = _decode(fused, TrapChainDomain(40), [genes], hints=hints_f)
+        want = _decode(ref, TrapChainDomain(40), [genes], hints=hints_n)
+        assert_outputs_identical(out, want)
+
+
+class TestEvictedTransitionFallback:
+    def test_reset_falls_back_identically(self):
+        # A tiny max_states overflows the kernel; rebinding resets it and
+        # hints pointing at evicted ids fall back to a full decode —
+        # identically on both backends.
+        genes = np.full(12, 0.2, dtype=np.float64)
+        fused, ref = _pair(lambda: TrapChainDomain(40, max_states=8))
+        out_parent = _decode(fused, TrapChainDomain(40, max_states=8), [genes])
+        want_parent = _decode(ref, TrapChainDomain(40, max_states=8), [genes])
+        assert fused.kernel.overflowed and ref.kernel.overflowed
+        out = _decode(
+            fused,
+            TrapChainDomain(40, max_states=8),
+            [genes],
+            hints=[(out_parent[5][0], 6)],
+        )
+        want = _decode(
+            ref,
+            TrapChainDomain(40, max_states=8),
+            [genes],
+            hints=[(want_parent[5][0], 6)],
+        )
+        assert fused.kernel_resets == 1 and ref.kernel_resets == 1
+        assert fused.prefix_fallbacks == ref.prefix_fallbacks == 1
+        assert_outputs_identical(out, want)
+
+
+class TestEvaluatorAndGA:
+    def test_serial_evaluator_buffers_match(self):
+        # Preload one evaluator with a fused-python decoder (same kernel
+        # object, so the rebuild check keeps it) and compare buffers.
+        rows = _random_rows(make_rng(3), 30, 12)
+        buf_f, buf_n = _buffer_of(rows), _buffer_of(rows)
+        dom_n, dom_f = WeightedTrapDomain(6), WeightedTrapDomain(6)
+        SerialEvaluator().evaluate_buffer(buf_n, _context(dom_n))
+        ev = SerialEvaluator()
+        ev._vdec = FusedDecoder(dom_f.kernel(), jit=False)
+        ev._vdec_backend = None
+        ev.evaluate_buffer(buf_f, _context(dom_f))
+        assert ev._vdec.backend_name == "fused-python"  # decoder kept
+        assert ev._vdec.fused_rows > 0
+        np.testing.assert_array_equal(buf_f.total, buf_n.total)
+        np.testing.assert_array_equal(buf_f.cost, buf_n.cost)
+        np.testing.assert_array_equal(buf_f.goal_reached, buf_n.goal_reached)
+
+    def test_full_ga_trajectory_identical_across_backends(self):
+        config = GAConfig(
+            population_size=12,
+            generations=6,
+            max_len=16,
+            init_length=6,
+            vector_decode=True,
+        )
+        base = run_ga(
+            TrapChainDomain(6), config.replace(decode_backend="numpy"), make_rng(4)
+        )
+        auto = run_ga(
+            TrapChainDomain(6), config.replace(decode_backend=None), make_rng(4)
+        )
+        np.testing.assert_array_equal(base.best.genes, auto.best.genes)
+        assert base.best.fitness.total == auto.best.fitness.total
+        assert base.history.generations == auto.history.generations
+
+
+class TestBackendSelection:
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="decode_backend"):
+            resolve_backend("cuda")
+
+    def test_resolve_numpy(self):
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_resolve_auto_matches_probe(self):
+        expected = "fused" if numba_available() else "numpy"
+        assert resolve_backend(None) == expected
+
+    @pytest.mark.skipif(numba_available(), reason="numba installed")
+    def test_fused_without_numba_raises(self):
+        with pytest.raises(RuntimeError, match="repro\\[speed\\]"):
+            resolve_backend("fused")
+
+    @pytest.mark.skipif(numba_available(), reason="numba installed")
+    def test_make_decoder_falls_back_to_numpy(self):
+        dec = make_decoder(HanoiDomain(3).kernel())
+        assert type(dec) is VectorDecoder and dec.backend_name == "numpy"
+
+    @pytest.mark.skipif(numba_available(), reason="numba installed")
+    def test_jit_true_without_numba_raises(self):
+        with pytest.raises(RuntimeError, match="numba"):
+            FusedDecoder(HanoiDomain(3).kernel(), jit=True)
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="decode_backend"):
+            GAConfig(max_len=16, init_length=8, decode_backend="cuda")
+
+    def test_config_rejects_backend_without_vector(self):
+        with pytest.raises(ValueError, match="vector_decode"):
+            GAConfig(
+                max_len=16,
+                init_length=8,
+                vector_decode=False,
+                decode_backend="numpy",
+            )
+
+    def test_python_fallback_reports_its_name(self):
+        dec = FusedDecoder(HanoiDomain(3).kernel(), jit=False)
+        assert dec.backend_name == "fused-python"
+        assert dec.warmup() == 0.0  # Python loop needs no compile
+
+    def test_counters_include_fused_metrics(self):
+        fused, _ = _pair(lambda: HanoiDomain(3))
+        _decode(fused, HanoiDomain(3), [[0.5, 0.2]])
+        flat = fused.counters()
+        assert flat["fused_rows_decoded"] == 1
+        assert "jit_compile_ms" in flat
+
+
+@requires_numba
+class TestJitLeg:
+    """Representative re-run of the identity suite under the real JIT."""
+
+    def test_jit_matches_numpy_on_all_domains(self):
+        for factory in (
+            lambda: HanoiDomain(4),
+            lambda: TrapChainDomain(6),
+            lambda: WeightedTrapDomain(6),
+        ):
+            fused, ref = _pair(factory, jit=True)
+            assert fused.backend_name == "fused-jit"
+            rows = _random_rows(make_rng(8), 40, 12)
+            out = _decode(fused, factory(), rows)
+            want = _decode(ref, factory(), rows)
+            assert_outputs_identical(out, want)
+
+    def test_warmup_records_compile_time(self):
+        dec = FusedDecoder(HanoiDomain(3).kernel(), jit=True)
+        dec.warmup()
+        assert dec.jit_compile_ms >= 0.0
+        before = dec.jit_compile_ms
+        assert dec.warmup() == 0.0  # idempotent
+        assert dec.jit_compile_ms == before
+
+    def test_make_decoder_prefers_jit(self):
+        dec = make_decoder(HanoiDomain(3).kernel())
+        assert isinstance(dec, FusedDecoder) and dec.jit
+
+    def test_resolve_fused_succeeds(self):
+        assert resolve_backend("fused") == "fused"

@@ -1,6 +1,10 @@
 """Run-scheduler tests: admission, fair share, deadlines, slicing, frames."""
 
+import time
+
 import pytest
+
+from repro.core.fused_decode import numba_available
 
 from repro.obs import MemoryRecorder, MetricsRegistry, Tracer
 from repro.service import (
@@ -273,3 +277,68 @@ class TestServicePool:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
             ServicePool(make_scheduler(), workers=0)
+
+    def test_invalid_idle_wait_rejected(self):
+        with pytest.raises(ValueError):
+            ServicePool(make_scheduler(), idle_wait=0.0)
+
+    def test_idle_pool_picks_up_submission_without_polling(self):
+        # idle_wait is deliberately far longer than the whole test: a
+        # parked worker must be woken by submit's notify, not by sleeping
+        # out the idle bound (the pre-fix behaviour polled every second).
+        scheduler = make_scheduler()
+        with ServicePool(scheduler, workers=2, idle_wait=60.0):
+            time.sleep(0.3)  # let both workers park on the condition
+            t0 = time.monotonic()
+            run = scheduler.submit(request(budget=5, population=10))
+            assert scheduler.wait_idle(timeout=30)
+            elapsed = time.monotonic() - t0
+        assert run.state == DONE
+        assert elapsed < 10.0  # solve time only — nowhere near idle_wait
+
+    def test_stop_wakes_parked_workers_promptly(self):
+        pool = ServicePool(make_scheduler(), workers=2, idle_wait=60.0)
+        pool.start()
+        time.sleep(0.3)  # workers park with nothing queued
+        t0 = time.monotonic()
+        pool.stop()
+        assert time.monotonic() - t0 < 5.0  # wake_all, not idle_wait
+
+
+class TestDecodeBackendFrames:
+    def test_engine_path_tags_result_as_engine(self):
+        frames = []
+        scheduler = make_scheduler()
+        scheduler.submit(request(), subscriber=frames.append)
+        scheduler.drain()
+        assert frames[-1]["type"] == "result"
+        assert frames[-1]["backend"] == "engine"
+
+    def test_vector_request_reports_resolved_backend(self):
+        frames = []
+        scheduler = make_scheduler()
+        scheduler.submit(
+            request(vector=True, backend="numpy"), subscriber=frames.append
+        )
+        scheduler.drain()
+        assert frames[-1]["backend"] == "numpy"
+
+    def test_vector_auto_backend_resolves_by_probe(self):
+        frames = []
+        scheduler = make_scheduler()
+        scheduler.submit(request(vector=True), subscriber=frames.append)
+        scheduler.drain()
+        expected = "fused" if numba_available() else "numpy"
+        assert frames[-1]["backend"] == expected
+
+    @pytest.mark.skipif(numba_available(), reason="numba installed")
+    def test_fused_without_numba_fails_with_error_frame(self):
+        frames = []
+        scheduler = make_scheduler()
+        run = scheduler.submit(
+            request(vector=True, backend="fused"), subscriber=frames.append
+        )
+        scheduler.drain()
+        assert run.state == FAILED
+        assert frames[-1]["type"] == "error"
+        assert "numba" in frames[-1]["message"]
